@@ -1,0 +1,42 @@
+"""Shared composite experiment for the benchmark harness.
+
+Every table/figure bench reads from one composite run of the five
+workloads (the paper's "sum of the five UPC histograms"), built once per
+benchmark session.  Individual benches time the *analysis* step — the
+reduction of the shared histogram into their table — and assert the
+paper's shape on the result.
+
+Budget knobs via environment:
+
+* ``REPRO_BENCH_INSTRUCTIONS`` — measured instructions per workload
+  (default 12000; the paper's runs were ~1h of real time each).
+* ``REPRO_BENCH_WARMUP`` — unmeasured warmup instructions (default 3000).
+"""
+
+import os
+
+import pytest
+
+from repro.core.experiment import run_composite_experiment, run_workload
+
+INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "12000"))
+WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "3000"))
+
+
+@pytest.fixture(scope="session")
+def per_workload_results():
+    """Individual workload results (built once; the composite sums them)."""
+    from repro.workloads import COMPOSITE_WORKLOAD_NAMES
+
+    return {
+        name: run_workload(name, instructions=INSTRUCTIONS, warmup_instructions=WARMUP)
+        for name in COMPOSITE_WORKLOAD_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def composite_result(per_workload_results):
+    """The five-workload composite (the sum of the five UPC histograms)."""
+    from repro.core.experiment import composite
+
+    return composite(list(per_workload_results.values()))

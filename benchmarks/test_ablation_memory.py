@@ -1,0 +1,115 @@
+"""Ablations: memory-hierarchy design choices.
+
+The paper repeatedly connects its timing results to implementation
+choices — the write-through cache with a one-longword write buffer
+("which force the CALL instruction to stall while pushing the caller's
+state"), the cache whose misses cost the read stalls, the TB whose misses
+cost 21.6 cycles each.  These sweeps vary those choices and check the
+directions the paper implies.
+"""
+
+import pytest
+
+from repro.core.experiment import run_workload
+from repro.memory.cache import Cache
+from repro.memory.tb import TranslationBuffer
+from repro.memory.write_buffer import WriteBuffer
+
+_INSTRUCTIONS = 6_000
+_WARMUP = 1_500
+
+
+def run_with(configure):
+    return run_workload(
+        "timesharing_light",
+        instructions=_INSTRUCTIONS,
+        warmup_instructions=_WARMUP,
+        configure=configure,
+    )
+
+
+def test_ablation_cache_size(benchmark):
+    """A bigger cache means fewer read misses and a lower CPI; the 8 KB
+    point is where the 11/780 actually sat."""
+
+    def sweep():
+        results = {}
+        for size_kb in (2, 8, 32):
+            def configure(machine, size_kb=size_kb):
+                machine.memory.cache = Cache(size_bytes=size_kb * 1024)
+
+            results[size_kb] = run_with(configure)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for size_kb, result in results.items():
+        misses = result.stats.cache_read_misses / result.instructions
+        print(
+            "cache {:>2} KB: CPI {:5.2f}  read misses/instr {:.3f}".format(
+                size_kb, result.cpi, misses
+            )
+        )
+    miss_rates = [
+        results[k].stats.cache_read_misses / results[k].instructions for k in (2, 8, 32)
+    ]
+    assert miss_rates[0] > miss_rates[1] > miss_rates[2]
+    assert results[2].cpi > results[32].cpi
+
+
+def test_ablation_write_buffer_depth(benchmark):
+    """Slower write drain -> more write stalls; instant drain -> none.
+
+    This isolates the paper's write-stall column: it exists because the
+    write-through design funnels every write through one longword of
+    buffering."""
+
+    def sweep():
+        results = {}
+        for drain in (0, 6, 12):
+            def configure(machine, drain=drain):
+                machine.memory.write_buffer = WriteBuffer(drain_cycles=drain)
+
+            results[drain] = run_with(configure)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    wstalls = {}
+    for drain, result in results.items():
+        wstalls[drain] = result.reduction.column_totals()["wstall"] / result.instructions
+        print("drain {:>2} cycles: CPI {:5.2f}  wstall/instr {:.3f}".format(
+            drain, result.cpi, wstalls[drain]))
+    assert wstalls[0] == 0.0
+    assert wstalls[6] < wstalls[12]
+    assert results[0].cpi < results[12].cpi
+
+
+def test_ablation_tb_size(benchmark):
+    """More TB entries -> fewer misses -> less memory-management time."""
+
+    def sweep():
+        results = {}
+        for half in (16, 64, 256):
+            def configure(machine, half=half):
+                machine.memory.tb = TranslationBuffer(half_entries=half)
+
+            results[half] = run_with(configure)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    rates = {}
+    for half, result in results.items():
+        rates[half] = result.stats.tb_misses / result.instructions
+        memmgmt = result.reduction.row_totals()["memmgmt"] / result.instructions
+        print(
+            "TB {:>3}+{:<3} entries: CPI {:5.2f}  TB misses/instr {:.4f}  memmgmt cyc/instr {:.3f}".format(
+                half, half, result.cpi, rates[half], memmgmt
+            )
+        )
+    # Between flushes the hot working set fits in 64 entries, so going
+    # bigger buys little — context-switch flushes, not capacity, set the
+    # floor (exactly the paper's point about the flush interval).
+    assert rates[16] > rates[64] >= rates[256]
+    assert results[16].cpi > results[64].cpi

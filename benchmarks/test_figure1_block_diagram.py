@@ -1,0 +1,55 @@
+"""Figure 1: the VAX-11/780 block diagram.
+
+The paper's only figure is structural.  This bench verifies that the
+simulated machine's topology matches the diagram — the three pipeline
+stages, the TB in front of the cache, the 4-byte write buffer beside it,
+the SBI below, memory at the bottom — and renders the diagram.
+"""
+
+from repro.cpu import VAX780
+from repro.core.monitor import UPCMonitor
+from repro.memory.tb import HALF_ENTRIES
+
+
+def build_machine():
+    return VAX780(monitor=UPCMonitor.build())
+
+
+def test_figure1_block_diagram(benchmark):
+    machine = benchmark(build_machine)
+    components = machine.components()
+
+    # The two major subsystems and their constituents (Section 2.1).
+    for name in (
+        "i_fetch",
+        "i_decode",
+        "ebox",
+        "control_store",
+        "translation_buffer",
+        "cache",
+        "write_buffer",
+        "sbi",
+        "memory",
+        "monitor",
+    ):
+        assert components[name] is not None, name
+
+    # Geometry as measured: 8 KB 2-way cache with 8-byte blocks,
+    # 128-entry split TB, 4-byte (one-longword) write buffer, 8 MB memory.
+    cache = components["cache"]
+    assert cache.sets * cache.ways * cache.block_size == 8 * 1024
+    assert cache.ways == 2 and cache.block_size == 8
+    assert 2 * HALF_ENTRIES == 128
+    assert components["memory"].size == 8 * 1024 * 1024
+
+    # The control store is the 16K-location array the monitor shadows.
+    from repro.ucode.control_store import CONTROL_STORE_SIZE
+
+    assert CONTROL_STORE_SIZE == 16 * 1024
+    assert components["monitor"].board.buckets == 16_000
+
+    diagram = machine.block_diagram()
+    print()
+    print(diagram)
+    for label in ("I-Fetch", "I-Decode", "EBOX", "Translation Buffer", "Cache", "SBI", "Memory", "write"):
+        assert label in diagram

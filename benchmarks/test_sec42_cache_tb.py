@@ -1,0 +1,51 @@
+"""Section 4.2: cache and translation-buffer misses.
+
+Paper: 0.28 cache read misses per instruction (0.18 I-stream + 0.10
+D-stream); 0.029 TB misses per instruction (0.020 D + 0.009 I); TB miss
+service averages 21.6 cycles, of which 3.5 are read stalls on the PTE
+fetch.
+"""
+
+from repro.core import paper_data, tables
+from repro.core.report import format_table, within_factor
+
+
+def test_sec42_cache_and_tb_misses(benchmark, composite_result):
+    measured = benchmark(tables.sec42_cache_tb, composite_result)
+    paper = paper_data.SEC42_CACHE_TB
+
+    rows = [
+        ("Cache read misses/instr", "cache_read_misses_per_instruction"),
+        ("  I-stream", "cache_read_misses_istream"),
+        ("  D-stream", "cache_read_misses_dstream"),
+        ("TB misses/instr", "tb_misses_per_instruction"),
+        ("  D-stream", "tb_misses_dstream"),
+        ("  I-stream", "tb_misses_istream"),
+        ("Cycles per TB miss", "cycles_per_tb_miss"),
+        ("  of which read stall", "tb_miss_read_stall_cycles"),
+    ]
+    print()
+    print(
+        format_table(
+            "Section 4.2: Cache and TB misses",
+            [(label, paper[key], measured[key]) for label, key in rows],
+        )
+    )
+
+    # Cache miss rate near 0.28/instruction, I-stream-dominated.
+    assert within_factor(
+        measured["cache_read_misses_per_instruction"],
+        paper["cache_read_misses_per_instruction"],
+        1.6,
+    )
+    assert measured["cache_read_misses_istream"] > measured["cache_read_misses_dstream"]
+
+    # TB miss rate near 0.029/instruction, D-stream-dominated.
+    assert within_factor(
+        measured["tb_misses_per_instruction"], paper["tb_misses_per_instruction"], 1.7
+    )
+    assert measured["tb_misses_dstream"] > measured["tb_misses_istream"]
+
+    # Service cost near 21.6 cycles with a few cycles of PTE-fetch stall.
+    assert within_factor(measured["cycles_per_tb_miss"], paper["cycles_per_tb_miss"], 1.4)
+    assert 0.3 < measured["tb_miss_read_stall_cycles"] < 7.0

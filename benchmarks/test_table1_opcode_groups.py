@@ -1,0 +1,37 @@
+"""Table 1: opcode group frequency.
+
+Regenerates the paper's "moves, branches, and simple instructions account
+for most instruction executions" table and checks the ordering and rough
+magnitudes against the published percentages.
+"""
+
+from repro.core import paper_data, tables
+from repro.core.report import format_table, within_factor
+
+_ROW_ORDER = ["simple", "field", "float", "callret", "system", "character", "decimal"]
+
+
+def test_table1_opcode_group_frequency(benchmark, composite_result):
+    measured = benchmark(tables.table1, composite_result)
+
+    print()
+    print(
+        format_table(
+            "Table 1: Opcode Group Frequency (percent)",
+            [
+                (row, paper_data.TABLE1_GROUP_FREQUENCY[row], measured[row])
+                for row in _ROW_ORDER
+            ],
+        )
+    )
+
+    paper = paper_data.TABLE1_GROUP_FREQUENCY
+    # Shape: the dominance ordering the paper highlights.
+    assert measured["simple"] > 75.0
+    assert measured["simple"] > measured["field"] > measured["character"]
+    assert measured["character"] > measured["decimal"]
+    # Magnitudes: each group within a factor of ~2 of the published value.
+    for row in ("simple", "field", "callret", "system"):
+        assert within_factor(measured[row], paper[row], 2.0), row
+    assert within_factor(measured["float"], paper["float"], 2.5)
+    assert within_factor(measured["character"], paper["character"], 3.0)

@@ -1,0 +1,64 @@
+"""Table 2: PC-changing instructions — frequency and taken proportion.
+
+The paper's observations: PC-changing instructions are almost 40 percent
+of all executions, about two thirds of them actually branch, loop
+branches are taken ~9 times in 10 (so loops iterate ~10 times), and the
+subroutine/procedure/case classes branch every time.
+"""
+
+from repro.core import paper_data, tables
+from repro.core.report import format_table, within_factor
+
+_ROWS = [
+    "simple_cond",
+    "loop",
+    "lowbit",
+    "subroutine",
+    "unconditional",
+    "case",
+    "bit",
+    "procedure",
+    "system",
+    "total",
+]
+
+
+def test_table2_pc_changing_instructions(benchmark, composite_result):
+    measured = benchmark(tables.table2, composite_result)
+
+    def paper_row(name):
+        if name == "total":
+            return paper_data.TABLE2_TOTAL
+        return paper_data.TABLE2_PC_CHANGING[name]
+
+    print()
+    print(
+        format_table(
+            "Table 2: percent of instructions that are PC-changing",
+            [(r, paper_row(r).percent_of_instructions, measured[r]["percent_of_instructions"]) for r in _ROWS],
+        )
+    )
+    print(
+        format_table(
+            "Table 2: percent of those that actually branch",
+            [(r, paper_row(r).percent_taken, measured[r]["percent_taken"]) for r in _ROWS],
+        )
+    )
+
+    total = measured["total"]
+    # "PC-changing instructions ... almost 40 percent of all instructions"
+    assert 30.0 < total["percent_of_instructions"] < 50.0
+    # "the proportion of these that actually change the PC is also quite high"
+    assert 55.0 < total["percent_taken"] < 80.0
+    # "about 9 out of 10 loop branches actually branched"
+    assert 80.0 < measured["loop"]["percent_taken"] <= 100.0
+    # Always-taken classes.
+    for row in ("subroutine", "case", "procedure", "system"):
+        assert measured[row]["percent_taken"] == 100.0
+    # Class magnitudes within a factor of two of the paper.
+    for row in ("simple_cond", "loop", "lowbit", "subroutine", "bit", "procedure"):
+        assert within_factor(
+            measured[row]["percent_of_instructions"],
+            paper_row(row).percent_of_instructions,
+            2.0,
+        ), row

@@ -1,0 +1,38 @@
+"""Table 3: specifiers and branch displacements per average instruction.
+
+Paper: 0.726 first specifiers, 0.758 other specifiers (1.48 in total),
+and 0.312 branch displacements per average instruction.
+"""
+
+from repro.core import paper_data, tables
+from repro.core.report import format_table, within_factor
+
+
+def test_table3_specifiers_per_instruction(benchmark, composite_result):
+    measured = benchmark(tables.table3, composite_result)
+    paper = paper_data.TABLE3_PER_INSTRUCTION
+
+    print()
+    print(
+        format_table(
+            "Table 3: Specifiers and Branch Displacements per Instruction",
+            [
+                ("First specifiers", paper["spec1"], measured["spec1"]),
+                ("Other specifiers", paper["spec26"], measured["spec26"]),
+                ("Branch displacements", paper["branch_displacements"], measured["branch_displacements"]),
+                (
+                    "Specifiers total",
+                    paper_data.TABLE3_SPECIFIERS_TOTAL,
+                    measured["spec1"] + measured["spec26"],
+                ),
+            ],
+        )
+    )
+
+    assert within_factor(measured["spec1"], paper["spec1"], 1.3)
+    assert within_factor(measured["spec26"], paper["spec26"], 1.3)
+    assert within_factor(
+        measured["branch_displacements"], paper["branch_displacements"], 1.5
+    )
+    total = measured["spec1"] + measured["spec26"]
+    assert within_factor(total, paper_data.TABLE3_SPECIFIERS_TOTAL, 1.25)

@@ -1,0 +1,67 @@
+"""Table 5: D-stream reads and writes per average instruction.
+
+Paper totals: 0.783 reads and 0.409 writes per instruction — "the ratio
+of reads to writes is about two to one" — with specifier processing the
+largest single source and CALL/RET the largest instruction-group source.
+Also checks Section 3.3.1's unaligned-reference rate (0.016/instruction).
+"""
+
+from repro.core import paper_data, tables
+from repro.core.report import format_table, within_factor
+
+_ROWS = [
+    "spec1",
+    "spec2_6",
+    "simple",
+    "field",
+    "float",
+    "callret",
+    "system",
+    "character",
+    "decimal",
+    "other",
+]
+
+
+def test_table5_reads_and_writes(benchmark, composite_result):
+    measured = benchmark(tables.table5, composite_result)
+    paper = paper_data.TABLE5_READS_WRITES
+
+    print()
+    print(
+        format_table(
+            "Table 5: Reads per average instruction",
+            [(r, paper[r].reads, measured[r]["reads"]) for r in _ROWS]
+            + [("TOTAL", paper_data.TABLE5_TOTAL.reads, measured["total"]["reads"])],
+        )
+    )
+    print()
+    print(
+        format_table(
+            "Table 5: Writes per average instruction",
+            [(r, paper[r].writes, measured[r]["writes"]) for r in _ROWS]
+            + [("TOTAL", paper_data.TABLE5_TOTAL.writes, measured["total"]["writes"])],
+        )
+    )
+
+    totals = measured["total"]
+    # Read:write ratio about two to one.
+    ratio = totals["reads"] / totals["writes"]
+    assert 1.4 < ratio < 2.8
+    # Totals within a factor of ~1.5 of the published figures.
+    assert within_factor(totals["reads"], paper_data.TABLE5_TOTAL.reads, 1.5)
+    assert within_factor(totals["writes"], paper_data.TABLE5_TOTAL.writes, 1.5)
+    # Specifier processing accounts for the majority of reads.
+    spec_reads = measured["spec1"]["reads"] + measured["spec2_6"]["reads"]
+    assert spec_reads > 0.5 * totals["reads"]
+    # CALL/RET is the largest instruction-group contributor to writes.
+    group_rows = ["simple", "field", "float", "callret", "system", "character", "decimal"]
+    assert measured["callret"]["writes"] == max(measured[r]["writes"] for r in group_rows)
+
+    # Section 3.3.1: unaligned D-stream references are rare.
+    unaligned = (
+        composite_result.stats.unaligned_reads + composite_result.stats.unaligned_writes
+    ) / composite_result.instructions
+    print("\nUnaligned refs/instr: paper {} measured {:.4f}".format(
+        paper_data.UNALIGNED_REFERENCES_PER_INSTRUCTION.value, unaligned))
+    assert unaligned < 0.05

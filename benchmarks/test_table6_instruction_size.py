@@ -1,0 +1,46 @@
+"""Table 6: estimated size of the average instruction.
+
+Paper: 1 byte of opcode + 1.48 specifiers x 1.68 bytes + 0.31 branch
+displacements x 1.0 byte = 3.8 bytes per average instruction.
+"""
+
+from repro.core import paper_data, tables
+from repro.core.report import format_table, within_factor
+
+
+def test_table6_average_instruction_size(benchmark, composite_result):
+    measured = benchmark(tables.table6, composite_result)
+    paper = paper_data.TABLE6_SIZE
+
+    print()
+    print(
+        format_table(
+            "Table 6: Estimated Size of Average Instruction",
+            [
+                ("Opcode bytes", paper["opcode_bytes"], measured["opcode_bytes"]),
+                (
+                    "Specifiers / instruction",
+                    paper["specifiers_per_instruction"],
+                    measured["specifiers_per_instruction"],
+                ),
+                ("Avg specifier size", paper["specifier_size"], measured["specifier_size"]),
+                (
+                    "Branch disp / instruction",
+                    paper["displacements_per_instruction"],
+                    measured["displacements_per_instruction"],
+                ),
+                ("Avg displacement size", paper["displacement_size"], measured["displacement_size"]),
+                ("TOTAL bytes", paper["total_bytes"], measured["total_bytes"]),
+            ],
+        )
+    )
+
+    assert within_factor(measured["total_bytes"], paper["total_bytes"], 1.2)
+    assert within_factor(measured["specifier_size"], paper["specifier_size"], 1.3)
+    # Internal consistency: the decomposition reproduces the total.
+    estimated = (
+        measured["opcode_bytes"]
+        + measured["specifiers_per_instruction"] * measured["specifier_size"]
+        + measured["displacements_per_instruction"] * measured["displacement_size"]
+    )
+    assert abs(estimated - measured["total_bytes"]) < 0.1

@@ -1,0 +1,47 @@
+"""Table 7: interrupt and context-switch headway.
+
+Paper (instructions between events): software-interrupt requests 2539,
+hardware+software interrupts 637, context switches 6418.  The paper notes
+the context-switch figure "is useful in setting the 'flush' interval in
+cache and translation buffer simulations" — the reproduction's TB really
+is flushed at that interval (checked below).
+"""
+
+from repro.core import paper_data, tables
+from repro.core.report import format_table, within_factor
+
+
+def test_table7_interrupt_and_switch_headway(benchmark, composite_result):
+    measured = benchmark(tables.table7, composite_result)
+    paper = paper_data.TABLE7_HEADWAY
+
+    print()
+    print(
+        format_table(
+            "Table 7: Instruction headway between events",
+            [
+                (
+                    "SW interrupt requests",
+                    paper["software_interrupt_requests"],
+                    measured["software_interrupt_requests"],
+                ),
+                ("HW+SW interrupts", paper["interrupts"], measured["interrupts"]),
+                ("Context switches", paper["context_switches"], measured["context_switches"]),
+            ],
+        )
+    )
+
+    # Ordering: interrupts far more frequent than context switches;
+    # software-interrupt requests in between.
+    assert measured["interrupts"] < measured["software_interrupt_requests"]
+    assert measured["software_interrupt_requests"] < measured["context_switches"]
+    # Magnitudes within a factor of ~2 of the published headways.
+    assert within_factor(measured["interrupts"], paper["interrupts"], 2.0)
+    assert within_factor(
+        measured["software_interrupt_requests"], paper["software_interrupt_requests"], 2.0
+    )
+    assert within_factor(measured["context_switches"], paper["context_switches"], 2.5)
+
+    # Every context switch flushed the TB's process half.
+    stats = composite_result.stats
+    assert stats.tb_process_flushes >= composite_result.events.context_switches

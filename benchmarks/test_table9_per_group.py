@@ -1,0 +1,54 @@
+"""Table 9: cycles per instruction within each group (unweighted).
+
+The paper's observations: the average simple instruction needs little
+over one execute cycle, while the range across groups covers two orders
+of magnitude; CALL/RET moves about 8 registers; the average character
+instruction reads and writes 9-11 longwords (36-44 byte strings).
+"""
+
+from repro.core import paper_data, tables
+from repro.core.report import format_table, within_factor
+
+_ROWS = ["simple", "field", "float", "callret", "system", "character", "decimal"]
+
+
+def test_table9_within_group_cycles(benchmark, composite_result):
+    measured = benchmark(tables.table9, composite_result)
+    paper = paper_data.TABLE9_GROUP_TOTALS
+
+    print()
+    print(
+        format_table(
+            "Table 9: execute-phase cycles per instruction of each group",
+            [(row, paper[row], measured[row]["total"]) for row in _ROWS],
+        )
+    )
+
+    # "the range ... covers two orders of magnitude"
+    assert measured["character"]["total"] > 50 * measured["simple"]["total"]
+    assert measured["decimal"]["total"] > 30 * measured["simple"]["total"]
+    # Ordering: character/decimal >> callret > system > field/float >> simple.
+    assert measured["character"]["total"] > measured["callret"]["total"]
+    assert measured["decimal"]["total"] > measured["callret"]["total"]
+    assert measured["callret"]["total"] > measured["system"]["total"]
+    assert measured["system"]["total"] > measured["simple"]["total"]
+    assert measured["field"]["total"] > measured["simple"]["total"]
+    # Magnitudes.
+    assert within_factor(measured["simple"]["total"], paper["simple"], 2.2)
+    assert within_factor(measured["callret"]["total"], paper["callret"], 1.8)
+    assert within_factor(measured["character"]["total"], paper["character"], 1.8)
+    assert within_factor(measured["float"]["total"], paper["float"], 2.0)
+
+    # "about 8 registers are being pushed and popped" per CALL/RET or
+    # PUSHR/POPR instruction: reads+writes per group instruction ~4 each.
+    callret = measured["callret"]
+    moved = callret["read"] + callret["write"]
+    print("\nCALL/RET reads+writes per group instruction: {:.1f} (paper ~8)".format(moved))
+    assert 4.0 < moved < 14.0
+
+    # "the average character instruction reads and writes 9 to 11
+    # longwords" — reads+writes within the character group.
+    character = measured["character"]
+    longwords = character["read"] + character["write"]
+    print("Character reads+writes per group instruction: {:.1f} (paper 18-22)".format(longwords))
+    assert 8.0 < longwords < 40.0

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Design-space sweep: how the 11/780's memory-hierarchy choices shape
+the CPI decomposition.
+
+The paper reads its Table 8 as a map of "where performance may be
+improved, and where it may not": read stalls trace to the cache, write
+stalls to the one-longword write buffer behind the write-through cache,
+memory-management time to the TB.  This example re-runs one workload
+across those design points and prints the resulting CPI decompositions
+side by side — the kind of what-if the authors built the monitor to
+inform.
+
+Run:  python examples/cache_tb_sensitivity.py [instructions]
+"""
+
+import sys
+
+from repro.core.experiment import run_workload
+from repro.memory.cache import Cache
+from repro.memory.tb import TranslationBuffer
+from repro.memory.write_buffer import WriteBuffer
+
+
+def measure(label, configure=None, budget=6_000):
+    result = run_workload(
+        "timesharing_light",
+        instructions=budget,
+        warmup_instructions=1_500,
+        configure=configure,
+    )
+    columns = result.reduction.column_totals()
+    instructions = result.instructions
+    return {
+        "label": label,
+        "cpi": result.cpi,
+        "rstall": columns["rstall"] / instructions,
+        "wstall": columns["wstall"] / instructions,
+        "ibstall": columns["ibstall"] / instructions,
+        "memmgmt": result.reduction.row_totals()["memmgmt"] / instructions,
+        "cache_miss": result.stats.cache_read_misses / instructions,
+        "tb_miss": result.stats.tb_misses / instructions,
+    }
+
+
+def main():
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 6_000
+
+    def cache_config(size_kb):
+        def configure(machine):
+            machine.memory.cache = Cache(size_bytes=size_kb * 1024)
+
+        return configure
+
+    def wb_config(drain):
+        def configure(machine):
+            machine.memory.write_buffer = WriteBuffer(drain_cycles=drain)
+
+        return configure
+
+    def tb_config(half):
+        def configure(machine):
+            machine.memory.tb = TranslationBuffer(half_entries=half)
+
+        return configure
+
+    rows = [
+        measure("11/780 baseline (8KB cache, 64+64 TB, 1-lw WB)", budget=budget),
+        measure("cache 2 KB", cache_config(2), budget),
+        measure("cache 32 KB", cache_config(32), budget),
+        measure("TB 16+16 entries", tb_config(16), budget),
+        measure("TB 256+256 entries", tb_config(256), budget),
+        measure("write buffer: instant drain", wb_config(0), budget),
+        measure("write buffer: 12-cycle drain", wb_config(12), budget),
+    ]
+
+    header = "{:<44} {:>6} {:>7} {:>7} {:>8} {:>8} {:>7} {:>8}".format(
+        "configuration", "CPI", "rstall", "wstall", "ibstall", "memmgmt", "miss/i", "tbmiss/i"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            "{label:<44} {cpi:6.2f} {rstall:7.3f} {wstall:7.3f} {ibstall:8.3f} "
+            "{memmgmt:8.3f} {cache_miss:7.3f} {tb_miss:8.4f}".format(**row)
+        )
+
+    print(
+        "\nReading the table the way Section 5 does: shrinking the cache "
+        "moves time into the stall columns; shrinking the TB moves it into "
+        "memory management; deepening the write drain swells write stall "
+        "exactly where CALL/RET pushes cluster."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Explore the raw histogram: where does the machine spend its cycles?
+
+The paper calls the UPC histogram "a general resource from which the
+answers to many questions ... can be obtained simply by doing additional
+interpretation of the raw histogram data."  This example does exactly
+that interpretation by hand: it runs one workload, dumps the raw bucket
+counts, and walks the control-store map to list the hottest
+microroutines, the biggest stall sites, and the IB-stall dispatch
+targets.
+
+Run:  python examples/microcode_hotspots.py [workload] [instructions]
+"""
+
+import sys
+
+from repro.core.experiment import run_workload
+from repro.workloads import PROFILES
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "commercial"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
+    if workload not in PROFILES:
+        raise SystemExit("unknown workload {!r}; pick from {}".format(workload, sorted(PROFILES)))
+
+    result = run_workload(workload, instructions=budget, warmup_instructions=2_000)
+    reduction = result.reduction
+
+    print(
+        "{}: {} instructions, CPI {:.2f}".format(
+            workload, reduction.instructions, reduction.cpi
+        )
+    )
+
+    per_routine = sorted(
+        reduction.routine_cycles.items(),
+        key=lambda item: -(item[1][0] + item[1][1]),
+    )
+
+    print("\nHottest 20 microroutines (by total cycles)")
+    print("  {:<28} {:>10} {:>10} {:>7}".format("routine", "executed", "stalled", "%time"))
+    total = reduction.total_cycles
+    for name, (normal, stalled) in per_routine[:20]:
+        print(
+            "  {:<28} {:>10} {:>10} {:6.1f}%".format(
+                name, normal, stalled, 100.0 * (normal + stalled) / total
+            )
+        )
+
+    print("\nBiggest stall sites (stalled-bank counts)")
+    by_stall = sorted(reduction.routine_cycles.items(), key=lambda item: -item[1][1])
+    for name, (normal, stalled) in by_stall[:8]:
+        if stalled == 0:
+            break
+        ratio = stalled / normal if normal else float("inf")
+        print(
+            "  {:<28} {:>10} stall cycles ({:.2f} per execution)".format(
+                name, stalled, ratio
+            )
+        )
+
+    print("\nIB-stall cycles by requesting activity")
+    ibstall_rows = [
+        (row, columns["ibstall"])
+        for row, columns in reduction.matrix.items()
+        if columns["ibstall"] > 0
+    ]
+    for row, cycles in sorted(ibstall_rows, key=lambda item: -item[1]):
+        print("  {:<28} {:>10.0f} cycles".format(row, cycles))
+
+    print(
+        "\nMemory management: {:.0f} cycles total "
+        "({:.2f} per instruction) — TB miss service plus alignment".format(
+            sum(reduction.matrix["memmgmt"].values()),
+            sum(reduction.matrix["memmgmt"].values()) / reduction.instructions,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble a VAX program, run it on a monitored 11/780,
+read the micro-PC histogram.
+
+This is the paper's measurement loop in miniature:
+
+1. build the machine and plug in the histogram monitor;
+2. load a program (here: sum the integers 1..100 with a SOBGTR loop,
+   then string-copy a message with MOVC3);
+3. issue the Unibus-style start command, run, stop;
+4. reduce the raw histogram into the cycle accounts of Table 8.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.asm import Assembler
+from repro.core.monitor import UPCMonitor
+from repro.core.reduction import COLUMNS, ROWS, reduce_histogram
+from repro.core.report import matrix_to_text
+from repro.cpu import VAX780
+
+
+def build_program():
+    asm = Assembler(origin=0x200)
+    # Sum 1..100.
+    asm.instr("MOVL", "#100", "R1")
+    asm.instr("CLRL", "R0")
+    asm.label("loop")
+    asm.instr("ADDL2", "R1", "R0")
+    asm.instr("SOBGTR", "R1", "loop")
+    # MOVC3 clobbers R0-R5 (as on the real VAX), so bank the sum first.
+    asm.instr("MOVL", "R0", "total")
+    # Copy a string through the character microcode.
+    asm.instr("MOVC3", "#19", "message", "buffer")
+    asm.instr("HALT")
+    asm.align(4)
+    asm.label("total")
+    asm.long(0)
+    asm.label("message")
+    asm.ascii("HELLO FROM THE EBOX")
+    asm.label("buffer")
+    asm.space(19)
+    return asm
+
+
+def main():
+    monitor = UPCMonitor.build()
+    machine = VAX780(monitor=monitor)
+
+    asm = build_program()
+    machine.load_program(asm.assemble(), origin=0x200)
+
+    monitor.start()
+    machine.run()
+    monitor.stop()
+
+    print(machine.block_diagram())
+    print()
+
+    total = machine.read_virtual(asm.symbols["total"], 4)
+    copied = bytes(
+        machine.read_virtual(asm.symbols["buffer"] + i, 1) for i in range(19)
+    )
+    print("Sum of 1..100 computed by the EBOX: {}".format(total))
+    print("MOVC3 copied: {!r}".format(copied.decode("ascii")))
+    print()
+
+    counts, stalled = monitor.board.dump()
+    reduction = reduce_histogram(counts, stalled, machine.layout, events=machine.events)
+    print(
+        "Instructions: {}   Cycles: {}   CPI: {:.2f}".format(
+            reduction.instructions, int(reduction.total_cycles), reduction.cpi
+        )
+    )
+    print()
+    print(
+        matrix_to_text(
+            {row: dict(reduction.per_instruction()[row]) for row in ROWS},
+            COLUMNS,
+            "Cycles per average instruction (Table 8 form)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

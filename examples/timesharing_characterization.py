@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment: characterize the composite of five
+timesharing workloads.
+
+Boots the mini-VMS kernel five times — two live-timesharing stand-ins and
+three RTE-driven populations (educational, scientific, commercial) — and
+sums the five micro-PC histograms, exactly as Section 2.2 describes.
+Prints the paper's tables from the composite.
+
+Run:  python examples/timesharing_characterization.py [instructions-per-workload]
+"""
+
+import sys
+
+from repro.core import tables
+from repro.core.experiment import run_workload, composite
+from repro.core.reduction import COLUMNS, ROWS
+from repro.core.report import matrix_to_text
+from repro.workloads import COMPOSITE_WORKLOAD_NAMES, PROFILES
+
+
+def main():
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+
+    results = []
+    for name in COMPOSITE_WORKLOAD_NAMES:
+        profile = PROFILES[name]
+        print("measuring {:<20} ({} users) ...".format(name, profile.users))
+        results.append(run_workload(name, instructions=budget, warmup_instructions=2_000))
+    merged = composite(results)
+
+    print()
+    print("=" * 64)
+    print(
+        "Composite of five workloads: {} instructions, CPI {:.2f}".format(
+            merged.instructions, merged.cpi
+        )
+    )
+    print("=" * 64)
+
+    table1 = tables.table1(merged)
+    print("\nTable 1: opcode group frequency (percent)")
+    for group, percent in sorted(table1.items(), key=lambda kv: -kv[1]):
+        print("  {:<12} {:6.2f}".format(group, percent))
+
+    table2 = tables.table2(merged)
+    print("\nTable 2: PC-changing instructions")
+    print("  {:<14} {:>8} {:>8}".format("class", "% instr", "% taken"))
+    for row, cells in table2.items():
+        if cells["percent_of_instructions"] > 0:
+            print(
+                "  {:<14} {:8.1f} {:8.1f}".format(
+                    row, cells["percent_of_instructions"], cells["percent_taken"]
+                )
+            )
+
+    table6 = tables.table6(merged)
+    print(
+        "\nTable 6: average instruction is {:.2f} bytes "
+        "({:.2f} specifiers of {:.2f} bytes each)".format(
+            table6["total_bytes"],
+            table6["specifiers_per_instruction"],
+            table6["specifier_size"],
+        )
+    )
+
+    table7 = tables.table7(merged)
+    print("\nTable 7: instruction headway between events")
+    for event, headway in table7.items():
+        print("  {:<28} {:8.0f}".format(event, headway))
+
+    print()
+    table8 = tables.table8(merged)
+    print(
+        matrix_to_text(
+            {row: table8[row] for row in ROWS + ["total"]},
+            COLUMNS + ["total"],
+            "Table 8: cycles per average instruction",
+        )
+    )
+
+    table9 = tables.table9(merged)
+    print("\nTable 9: execute cycles per instruction within each group")
+    for row, cells in table9.items():
+        print("  {:<12} {:8.2f}".format(row, cells["total"]))
+
+    sec42 = tables.sec42_cache_tb(merged)
+    print(
+        "\nSection 4.2: {:.3f} cache read misses/instr, "
+        "{:.4f} TB misses/instr at {:.1f} cycles per miss".format(
+            sec42["cache_read_misses_per_instruction"],
+            sec42["tb_misses_per_instruction"],
+            sec42["cycles_per_tb_miss"],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

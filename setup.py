@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on minimal environments that lack the
+``wheel`` package needed for PEP 660 editable installs; all metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

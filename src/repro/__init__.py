@@ -1,0 +1,22 @@
+"""repro — the VAX-11/780 micro-PC histogram study, reproduced.
+
+Reproduction of Emer & Clark, "A Characterization of Processor
+Performance in the VAX-11/780" (ISCA 1984 / ISCA-25 retrospective 1998).
+
+Public API quick reference::
+
+    from repro import VAX780, UPCMonitor, Assembler
+    from repro.core.experiment import run_workload, run_composite_experiment
+    from repro.core import tables
+
+See README.md for the tour and EXPERIMENTS.md for paper-vs-measured
+results.
+"""
+
+from repro.asm import Assembler
+from repro.core.monitor import UPCMonitor
+from repro.cpu import VAX780
+
+__version__ = "1.0.0"
+
+__all__ = ["Assembler", "UPCMonitor", "VAX780", "__version__"]

@@ -1,0 +1,12 @@
+"""A small two-pass VAX assembler.
+
+Lets the examples, tests and workload generator express programs in VAX
+assembly syntax (``MOVL #1, R0``; ``BNEQ loop``; ``MOVC3 #36, (R1), (R2)``)
+and produces the exact instruction byte streams the simulated 11/780
+decodes and executes.
+"""
+
+from repro.asm.operands import Operand, parse_operand
+from repro.asm.assembler import Assembler, AssemblyError
+
+__all__ = ["Assembler", "AssemblyError", "Operand", "parse_operand"]

@@ -1,0 +1,280 @@
+"""A two-pass assembler for the VAX opcode subset.
+
+Pass 1 lays out items and assigns label addresses (all encodings here are
+fixed-size once the operand is parsed, so layout is exact); pass 2 encodes
+bytes and resolves label references.
+
+Label references resolve according to the operand slot that uses them:
+branch-displacement slots get raw signed byte/word displacements, address
+and data slots get long PC-relative specifiers (mode EF).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.isa.datatypes import DataType, f_floating_encode
+from repro.isa.opcodes import Opcode, opcode_by_mnemonic
+from repro.isa.specifiers import AccessType, AddressingMode, OperandSpec
+from repro.asm.operands import Operand, parse_operand
+
+
+class AssemblyError(Exception):
+    """Raised for unencodable operands, unknown labels, or range overflow."""
+
+
+_IMMEDIATE_SIZES = {
+    DataType.BYTE: 1,
+    DataType.WORD: 2,
+    DataType.LONG: 4,
+    DataType.F_FLOAT: 4,
+    DataType.QUAD: 8,
+    DataType.PACKED: 4,
+    DataType.VARIABLE_FIELD: 4,
+}
+
+_MODE_HIGH_NIBBLE = {
+    AddressingMode.REGISTER: 0x5,
+    AddressingMode.REGISTER_DEFERRED: 0x6,
+    AddressingMode.AUTODECREMENT: 0x7,
+    AddressingMode.AUTOINCREMENT: 0x8,
+    AddressingMode.AUTOINCREMENT_DEFERRED: 0x9,
+    AddressingMode.BYTE_DISPLACEMENT: 0xA,
+    AddressingMode.BYTE_DISPLACEMENT_DEFERRED: 0xB,
+    AddressingMode.WORD_DISPLACEMENT: 0xC,
+    AddressingMode.WORD_DISPLACEMENT_DEFERRED: 0xD,
+    AddressingMode.LONG_DISPLACEMENT: 0xE,
+    AddressingMode.LONG_DISPLACEMENT_DEFERRED: 0xF,
+}
+
+
+@dataclass
+class _Instruction:
+    address: int
+    opcode: Opcode
+    operands: List[Operand]
+
+
+@dataclass
+class _Data:
+    address: int
+    payload: bytes
+
+
+@dataclass
+class _LabelWordRef:
+    """A `.word label - base` style table entry (for CASE tables)."""
+
+    address: int
+    label: str
+    base_label: str
+
+
+@dataclass
+class _LabelLongRef:
+    """A `.long label` absolute-address entry (for pointer tables)."""
+
+    address: int
+    label: str
+
+
+class Assembler:
+    """Two-pass assembler producing a flat byte image plus a symbol table.
+
+    Usage::
+
+        asm = Assembler(origin=0x200)
+        asm.label("loop")
+        asm.instr("ADDL2", "#1", "R0")
+        asm.instr("SOBGTR", "R1", "loop")
+        image = asm.assemble()
+    """
+
+    def __init__(self, origin: int = 0):
+        self.origin = origin
+        self._cursor = origin
+        self._items: List[Union[_Instruction, _Data, _LabelWordRef, _LabelLongRef]] = []
+        self.symbols: Dict[str, int] = {}
+
+    # -- layout ------------------------------------------------------------
+
+    @property
+    def here(self) -> int:
+        """The current layout address."""
+        return self._cursor
+
+    def label(self, name: str) -> int:
+        """Define ``name`` at the current address and return that address."""
+        if name in self.symbols:
+            raise AssemblyError("duplicate label {!r}".format(name))
+        self.symbols[name] = self._cursor
+        return self._cursor
+
+    def instr(self, mnemonic: str, *operand_texts: str) -> None:
+        """Append one instruction; operands are parsed from strings."""
+        opcode = opcode_by_mnemonic(mnemonic)
+        if len(operand_texts) != len(opcode.operands):
+            raise AssemblyError(
+                "{} takes {} operands, got {}".format(
+                    opcode.mnemonic, len(opcode.operands), len(operand_texts)
+                )
+            )
+        operands = [parse_operand(text) for text in operand_texts]
+        item = _Instruction(self._cursor, opcode, operands)
+        self._items.append(item)
+        self._cursor += self._instruction_size(item)
+
+    def byte(self, *values: int) -> None:
+        self._append_data(bytes(v & 0xFF for v in values))
+
+    def word(self, *values: int) -> None:
+        self._append_data(b"".join(struct.pack("<H", v & 0xFFFF) for v in values))
+
+    def long(self, *values: int) -> None:
+        self._append_data(b"".join(struct.pack("<I", v & 0xFFFFFFFF) for v in values))
+
+    def ascii(self, text: str) -> None:
+        self._append_data(text.encode("latin-1"))
+
+    def space(self, count: int, fill: int = 0) -> None:
+        self._append_data(bytes([fill & 0xFF]) * count)
+
+    def align(self, boundary: int) -> None:
+        remainder = self._cursor % boundary
+        if remainder:
+            self.space(boundary - remainder)
+
+    def word_ref(self, label: str, base_label: str) -> None:
+        """Append a 16-bit ``label - base_label`` entry (CASE dispatch tables)."""
+        self._items.append(_LabelWordRef(self._cursor, label, base_label))
+        self._cursor += 2
+
+    def long_ref(self, label: str) -> None:
+        """Append the 32-bit absolute address of ``label`` (pointer tables)."""
+        self._items.append(_LabelLongRef(self._cursor, label))
+        self._cursor += 4
+
+    def _append_data(self, payload: bytes) -> None:
+        self._items.append(_Data(self._cursor, payload))
+        self._cursor += len(payload)
+
+    # -- sizing ------------------------------------------------------------
+
+    def _instruction_size(self, item: _Instruction) -> int:
+        size = 1  # opcode byte
+        for operand, spec in zip(item.operands, item.opcode.operands):
+            size += self._operand_size(operand, spec)
+        return size
+
+    def _operand_size(self, operand: Operand, spec: OperandSpec) -> int:
+        if spec.access is AccessType.BRANCH:
+            if operand.label is None and operand.mode is not None:
+                raise AssemblyError("branch targets must be labels")
+            return spec.dtype.size  # raw displacement, no specifier byte
+        size = 1 if operand.index_register is None else 2
+        if operand.label is not None:
+            return size + 5 - 1  # long-relative: EF + 4 bytes (EF counted above)
+        mode = operand.mode
+        if mode is AddressingMode.SHORT_LITERAL:
+            return size
+        if mode is AddressingMode.IMMEDIATE:
+            return size + _IMMEDIATE_SIZES[spec.dtype]
+        if mode is AddressingMode.ABSOLUTE:
+            return size + 4
+        return size + mode.displacement_size
+
+    # -- encoding ----------------------------------------------------------
+
+    def assemble(self) -> bytes:
+        """Run pass 2 and return the image starting at :attr:`origin`."""
+        image = bytearray(self._cursor - self.origin)
+
+        def emit(address: int, payload: bytes) -> None:
+            offset = address - self.origin
+            image[offset : offset + len(payload)] = payload
+
+        for item in self._items:
+            if isinstance(item, _Data):
+                emit(item.address, item.payload)
+            elif isinstance(item, _LabelWordRef):
+                delta = self._resolve(item.label) - self._resolve(item.base_label)
+                emit(item.address, struct.pack("<h", delta))
+            elif isinstance(item, _LabelLongRef):
+                emit(item.address, struct.pack("<I", self._resolve(item.label) & 0xFFFFFFFF))
+            else:
+                emit(item.address, self._encode_instruction(item))
+        return bytes(image)
+
+    def _resolve(self, label: str) -> int:
+        try:
+            return self.symbols[label]
+        except KeyError:
+            raise AssemblyError("undefined label {!r}".format(label)) from None
+
+    def _encode_instruction(self, item: _Instruction) -> bytes:
+        out = bytearray([item.opcode.code])
+        cursor = item.address + 1
+        for operand, spec in zip(item.operands, item.opcode.operands):
+            encoded = self._encode_operand(operand, spec, cursor)
+            out.extend(encoded)
+            cursor += len(encoded)
+        return bytes(out)
+
+    def _encode_operand(self, operand: Operand, spec: OperandSpec, cursor: int) -> bytes:
+        if spec.access is AccessType.BRANCH:
+            target = self._resolve(operand.label)
+            width = spec.dtype.size
+            displacement = target - (cursor + width)
+            limit = 1 << (8 * width - 1)
+            if not -limit <= displacement < limit:
+                raise AssemblyError(
+                    "branch displacement {} out of range for {}".format(
+                        displacement, spec.dtype
+                    )
+                )
+            fmt = "<b" if width == 1 else "<h"
+            return struct.pack(fmt, displacement)
+
+        prefix = b""
+        if operand.index_register is not None:
+            prefix = bytes([0x40 | operand.index_register])
+            cursor += 1
+
+        if operand.label is not None:
+            target = self._resolve(operand.label)
+            displacement = target - (cursor + 5)
+            return prefix + bytes([0xEF]) + struct.pack("<i", displacement)
+
+        mode = operand.mode
+        if mode is AddressingMode.SHORT_LITERAL:
+            return prefix + bytes([operand.value & 0x3F])
+        if mode is AddressingMode.REGISTER and spec.dtype is DataType.QUAD:
+            pass  # quad register operands use Rn..Rn+1; encoding is unchanged
+        if mode is AddressingMode.IMMEDIATE:
+            return prefix + bytes([0x8F]) + self._immediate_bytes(operand.value, spec.dtype)
+        if mode is AddressingMode.ABSOLUTE:
+            return prefix + bytes([0x9F]) + struct.pack("<I", operand.value & 0xFFFFFFFF)
+
+        nibble = _MODE_HIGH_NIBBLE.get(mode)
+        if nibble is None:
+            raise AssemblyError("cannot encode mode {}".format(mode))
+        specifier = bytes([(nibble << 4) | (operand.register & 0xF)])
+        disp_size = mode.displacement_size
+        if disp_size == 0:
+            return prefix + specifier
+        fmt = {1: "<b", 2: "<h", 4: "<i"}[disp_size]
+        limit = 1 << (8 * disp_size - 1)
+        if not -limit <= operand.value < limit:
+            raise AssemblyError("displacement {} too wide".format(operand.value))
+        return prefix + specifier + struct.pack(fmt, operand.value)
+
+    @staticmethod
+    def _immediate_bytes(value, dtype: DataType) -> bytes:
+        if dtype is DataType.F_FLOAT:
+            image = f_floating_encode(float(value))
+            return struct.pack("<I", image)
+        size = _IMMEDIATE_SIZES[dtype]
+        mask = (1 << (8 * size)) - 1
+        return int(value & mask).to_bytes(size, "little")

@@ -1,0 +1,182 @@
+"""A VAX disassembler.
+
+Decodes instruction bytes back into mnemonics and operand text in the
+same syntax :mod:`repro.asm.operands` parses, so that (for all
+non-label-dependent operands) ``assemble(disassemble(bytes)) == bytes``.
+Used by the debugging examples and by the round-trip property tests that
+pin the encoder and decoder against each other.
+
+Like any linear-sweep VAX disassembler, it cannot tell CASE dispatch
+tables (raw words in the instruction stream) from code; callers who know
+a table's extent should skip it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.isa.datatypes import DataType, f_floating_decode
+from repro.isa.opcodes import OPCODES, Opcode
+from repro.isa.registers import Reg
+from repro.isa.specifiers import AccessType, AddressingMode
+from repro.cpu.operands import decode_specifier
+
+_REGISTER_NAMES = {12: "AP", 13: "FP", 14: "SP", 15: "PC"}
+
+
+class DisassemblyError(Exception):
+    """Undecodable byte where an opcode or specifier was expected."""
+
+
+@dataclass
+class DisassembledInstruction:
+    """One decoded instruction."""
+
+    address: int
+    opcode: Opcode
+    operands: List[str]
+    length: int
+    raw: bytes
+
+    @property
+    def text(self) -> str:
+        if not self.operands:
+            return self.opcode.mnemonic
+        return "{} {}".format(self.opcode.mnemonic, ", ".join(self.operands))
+
+    def __str__(self) -> str:
+        return "{:08x}  {:<20} {}".format(self.address, self.raw.hex(), self.text)
+
+
+def _register_name(number: int) -> str:
+    return _REGISTER_NAMES.get(number, "R{}".format(number))
+
+
+class Disassembler:
+    """Decodes instructions from a byte source.
+
+    ``fetch(address)`` must return the byte at ``address``; any flat
+    ``bytes`` object can be adapted with :func:`from_bytes`.
+    """
+
+    def __init__(self, fetch: Callable[[int], int]):
+        self.fetch = fetch
+
+    @classmethod
+    def from_bytes(cls, image: bytes, origin: int = 0) -> "Disassembler":
+        def fetch(address: int) -> int:
+            index = address - origin
+            if not 0 <= index < len(image):
+                raise DisassemblyError("address {:#x} outside image".format(address))
+            return image[index]
+
+        return cls(fetch)
+
+    def disassemble(self, address: int) -> DisassembledInstruction:
+        """Decode the instruction at ``address``."""
+        cursor = [address]
+
+        def take(count: int) -> bytes:
+            data = bytes(self.fetch(cursor[0] + i) for i in range(count))
+            cursor[0] += count
+            return data
+
+        opcode_byte = take(1)[0]
+        opcode = OPCODES.get(opcode_byte)
+        if opcode is None:
+            raise DisassemblyError(
+                "no opcode {:#04x} at {:#x}".format(opcode_byte, address)
+            )
+
+        operands = []
+        for spec in opcode.operands:
+            if spec.access is AccessType.BRANCH:
+                width = spec.dtype.size
+                raw = int.from_bytes(take(width), "little")
+                if raw & (1 << (8 * width - 1)):
+                    raw -= 1 << (8 * width)
+                target = (cursor[0] + raw) & 0xFFFFFFFF
+                operands.append("0x{:x}".format(target))
+            else:
+                decoded = decode_specifier(take, spec.dtype)
+                operands.append(self._render(decoded, spec.dtype, cursor[0]))
+
+        length = cursor[0] - address
+        raw = bytes(self.fetch(address + i) for i in range(length))
+        return DisassembledInstruction(
+            address=address, opcode=opcode, operands=operands, length=length, raw=raw
+        )
+
+    def walk(self, address: int, count: Optional[int] = None) -> Iterator[DisassembledInstruction]:
+        """Linear sweep from ``address``; stops after ``count`` or HALT."""
+        emitted = 0
+        while count is None or emitted < count:
+            instruction = self.disassemble(address)
+            yield instruction
+            emitted += 1
+            address += instruction.length
+            if instruction.opcode.mnemonic == "HALT" and count is None:
+                return
+
+    # -- rendering -----------------------------------------------------------
+
+    def _render(self, decoded, dtype: DataType, pc_after: int) -> str:
+        mode = decoded.mode
+        base = self._render_base(decoded, dtype, pc_after)
+        if decoded.index_register is not None:
+            return "{}[{}]".format(base, _register_name(decoded.index_register))
+        return base
+
+    def _render_base(self, decoded, dtype: DataType, pc_after: int) -> str:
+        mode = decoded.mode
+        register = decoded.register
+        extension = decoded.extension
+        if mode is AddressingMode.SHORT_LITERAL:
+            return "S^#{}".format(extension)
+        if mode is AddressingMode.REGISTER:
+            return _register_name(register)
+        if mode is AddressingMode.REGISTER_DEFERRED:
+            return "({})".format(_register_name(register))
+        if mode is AddressingMode.AUTOINCREMENT:
+            return "({})+".format(_register_name(register))
+        if mode is AddressingMode.AUTODECREMENT:
+            return "-({})".format(_register_name(register))
+        if mode is AddressingMode.AUTOINCREMENT_DEFERRED:
+            return "@({})+".format(_register_name(register))
+        if mode is AddressingMode.IMMEDIATE:
+            if dtype is DataType.F_FLOAT:
+                value = f_floating_decode(extension)
+                if value == int(value):
+                    return "I^#{}".format(int(value))
+                return "I^#<f:{:#010x}>".format(extension)  # not re-parseable
+            return "I^#{}".format(extension)
+        if mode is AddressingMode.ABSOLUTE:
+            return "@#0x{:x}".format(extension)
+
+        signed = extension if extension < 0x8000_0000 else extension - 0x1_0000_0000
+        widths = {
+            AddressingMode.BYTE_DISPLACEMENT: ("B", False, register),
+            AddressingMode.WORD_DISPLACEMENT: ("W", False, register),
+            AddressingMode.LONG_DISPLACEMENT: ("L", False, register),
+            AddressingMode.BYTE_DISPLACEMENT_DEFERRED: ("B", True, register),
+            AddressingMode.WORD_DISPLACEMENT_DEFERRED: ("W", True, register),
+            AddressingMode.LONG_DISPLACEMENT_DEFERRED: ("L", True, register),
+            AddressingMode.BYTE_RELATIVE: ("B", False, 15),
+            AddressingMode.WORD_RELATIVE: ("W", False, 15),
+            AddressingMode.LONG_RELATIVE: ("L", False, 15),
+            AddressingMode.BYTE_RELATIVE_DEFERRED: ("B", True, 15),
+            AddressingMode.WORD_RELATIVE_DEFERRED: ("W", True, 15),
+            AddressingMode.LONG_RELATIVE_DEFERRED: ("L", True, 15),
+        }
+        if mode in widths:
+            width, deferred, reg_number = widths[mode]
+            text = "{}^{}({})".format(width, signed, _register_name(reg_number))
+            return "@" + text if deferred else text
+        raise DisassemblyError("cannot render mode {}".format(mode))
+
+
+def disassemble_image(image: bytes, origin: int = 0, count: Optional[int] = None):
+    """Convenience: linear-sweep a flat image; returns a list."""
+    disassembler = Disassembler.from_bytes(image, origin=origin)
+    return list(disassembler.walk(origin, count=count))

@@ -1,0 +1,203 @@
+"""Operand syntax for the mini VAX assembler.
+
+Supported forms (a practical subset of DEC MACRO-32 syntax):
+
+=====================  =====================================================
+``R5`` / ``SP``        register mode
+``(R5)``               register deferred
+``-(R5)``              autodecrement
+``(R5)+``              autoincrement
+``@(R5)+``             autoincrement deferred
+``12(R5)``             displacement (B^/W^/L^ prefix forces the width)
+``@12(R5)``            displacement deferred
+``#5``                 short literal when it fits (0..63), else immediate
+``I^#5``               forced immediate
+``@#0x1234``           absolute
+``label``              PC-relative (data refs) or branch displacement
+``(R5)[R3]``           indexed (any base mode + index register)
+=====================  =====================================================
+
+Numeric literals accept decimal and ``0x`` hex.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.registers import Reg
+from repro.isa.specifiers import AddressingMode
+
+_REGISTER_NAMES = {r.name: int(r) for r in Reg}
+_REGISTER_NAMES.update({"R12": 12, "R13": 13, "R14": 14, "R15": 15})
+
+
+class OperandSyntaxError(ValueError):
+    """Raised when an operand string cannot be parsed."""
+
+
+@dataclass
+class Operand:
+    """A parsed assembler operand, pre-encoding.
+
+    ``mode`` may be None for label references whose final mode (branch
+    displacement vs. PC-relative) depends on the operand slot they fill.
+    """
+
+    mode: Optional[AddressingMode]
+    register: Optional[int] = None
+    value: int = 0
+    label: Optional[str] = None
+    index_register: Optional[int] = None
+    forced_width: Optional[int] = None  # 1/2/4 from B^/W^/L^ prefixes
+
+    @property
+    def is_label(self) -> bool:
+        return self.label is not None
+
+
+def _parse_register(text: str) -> Optional[int]:
+    return _REGISTER_NAMES.get(text.strip().upper())
+
+
+def _parse_number(text: str) -> int:
+    text = text.strip()
+    negative = text.startswith("-")
+    if negative:
+        text = text[1:]
+    if text.lower().startswith("0x"):
+        value = int(text, 16)
+    elif not text.isdigit():
+        raise OperandSyntaxError("bad numeric literal {!r}".format(text))
+    else:
+        value = int(text, 10)
+    return -value if negative else value
+
+
+_DISPLACEMENT_RE = re.compile(
+    r"^(?P<at>@)?(?:(?P<width>[BWL])\^)?(?P<disp>-?(?:0[xX][0-9a-fA-F]+|\d+))?\((?P<reg>\w+)\)(?P<post>\+)?$"
+)
+
+_WIDTHS = {"B": 1, "W": 2, "L": 4}
+
+
+def parse_operand(text: str) -> Operand:
+    """Parse one operand string into an :class:`Operand`."""
+    text = text.strip()
+    if not text:
+        raise OperandSyntaxError("empty operand")
+
+    # Indexed suffix: base[Rx]
+    index_register = None
+    if text.endswith("]"):
+        open_bracket = text.rindex("[")
+        index_register = _parse_register(text[open_bracket + 1 : -1])
+        if index_register is None:
+            raise OperandSyntaxError("bad index register in {!r}".format(text))
+        text = text[:open_bracket].strip()
+
+    operand = _parse_base_operand(text)
+    operand.index_register = index_register
+    if index_register is not None and operand.mode in (
+        AddressingMode.SHORT_LITERAL,
+        AddressingMode.REGISTER,
+        AddressingMode.IMMEDIATE,
+    ):
+        raise OperandSyntaxError("mode {} cannot be indexed".format(operand.mode))
+    return operand
+
+
+def _parse_base_operand(text: str) -> Operand:
+    upper = text.upper()
+
+    register = _parse_register(text)
+    if register is not None:
+        return Operand(AddressingMode.REGISTER, register=register)
+
+    # Literals / immediates.
+    if upper.startswith("S^#"):
+        value = _parse_number(text[3:])
+        if not 0 <= value <= 63:
+            raise OperandSyntaxError("short literal out of range: {}".format(value))
+        return Operand(AddressingMode.SHORT_LITERAL, value=value)
+    if upper.startswith("I^#"):
+        return Operand(AddressingMode.IMMEDIATE, value=_parse_number(text[3:]))
+    if text.startswith("#"):
+        value = _parse_number(text[1:])
+        if 0 <= value <= 63:
+            return Operand(AddressingMode.SHORT_LITERAL, value=value)
+        return Operand(AddressingMode.IMMEDIATE, value=value)
+
+    # Absolute.
+    if text.startswith("@#"):
+        return Operand(AddressingMode.ABSOLUTE, value=_parse_number(text[2:]))
+
+    # Autodecrement.
+    if text.startswith("-(") and text.endswith(")"):
+        register = _parse_register(text[2:-1])
+        if register is None:
+            raise OperandSyntaxError("bad register in {!r}".format(text))
+        return Operand(AddressingMode.AUTODECREMENT, register=register)
+
+    match = _DISPLACEMENT_RE.match(text)
+    if match:
+        register = _parse_register(match.group("reg"))
+        if register is None:
+            raise OperandSyntaxError("bad register in {!r}".format(text))
+        deferred = match.group("at") is not None
+        post_increment = match.group("post") is not None
+        disp_text = match.group("disp")
+        width = _WIDTHS.get(match.group("width") or "", None)
+
+        if post_increment:
+            if disp_text is not None or width is not None:
+                raise OperandSyntaxError("autoincrement takes no displacement")
+            mode = (
+                AddressingMode.AUTOINCREMENT_DEFERRED
+                if deferred
+                else AddressingMode.AUTOINCREMENT
+            )
+            return Operand(mode, register=register)
+
+        if disp_text is None and not deferred and width is None:
+            return Operand(AddressingMode.REGISTER_DEFERRED, register=register)
+
+        displacement = _parse_number(disp_text) if disp_text is not None else 0
+        if disp_text is None and deferred:
+            # "@(Rn)" with no displacement: displacement-deferred of zero.
+            displacement = 0
+        mode = _displacement_mode(displacement, width, deferred)
+        return Operand(mode, register=register, value=displacement, forced_width=width)
+
+    # Anything left that looks like an identifier is a label reference;
+    # its mode is fixed later by the assembler based on the operand slot.
+    if re.match(r"^[A-Za-z_.$][\w.$]*$", text):
+        return Operand(None, label=text)
+
+    # Bare number: treat as absolute address reference.
+    try:
+        return Operand(AddressingMode.ABSOLUTE, value=_parse_number(text))
+    except OperandSyntaxError:
+        raise OperandSyntaxError("cannot parse operand {!r}".format(text)) from None
+
+
+def _displacement_mode(displacement: int, width: Optional[int], deferred: bool) -> AddressingMode:
+    if width is None:
+        if -128 <= displacement <= 127:
+            width = 1
+        elif -32768 <= displacement <= 32767:
+            width = 2
+        else:
+            width = 4
+    plain = {
+        1: AddressingMode.BYTE_DISPLACEMENT,
+        2: AddressingMode.WORD_DISPLACEMENT,
+        4: AddressingMode.LONG_DISPLACEMENT,
+    }
+    defer = {
+        1: AddressingMode.BYTE_DISPLACEMENT_DEFERRED,
+        2: AddressingMode.WORD_DISPLACEMENT_DEFERRED,
+        4: AddressingMode.LONG_DISPLACEMENT_DEFERRED,
+    }
+    return (defer if deferred else plain)[width]

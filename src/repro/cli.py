@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-workloads``
+    The five workload profiles and their populations.
+``diagram``
+    Render Figure 1 (the machine's block diagram).
+``run WORKLOAD``
+    Measure one workload and print the paper's tables.
+``composite``
+    The headline experiment: measure all five workloads and print every
+    table from the summed histograms.
+``opcodes WORKLOAD``
+    The Clark & Levy-style per-opcode frequency report.
+``listing``
+    Dump the control-store layout (the analyst's address map).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import tables
+from repro.core.reduction import COLUMNS, ROWS
+from repro.core.report import matrix_to_text
+
+
+def _print_all_tables(result) -> None:
+    print(
+        "\n{}: {} instructions, CPI {:.3f}\n".format(
+            result.name, result.instructions, result.cpi
+        )
+    )
+
+    table1 = tables.table1(result)
+    print("Table 1: opcode group frequency (percent)")
+    for group, percent in sorted(table1.items(), key=lambda kv: -kv[1]):
+        print("  {:<12} {:6.2f}".format(group, percent))
+
+    table2 = tables.table2(result)
+    print("\nTable 2: PC-changing instructions (% of instr / % taken)")
+    for row, cells in table2.items():
+        if cells["percent_of_instructions"] > 0:
+            print(
+                "  {:<14} {:6.1f} {:6.1f}".format(
+                    row, cells["percent_of_instructions"], cells["percent_taken"]
+                )
+            )
+
+    table3 = tables.table3(result)
+    print(
+        "\nTable 3: {:.3f} first + {:.3f} other specifiers, "
+        "{:.3f} branch displacements per instruction".format(
+            table3["spec1"], table3["spec26"], table3["branch_displacements"]
+        )
+    )
+
+    table4 = tables.table4(result)
+    print("\nTable 4: specifier modes (percent of all specifiers)")
+    for row, cells in table4.items():
+        print("  {:<22} {:6.2f}".format(row, cells["total"]))
+
+    table5 = tables.table5(result)
+    print("\nTable 5: reads {:.3f} / writes {:.3f} per instruction".format(
+        table5["total"]["reads"], table5["total"]["writes"]))
+
+    table6 = tables.table6(result)
+    print("Table 6: average instruction {:.2f} bytes".format(table6["total_bytes"]))
+
+    table7 = tables.table7(result)
+    print("\nTable 7: headways (instructions between events)")
+    for event, headway in table7.items():
+        print("  {:<28} {:8.0f}".format(event, headway))
+
+    print()
+    table8 = tables.table8(result)
+    print(
+        matrix_to_text(
+            {row: table8[row] for row in ROWS + ["total"]},
+            COLUMNS + ["total"],
+            "Table 8: cycles per average instruction",
+        )
+    )
+
+    table9 = tables.table9(result)
+    print("\nTable 9: execute cycles within each group")
+    for row, cells in table9.items():
+        print("  {:<12} {:8.2f}".format(row, cells["total"]))
+
+    sec41 = tables.sec41_istream(result)
+    sec42 = tables.sec42_cache_tb(result)
+    print(
+        "\nSec 4.1: {:.2f} IB refs/instr at {:.2f} bytes/ref".format(
+            sec41["ib_references_per_instruction"], sec41["bytes_per_reference"]
+        )
+    )
+    print(
+        "Sec 4.2: {:.3f} cache read misses/instr; {:.4f} TB misses/instr "
+        "at {:.1f} cycles each".format(
+            sec42["cache_read_misses_per_instruction"],
+            sec42["tb_misses_per_instruction"],
+            sec42["cycles_per_tb_miss"],
+        )
+    )
+
+
+def cmd_list_workloads(_args) -> int:
+    from repro.workloads import COMPOSITE_WORKLOAD_NAMES, PROFILES
+
+    for name in COMPOSITE_WORKLOAD_NAMES:
+        profile = PROFILES[name]
+        print("{:<20} {:>3} users  {}".format(name, profile.users, profile.description))
+    return 0
+
+
+def cmd_diagram(_args) -> int:
+    from repro.core.monitor import UPCMonitor
+    from repro.cpu import VAX780
+
+    print(VAX780(monitor=UPCMonitor.build()).block_diagram())
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.core.experiment import run_workload
+
+    result = run_workload(
+        args.workload,
+        instructions=args.instructions,
+        warmup_instructions=args.warmup,
+    )
+    _print_all_tables(result)
+    return 0
+
+
+def cmd_composite(args) -> int:
+    from repro.core.experiment import composite, run_workload
+    from repro.workloads import COMPOSITE_WORKLOAD_NAMES
+
+    results = []
+    for name in COMPOSITE_WORKLOAD_NAMES:
+        print("measuring {} ...".format(name), file=sys.stderr)
+        results.append(
+            run_workload(name, instructions=args.instructions, warmup_instructions=args.warmup)
+        )
+    _print_all_tables(composite(results))
+    return 0
+
+
+def cmd_opcodes(args) -> int:
+    from repro.core.experiment import run_workload
+    from repro.core.opcode_report import coverage_count, frequency_cost_contrast
+
+    result = run_workload(
+        args.workload, instructions=args.instructions, warmup_instructions=args.warmup
+    )
+    print(frequency_cost_contrast(result, top=args.top))
+    print()
+    print(
+        "{} distinct opcodes cover 90% of dynamic execution".format(
+            coverage_count(result, 90.0)
+        )
+    )
+    return 0
+
+
+def cmd_listing(_args) -> int:
+    from repro.ucode.routines import build_layout
+
+    print(build_layout().store.listing())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VAX-11/780 micro-PC histogram study, reproduced",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads").set_defaults(func=cmd_list_workloads)
+    sub.add_parser("diagram").set_defaults(func=cmd_diagram)
+
+    run_parser = sub.add_parser("run", help="measure one workload")
+    run_parser.add_argument("workload")
+    run_parser.add_argument("--instructions", type=int, default=10_000)
+    run_parser.add_argument("--warmup", type=int, default=2_000)
+    run_parser.set_defaults(func=cmd_run)
+
+    composite_parser = sub.add_parser("composite", help="the five-workload composite")
+    composite_parser.add_argument("--instructions", type=int, default=10_000)
+    composite_parser.add_argument("--warmup", type=int, default=2_000)
+    composite_parser.set_defaults(func=cmd_composite)
+
+    opcode_parser = sub.add_parser("opcodes", help="per-opcode frequency report")
+    opcode_parser.add_argument("workload")
+    opcode_parser.add_argument("--instructions", type=int, default=10_000)
+    opcode_parser.add_argument("--warmup", type=int, default=2_000)
+    opcode_parser.add_argument("--top", type=int, default=15)
+    opcode_parser.set_defaults(func=cmd_opcodes)
+
+    sub.add_parser("listing", help="control-store layout").set_defaults(func=cmd_listing)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

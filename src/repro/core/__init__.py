@@ -1,0 +1,19 @@
+"""The paper's contribution: the micro-PC histogram monitor and the
+analysis that turns raw histograms into the published characterization.
+
+* :mod:`repro.core.monitor` — the 16K-bucket dual-bank histogram board
+  with its Unibus-style command interface.
+* :mod:`repro.core.reduction` — raw histogram + control-store map ->
+  event counts and cycle accounts.
+* :mod:`repro.core.tables` — every table of the paper, computed from a
+  reduction.
+* :mod:`repro.core.experiment` — one-call experiment runner and the
+  five-workload composite.
+* :mod:`repro.core.paper_data` — the published numbers, with legibility
+  flags for cells the scanned tables corrupt.
+* :mod:`repro.core.report` — paper-vs-measured formatting.
+"""
+
+from repro.core.monitor import HistogramBoard, MonitorInterface, UPCMonitor
+
+__all__ = ["HistogramBoard", "MonitorInterface", "UPCMonitor"]

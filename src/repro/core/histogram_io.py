@@ -1,0 +1,157 @@
+"""Persist and reload measurement results.
+
+The original experiments banked their raw UPC histograms on the measured
+machine itself ("the data collected was immediately available on a
+machine of sufficient capacity to do the data reduction") and re-analysed
+them repeatedly.  This module provides the same workflow: dump a raw
+histogram (or a full :class:`~repro.core.experiment.ExperimentResult`) to
+JSON, reload it later, and re-run any table against it without re-running
+the machine.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.core.experiment import ExperimentResult, MachineStats
+from repro.core.monitor import HistogramBoard
+from repro.core.reduction import Reduction, reduce_histogram
+from repro.cpu.events import EventCounters
+from repro.ucode.routines import MicrocodeLayout, build_layout
+
+FORMAT_VERSION = 1
+
+
+def histogram_to_dict(board: HistogramBoard) -> Dict:
+    """Serialize a histogram board's two banks (sparsely)."""
+    counts, stalled = board.dump()
+    return {
+        "version": FORMAT_VERSION,
+        "buckets": board.buckets,
+        "counts": {str(i): c for i, c in enumerate(counts) if c},
+        "stalled": {str(i): c for i, c in enumerate(stalled) if c},
+    }
+
+
+def histogram_from_dict(payload: Dict) -> HistogramBoard:
+    """Rebuild a histogram board from :func:`histogram_to_dict` output."""
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError("unsupported histogram format {!r}".format(payload.get("version")))
+    board = HistogramBoard(buckets=payload["buckets"])
+    board.start()
+    for bucket, count in payload["counts"].items():
+        board.strobe(int(bucket), repeat=count)
+    for bucket, count in payload["stalled"].items():
+        board.strobe(int(bucket), stalled=True, repeat=count)
+    board.stop()
+    return board
+
+
+def _events_to_dict(events: EventCounters) -> Dict:
+    return {
+        "instructions": events.instructions,
+        "opcode_counts": dict(events.opcode_counts),
+        "branch_executed": dict(events.branch_executed),
+        "branch_taken": dict(events.branch_taken),
+        "specifier_counts": {
+            "{}|{}".format(*key): count for key, count in events.specifier_counts.items()
+        },
+        "indexed_specifiers": dict(events.indexed_specifiers),
+        "branch_displacements": events.branch_displacements,
+        "instruction_bytes": events.instruction_bytes,
+        "specifier_bytes": events.specifier_bytes,
+        "displacement_bytes": events.displacement_bytes,
+        "reads_by_source": dict(events.reads_by_source),
+        "writes_by_source": dict(events.writes_by_source),
+        "software_interrupt_requests": events.software_interrupt_requests,
+        "interrupts_delivered": events.interrupts_delivered,
+        "context_switches": events.context_switches,
+        "page_faults": events.page_faults,
+        "arithmetic_exceptions": events.arithmetic_exceptions,
+    }
+
+
+def _events_from_dict(payload: Dict) -> EventCounters:
+    events = EventCounters()
+    events.instructions = payload["instructions"]
+    events.opcode_counts.update(payload["opcode_counts"])
+    events.branch_executed.update(payload["branch_executed"])
+    events.branch_taken.update(payload["branch_taken"])
+    for key, count in payload["specifier_counts"].items():
+        position, row = key.split("|", 1)
+        events.specifier_counts[(position, row)] = count
+    events.indexed_specifiers.update(payload["indexed_specifiers"])
+    events.branch_displacements = payload["branch_displacements"]
+    events.instruction_bytes = payload["instruction_bytes"]
+    events.specifier_bytes = payload["specifier_bytes"]
+    events.displacement_bytes = payload["displacement_bytes"]
+    events.reads_by_source.update(payload["reads_by_source"])
+    events.writes_by_source.update(payload["writes_by_source"])
+    events.software_interrupt_requests = payload["software_interrupt_requests"]
+    events.interrupts_delivered = payload["interrupts_delivered"]
+    events.context_switches = payload["context_switches"]
+    events.page_faults = payload["page_faults"]
+    events.arithmetic_exceptions = payload["arithmetic_exceptions"]
+    return events
+
+
+def result_to_json(result: ExperimentResult, board: Optional[HistogramBoard] = None) -> str:
+    """Serialize an experiment result (optionally with its raw histogram).
+
+    When ``board`` is given the raw banks travel along, so the reloaded
+    result can be *re-reduced* against a fresh control-store map; without
+    it only the already-reduced matrix is stored.
+    """
+    payload = {
+        "version": FORMAT_VERSION,
+        "name": result.name,
+        "matrix": result.reduction.matrix,
+        "instructions": result.reduction.instructions,
+        "total_cycles": result.reduction.total_cycles,
+        "routine_cycles": {
+            name: list(counts) for name, counts in result.reduction.routine_cycles.items()
+        },
+        "events": _events_to_dict(result.events),
+        "stats": {
+            name: getattr(result.stats, name)
+            for name in result.stats.__dataclass_fields__
+        },
+    }
+    if board is not None:
+        payload["histogram"] = histogram_to_dict(board)
+    return json.dumps(payload)
+
+
+def result_from_json(text: str, layout: Optional[MicrocodeLayout] = None) -> ExperimentResult:
+    """Reload an experiment result.
+
+    If the payload carries a raw histogram, it is re-reduced against
+    ``layout`` (or a freshly built one); otherwise the stored reduction
+    is reconstructed as-is.
+    """
+    payload = json.loads(text)
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError("unsupported result format {!r}".format(payload.get("version")))
+    events = _events_from_dict(payload["events"])
+    if "histogram" in payload:
+        board = histogram_from_dict(payload["histogram"])
+        counts, stalled = board.dump()
+        reduction = reduce_histogram(
+            counts, stalled, layout if layout is not None else build_layout(), events=events
+        )
+    else:
+        reduction = Reduction(
+            matrix=payload["matrix"],
+            instructions=payload["instructions"],
+            total_cycles=payload["total_cycles"],
+            routine_cycles={
+                name: tuple(counts)
+                for name, counts in payload["routine_cycles"].items()
+            },
+            events=events,
+        )
+    stats = MachineStats(**payload["stats"])
+    return ExperimentResult(
+        name=payload["name"], reduction=reduction, events=events, stats=stats
+    )

@@ -1,0 +1,165 @@
+"""The micro-PC histogram monitor (Section 2.2 of the paper).
+
+Two boards, as built at DEC in 1982-83:
+
+* the **histogram count board** — a general-purpose Unibus device with
+  16,000 addressable count locations, incrementable at the 780's 200ns
+  microcycle rate, actually holding *two* counts per location: one for
+  non-stalled microinstruction executions and one for read-/write-stalled
+  cycles (Section 4.3);
+* the **processor-specific interface board** — taps the micro-PC and the
+  stall lines, and supplies the count board with a bucket address plus a
+  "count now" strobe each microcycle.
+
+While collecting, the monitor is totally passive: it never perturbs the
+machine it measures.  The simulator enforces this structurally — the
+monitor object only ever receives notifications; it has no reference to
+the machine at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ucode.control_store import CONTROL_STORE_SIZE
+
+HISTOGRAM_BUCKETS = 16_000
+
+
+class MonitorCommandError(Exception):
+    """An ill-formed Unibus command (bad bucket address, etc.)."""
+
+
+class HistogramBoard:
+    """The general-purpose dual-bank count board.
+
+    Unibus commands: :meth:`start`, :meth:`stop`, :meth:`clear`,
+    :meth:`read_bucket`.  Counting happens through :meth:`strobe`, which
+    the interface board drives once per microcycle.
+    """
+
+    def __init__(self, buckets: int = HISTOGRAM_BUCKETS):
+        self.buckets = buckets
+        self._counts = [0] * buckets
+        self._stalled_counts = [0] * buckets
+        self._collecting = False
+
+    # -- Unibus commands -------------------------------------------------
+
+    def start(self) -> None:
+        self._collecting = True
+
+    def stop(self) -> None:
+        self._collecting = False
+
+    def clear(self) -> None:
+        if self._collecting:
+            raise MonitorCommandError("cannot clear while collecting")
+        self._counts = [0] * self.buckets
+        self._stalled_counts = [0] * self.buckets
+
+    def read_bucket(self, bucket: int):
+        """Read one bucket's (non-stalled, stalled) counts."""
+        self._check_bucket(bucket)
+        return self._counts[bucket], self._stalled_counts[bucket]
+
+    # -- counting path (driven by the interface board) --------------------
+
+    @property
+    def collecting(self) -> bool:
+        return self._collecting
+
+    def strobe(self, bucket: int, stalled: bool = False, repeat: int = 1) -> None:
+        """Count ``repeat`` cycles at ``bucket`` in the selected bank."""
+        if not self._collecting:
+            return
+        self._check_bucket(bucket)
+        if stalled:
+            self._stalled_counts[bucket] += repeat
+        else:
+            self._counts[bucket] += repeat
+
+    def _check_bucket(self, bucket: int) -> None:
+        if not 0 <= bucket < self.buckets:
+            raise MonitorCommandError("bucket {} out of range".format(bucket))
+
+    # -- bulk readout ------------------------------------------------------
+
+    def dump(self):
+        """Read out both banks (what the measurement host did after a run).
+
+        Returns (counts, stalled_counts) as lists indexed by bucket.
+        """
+        return list(self._counts), list(self._stalled_counts)
+
+    def total_cycles(self) -> int:
+        """All cycles counted so far, both banks."""
+        return sum(self._counts) + sum(self._stalled_counts)
+
+    def merge_from(self, other: "HistogramBoard") -> None:
+        """Accumulate another board's counts into this one.
+
+        The paper reports "the composite of all five [experiments], that
+        is, the sum of the five UPC histograms" — this is that sum.
+        """
+        if other.buckets != self.buckets:
+            raise MonitorCommandError("bucket-count mismatch")
+        for bucket in range(self.buckets):
+            self._counts[bucket] += other._counts[bucket]
+            self._stalled_counts[bucket] += other._stalled_counts[bucket]
+
+
+class MonitorInterface:
+    """The processor-specific interface board.
+
+    Maps micro-PC values onto histogram buckets and relays the per-cycle
+    strobes.  The 780 control store (16K locations) does not quite fit the
+    16,000-bucket board one-to-one; the interface folds the few overflow
+    addresses onto the top bucket, which the layout never allocates, so
+    in practice the mapping is injective for every used address.
+    """
+
+    def __init__(self, board: HistogramBoard):
+        self.board = board
+
+    def bucket_for(self, upc: int) -> int:
+        if not 0 <= upc < CONTROL_STORE_SIZE:
+            raise MonitorCommandError("micro-PC {:#x} out of range".format(upc))
+        return min(upc, self.board.buckets - 1)
+
+    def microcycle(self, upc: int, stalled: bool = False, repeat: int = 1) -> None:
+        """One (or ``repeat``) microcycles observed at ``upc``."""
+        self.board.strobe(self.bucket_for(upc), stalled=stalled, repeat=repeat)
+
+
+@dataclass
+class UPCMonitor:
+    """The assembled monitor: count board + interface board.
+
+    This is what gets plugged into a :class:`~repro.cpu.machine.VAX780`.
+    """
+
+    board: HistogramBoard
+    interface: MonitorInterface
+
+    @classmethod
+    def build(cls) -> "UPCMonitor":
+        board = HistogramBoard()
+        return cls(board=board, interface=MonitorInterface(board))
+
+    def start(self) -> None:
+        self.board.start()
+
+    def stop(self) -> None:
+        self.board.stop()
+
+    def clear(self) -> None:
+        self.board.clear()
+
+    @property
+    def collecting(self) -> bool:
+        return self.board.collecting
+
+    def observe(self, upc: int, stalled: bool = False, repeat: int = 1) -> None:
+        self.interface.microcycle(upc, stalled=stalled, repeat=repeat)

@@ -1,0 +1,97 @@
+"""Per-opcode frequency reporting — the Clark & Levy companion view.
+
+The paper leans on a prior study ("Measurement and Analysis of
+Instruction Use in the VAX-11/780", Clark & Levy, ISCA 1982) for
+individual-opcode frequencies, because "the UPC method cannot distinguish
+all opcodes" (microcode sharing).  The simulator's companion event
+counters *can*, so this module produces the Clark & Levy-style report:
+ranked dynamic opcode frequencies, cumulative coverage, and the
+frequency-vs-cost contrast that motivates the paper's Table 9 discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.experiment import ExperimentResult
+from repro.isa.opcodes import opcode_by_mnemonic
+from repro.ucode.costs import exec_profile
+
+
+@dataclass(frozen=True)
+class OpcodeFrequency:
+    """One row of the ranked report."""
+
+    mnemonic: str
+    group: str
+    count: int
+    percent: float
+    cumulative_percent: float
+
+
+def opcode_frequencies(result: ExperimentResult) -> List[OpcodeFrequency]:
+    """Ranked dynamic opcode frequencies for a measurement."""
+    counts = result.events.opcode_counts
+    total = sum(counts.values())
+    if not total:
+        return []
+    rows = []
+    cumulative = 0.0
+    for mnemonic, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
+        percent = 100.0 * count / total
+        cumulative += percent
+        rows.append(
+            OpcodeFrequency(
+                mnemonic=mnemonic,
+                group=opcode_by_mnemonic(mnemonic).group.value,
+                count=count,
+                percent=percent,
+                cumulative_percent=cumulative,
+            )
+        )
+    return rows
+
+
+def coverage_count(result: ExperimentResult, percent: float) -> int:
+    """How many distinct opcodes cover ``percent`` of executions.
+
+    Clark & Levy's famous observation: a small handful of opcodes covers
+    the bulk of dynamic execution.
+    """
+    for index, row in enumerate(opcode_frequencies(result), start=1):
+        if row.cumulative_percent >= percent:
+            return index
+    return len(opcode_frequencies(result))
+
+
+def frequency_cost_contrast(result: ExperimentResult, top: int = 10) -> str:
+    """The paper's motivating contrast, rendered: the most frequent
+    opcodes are cheap, and the expensive ones are rare."""
+    rows = opcode_frequencies(result)
+    lines = [
+        "rank  opcode     group       %dyn   cum%   base exec cycles",
+        "-" * 60,
+    ]
+    for rank, row in enumerate(rows[:top], start=1):
+        profile = exec_profile(opcode_by_mnemonic(row.mnemonic))
+        lines.append(
+            "{:>4}  {:<9} {:<10} {:6.2f} {:6.1f}   {}".format(
+                rank, row.mnemonic, row.group, row.percent,
+                row.cumulative_percent, profile.base_cycles,
+            )
+        )
+    expensive = sorted(
+        rows,
+        key=lambda r: -exec_profile(opcode_by_mnemonic(r.mnemonic)).base_cycles,
+    )[:5]
+    lines.append("")
+    lines.append("most expensive executed opcodes (by base execute cycles):")
+    for row in expensive:
+        profile = exec_profile(opcode_by_mnemonic(row.mnemonic))
+        lines.append(
+            "      {:<9} {:<10} {:6.2f}%dyn   {} cycles".format(
+                row.mnemonic, row.group, row.percent, profile.base_cycles
+            )
+        )
+    return "\n".join(lines)

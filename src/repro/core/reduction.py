@@ -1,0 +1,193 @@
+"""Raw histogram -> cycle accounts: the paper's data-reduction step.
+
+"Since much of the activity in the 11/780 processor is under the direct
+command of microcode functions, the frequency of many events can be
+determined through examination of the relative execution counts of
+various microinstructions" (Section 2.2).  This module is that
+examination: it combines the dumped histogram banks with the
+control-store region map to classify every counted cycle into Table 8's
+two dimensions — the *activity* (row: which region the micro-PC falls
+in) and the *category* (column: what the microinstruction at that
+address does, and which bank the cycle landed in).
+
+The monitor's documented blind spots are preserved: I-stream reference
+counts and branch-taken proportions come from the companion
+:class:`~repro.cpu.events.EventCounters` (the simulator's stand-in for
+the separate cache study and "other measurements" the paper cites), not
+from the histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu.events import EventCounters
+from repro.ucode.control_store import Region
+from repro.ucode.microword import MicroSlot
+from repro.ucode.routines import MicrocodeLayout
+
+#: Table 8 row keys, in presentation order.
+ROWS = [
+    "decode",
+    "spec1",
+    "spec26",
+    "bdisp",
+    "simple",
+    "field",
+    "float",
+    "callret",
+    "system",
+    "character",
+    "decimal",
+    "intexc",
+    "memmgmt",
+    "abort",
+]
+
+#: Table 8 column keys, in presentation order.
+COLUMNS = ["compute", "read", "rstall", "write", "wstall", "ibstall"]
+
+_REGION_ROW = {
+    Region.DECODE: "decode",
+    Region.SPEC1: "spec1",
+    Region.SPEC26: "spec26",
+    Region.BDISP: "bdisp",
+    Region.EXEC_SIMPLE: "simple",
+    Region.EXEC_FIELD: "field",
+    Region.EXEC_FLOAT: "float",
+    Region.EXEC_CALLRET: "callret",
+    Region.EXEC_SYSTEM: "system",
+    Region.EXEC_CHARACTER: "character",
+    Region.EXEC_DECIMAL: "decimal",
+    Region.INTEXC: "intexc",
+    Region.MEMMGMT: "memmgmt",
+    Region.ABORT: "abort",
+}
+
+#: Execute-region rows, keyed by the Table 1 group name.
+EXEC_ROWS = ["simple", "field", "float", "callret", "system", "character", "decimal"]
+
+
+def _empty_matrix() -> Dict[str, Dict[str, float]]:
+    return {row: {column: 0.0 for column in COLUMNS} for row in ROWS}
+
+
+@dataclass
+class Reduction:
+    """The reduced histogram: cycles classified by (row, column).
+
+    Build one with :func:`reduce_histogram`.
+    """
+
+    matrix: Dict[str, Dict[str, float]]
+    instructions: int
+    total_cycles: float
+    #: per-routine (normal, stalled) cycle totals, by routine name
+    routine_cycles: Dict[str, Tuple[int, int]]
+    events: Optional[EventCounters] = None
+
+    # -- views ------------------------------------------------------------
+
+    def per_instruction(self) -> Dict[str, Dict[str, float]]:
+        """The Table 8 body: cycles per average instruction."""
+        if not self.instructions:
+            return _empty_matrix()
+        return {
+            row: {col: cycles / self.instructions for col, cycles in columns.items()}
+            for row, columns in self.matrix.items()
+        }
+
+    def row_totals(self) -> Dict[str, float]:
+        return {row: sum(columns.values()) for row, columns in self.matrix.items()}
+
+    def column_totals(self) -> Dict[str, float]:
+        totals = {column: 0.0 for column in COLUMNS}
+        for columns in self.matrix.values():
+            for column, cycles in columns.items():
+                totals[column] += cycles
+        return totals
+
+    @property
+    def cpi(self) -> float:
+        """Total cycles per average instruction (the 10.6 number)."""
+        return self.total_cycles / self.instructions if self.instructions else 0.0
+
+    def exec_cycles_for_group(self, group_row: str) -> Dict[str, float]:
+        """One execute region's cycles by column (Table 9 raw material)."""
+        if group_row not in EXEC_ROWS:
+            raise KeyError("{} is not an execute-region row".format(group_row))
+        return dict(self.matrix[group_row])
+
+    def routine_total(self, name_prefix: str) -> Tuple[int, int]:
+        """Sum (normal, stalled) cycles over routines matching a prefix."""
+        normal = 0
+        stalled = 0
+        for name, (n, s) in self.routine_cycles.items():
+            if name.startswith(name_prefix):
+                normal += n
+                stalled += s
+        return normal, stalled
+
+
+def reduce_histogram(
+    counts: List[int],
+    stalled_counts: List[int],
+    layout: MicrocodeLayout,
+    events: Optional[EventCounters] = None,
+) -> Reduction:
+    """Classify every histogram bucket using the control-store map.
+
+    The rules mirror Section 4.3:
+
+    * a bucket at a COMPUTE/DECODE microinstruction contributes its normal
+      count to the *compute* column;
+    * a READ microinstruction's normal count is successful reads (the
+      *read* column) and its stalled count is *rstall*;
+    * likewise WRITE / *wstall*;
+    * the "insufficient bytes" dispatch targets contribute their normal
+      counts to *ibstall* (IB stall cycles are executions of that
+      microinstruction, not stalled-bank entries).
+
+    The instruction count is the execution count of the opcode-decode
+    dispatch microinstruction — one per instruction, exactly as on the
+    real machine (interrupt deliveries execute no decode).
+    """
+    matrix = _empty_matrix()
+    routine_cycles: Dict[str, Tuple[int, int]] = {}
+    store = layout.store
+
+    total = 0.0
+    for address in store.used_addresses():
+        normal = counts[address] if address < len(counts) else 0
+        stalled = stalled_counts[address] if address < len(stalled_counts) else 0
+        if not normal and not stalled:
+            continue
+        routine, slot = store.lookup(address)
+        row = _REGION_ROW[routine.region]
+
+        previous = routine_cycles.get(routine.name, (0, 0))
+        routine_cycles[routine.name] = (previous[0] + normal, previous[1] + stalled)
+
+        if slot in (MicroSlot.COMPUTE_A, MicroSlot.COMPUTE_B):
+            matrix[row]["compute"] += normal
+        elif slot is MicroSlot.READ:
+            matrix[row]["read"] += normal
+            matrix[row]["rstall"] += stalled
+        elif slot is MicroSlot.WRITE:
+            matrix[row]["write"] += normal
+            matrix[row]["wstall"] += stalled
+        elif slot is MicroSlot.IB_WAIT:
+            matrix[row]["ibstall"] += normal
+        total += normal + stalled
+
+    decode_dispatch = layout.decode.address(MicroSlot.COMPUTE_A)
+    instructions = counts[decode_dispatch] if decode_dispatch < len(counts) else 0
+
+    return Reduction(
+        matrix=matrix,
+        instructions=instructions,
+        total_cycles=total,
+        routine_cycles=routine_cycles,
+        events=events,
+    )

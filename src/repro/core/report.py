@@ -1,0 +1,70 @@
+"""Paper-vs-measured report formatting.
+
+Benches and EXPERIMENTS.md use these helpers to print the same rows the
+paper's tables report, side by side with the reproduction's numbers and
+the provenance of each paper value (exact / derived / reconstructed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.paper_data import PaperValue
+
+_PROVENANCE_MARK = {"exact": " ", "derived": "~", "reconstructed": "?"}
+
+
+def format_comparison_row(
+    label: str, paper: Optional[PaperValue], measured: float, width: int = 28
+) -> str:
+    """One aligned row: label, paper value (with provenance mark), measured."""
+    if paper is None:
+        paper_text = "      --"
+    else:
+        paper_text = "{:8.3f}{}".format(paper.value, _PROVENANCE_MARK[paper.provenance])
+    return "{:<{width}} {} {:10.3f}".format(label, paper_text, measured, width=width)
+
+
+def format_table(
+    title: str,
+    rows: Iterable[Tuple[str, Optional[PaperValue], float]],
+    headers: Tuple[str, str] = ("paper", "measured"),
+    width: int = 28,
+) -> str:
+    """A full comparison table as a printable string.
+
+    Provenance marks: blank = exact from the text, ``~`` = derived from
+    prose, ``?`` = reconstructed (never asserted against).
+    """
+    lines = [title, "-" * len(title)]
+    lines.append(
+        "{:<{width}} {:>9} {:>10}".format("", headers[0], headers[1], width=width)
+    )
+    for label, paper, measured in rows:
+        lines.append(format_comparison_row(label, paper, measured, width=width))
+    return "\n".join(lines)
+
+
+def ratio(measured: float, paper: PaperValue) -> float:
+    """measured / paper, guarding zero."""
+    return measured / paper.value if paper.value else float("inf")
+
+
+def within_factor(measured: float, paper: PaperValue, factor: float) -> bool:
+    """Shape check: measured within [paper/factor, paper*factor]."""
+    if paper.value == 0:
+        return measured == 0
+    r = ratio(measured, paper)
+    return (1.0 / factor) <= r <= factor
+
+
+def matrix_to_text(matrix: Dict[str, Dict[str, float]], columns, title: str) -> str:
+    """Render a Table 8-style matrix."""
+    lines = [title, "-" * len(title)]
+    header = "{:<12}".format("") + "".join("{:>9}".format(c) for c in columns)
+    lines.append(header)
+    for row, cells in matrix.items():
+        lines.append(
+            "{:<12}".format(row) + "".join("{:>9.3f}".format(cells.get(c, 0.0)) for c in columns)
+        )
+    return "\n".join(lines)

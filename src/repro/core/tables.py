@@ -1,0 +1,290 @@
+"""Every table of the paper, computed from an
+:class:`~repro.core.experiment.ExperimentResult`.
+
+Each ``tableN`` function returns plain dictionaries keyed the way
+:mod:`repro.core.paper_data` is keyed, so benches and reports can zip the
+two sides together mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.experiment import ExperimentResult
+from repro.core.reduction import COLUMNS, EXEC_ROWS, ROWS
+from repro.isa.opcodes import OPCODES, BranchClass, OpcodeGroup, opcode_by_mnemonic
+
+_GROUP_KEYS = [group.value for group in OpcodeGroup]
+
+_TABLE4_MODE_ROWS = [
+    "register",
+    "short_literal",
+    "immediate",
+    "displacement",
+    "register_deferred",
+    "displacement_deferred",
+    "absolute",
+    "auto_inc_dec_def",
+]
+
+_TABLE5_ROWS = [
+    "spec1",
+    "spec2_6",
+    "simple",
+    "field",
+    "float",
+    "callret",
+    "system",
+    "character",
+    "decimal",
+    "other",
+]
+
+
+def table1(result: ExperimentResult) -> Dict[str, float]:
+    """Opcode group frequency, percent of all instruction executions."""
+    events = result.events
+    totals = {key: 0 for key in _GROUP_KEYS}
+    for mnemonic, count in events.opcode_counts.items():
+        totals[opcode_by_mnemonic(mnemonic).group.value] += count
+    instructions = sum(totals.values())
+    if not instructions:
+        return {key: 0.0 for key in _GROUP_KEYS}
+    return {key: 100.0 * count / instructions for key, count in totals.items()}
+
+
+def table2(result: ExperimentResult) -> Dict[str, Dict[str, float]]:
+    """PC-changing instruction classes: frequency and taken rate.
+
+    Returns rows keyed by the Table 2 class name, each with
+    ``percent_of_instructions``, ``percent_taken`` and
+    ``taken_percent_of_instructions``, plus a ``total`` row.
+    """
+    events = result.events
+    instructions = events.instructions or 1
+    rows = {}
+    total_executed = 0
+    total_taken = 0
+    for branch_class in BranchClass:
+        executed = events.branch_executed[branch_class.value]
+        taken = events.branch_taken[branch_class.value]
+        total_executed += executed
+        total_taken += taken
+        rows[branch_class.value] = {
+            "percent_of_instructions": 100.0 * executed / instructions,
+            "percent_taken": 100.0 * taken / executed if executed else 0.0,
+            "taken_percent_of_instructions": 100.0 * taken / instructions,
+        }
+    rows["total"] = {
+        "percent_of_instructions": 100.0 * total_executed / instructions,
+        "percent_taken": 100.0 * total_taken / total_executed if total_executed else 0.0,
+        "taken_percent_of_instructions": 100.0 * total_taken / instructions,
+    }
+    return rows
+
+
+def table3(result: ExperimentResult) -> Dict[str, float]:
+    """Specifiers and branch displacements per average instruction."""
+    events = result.events
+    instructions = events.instructions or 1
+    spec1 = sum(
+        count for (position, _), count in events.specifier_counts.items() if position == "spec1"
+    )
+    spec26 = sum(
+        count for (position, _), count in events.specifier_counts.items() if position == "spec26"
+    )
+    return {
+        "spec1": spec1 / instructions,
+        "spec26": spec26 / instructions,
+        "branch_displacements": events.branch_displacements / instructions,
+    }
+
+
+def table4(result: ExperimentResult) -> Dict[str, Dict[str, float]]:
+    """Operand specifier mode distribution (percent), plus percent indexed."""
+    events = result.events
+    spec1_total = sum(
+        count for (position, _), count in events.specifier_counts.items() if position == "spec1"
+    )
+    spec26_total = sum(
+        count for (position, _), count in events.specifier_counts.items() if position == "spec26"
+    )
+    grand_total = spec1_total + spec26_total
+
+    def percent(position: str, row: str) -> float:
+        count = events.specifier_counts[(position, row)]
+        base = spec1_total if position == "spec1" else spec26_total
+        return 100.0 * count / base if base else 0.0
+
+    rows = {}
+    for mode_row in _TABLE4_MODE_ROWS:
+        both = events.specifier_counts[("spec1", mode_row)] + events.specifier_counts[
+            ("spec26", mode_row)
+        ]
+        rows[mode_row] = {
+            "spec1": percent("spec1", mode_row),
+            "spec26": percent("spec26", mode_row),
+            "total": 100.0 * both / grand_total if grand_total else 0.0,
+        }
+    indexed1 = events.indexed_specifiers["spec1"]
+    indexed26 = events.indexed_specifiers["spec26"]
+    rows["percent_indexed"] = {
+        "spec1": 100.0 * indexed1 / spec1_total if spec1_total else 0.0,
+        "spec26": 100.0 * indexed26 / spec26_total if spec26_total else 0.0,
+        "total": 100.0 * (indexed1 + indexed26) / grand_total if grand_total else 0.0,
+    }
+    return rows
+
+
+def table5(result: ExperimentResult) -> Dict[str, Dict[str, float]]:
+    """D-stream reads and writes per average instruction, by source."""
+    events = result.events
+    instructions = events.instructions or 1
+    rows = {}
+    total_reads = 0
+    total_writes = 0
+    for row in _TABLE5_ROWS:
+        reads = events.reads_by_source[row]
+        writes = events.writes_by_source[row]
+        total_reads += reads
+        total_writes += writes
+        rows[row] = {"reads": reads / instructions, "writes": writes / instructions}
+    rows["total"] = {
+        "reads": total_reads / instructions,
+        "writes": total_writes / instructions,
+    }
+    return rows
+
+
+def table6(result: ExperimentResult) -> Dict[str, float]:
+    """Estimated size of the average instruction, paper-style decomposition."""
+    events = result.events
+    instructions = events.instructions or 1
+    spec_count = sum(events.specifier_counts.values())
+    specs_per_instruction = spec_count / instructions
+    spec_size = events.specifier_bytes / spec_count if spec_count else 0.0
+    disp_per_instruction = events.branch_displacements / instructions
+    disp_size = (
+        events.displacement_bytes / events.branch_displacements
+        if events.branch_displacements
+        else 0.0
+    )
+    return {
+        "opcode_bytes": 1.0,
+        "specifiers_per_instruction": specs_per_instruction,
+        "specifier_size": spec_size,
+        "displacements_per_instruction": disp_per_instruction,
+        "displacement_size": disp_size,
+        "total_bytes": events.instruction_bytes / instructions,
+    }
+
+
+def table7(result: ExperimentResult) -> Dict[str, float]:
+    """Interrupt and context-switch headway (instructions between events)."""
+    events = result.events
+    instructions = events.instructions
+
+    def headway(count: int) -> float:
+        return instructions / count if count else float("inf")
+
+    return {
+        "software_interrupt_requests": headway(events.software_interrupt_requests),
+        "interrupts": headway(events.interrupts_delivered),
+        "context_switches": headway(events.context_switches),
+    }
+
+
+def table8(result: ExperimentResult) -> Dict[str, Dict[str, float]]:
+    """The cycles-per-average-instruction matrix, with totals.
+
+    Rows and columns follow :mod:`repro.core.reduction`; a ``total``
+    column is appended to each row and a ``total`` row at the bottom.
+    """
+    per_instruction = result.reduction.per_instruction()
+    out = {}
+    column_totals = {column: 0.0 for column in COLUMNS}
+    for row in ROWS:
+        columns = dict(per_instruction[row])
+        columns["total"] = sum(columns.values())
+        for column in COLUMNS:
+            column_totals[column] += columns[column]
+        out[row] = columns
+    totals = dict(column_totals)
+    totals["total"] = sum(column_totals.values())
+    out["total"] = totals
+    return out
+
+
+def table9(result: ExperimentResult) -> Dict[str, Dict[str, float]]:
+    """Cycles per instruction *within* each group (execute phase only,
+    unweighted by group frequency)."""
+    events = result.events
+    group_counts = {key: 0 for key in _GROUP_KEYS}
+    for mnemonic, count in events.opcode_counts.items():
+        group_counts[opcode_by_mnemonic(mnemonic).group.value] += count
+    out = {}
+    for row in EXEC_ROWS:
+        cycles = result.reduction.exec_cycles_for_group(row)
+        count = group_counts[row]
+        columns = {
+            column: (cycles[column] / count if count else 0.0)
+            for column in ("compute", "read", "rstall", "write", "wstall")
+        }
+        columns["total"] = sum(columns.values())
+        out[row] = columns
+    return out
+
+
+def sec41_istream(result: ExperimentResult) -> Dict[str, float]:
+    """Section 4.1: IB reference behaviour."""
+    instructions = result.events.instructions or 1
+    references = result.stats.ib_references
+    return {
+        "ib_references_per_instruction": references / instructions,
+        "bytes_per_reference": (
+            result.stats.ib_bytes_delivered / references if references else 0.0
+        ),
+        "instruction_bytes": result.events.instruction_bytes / instructions,
+    }
+
+
+def sec42_cache_tb(result: ExperimentResult) -> Dict[str, float]:
+    """Section 4.2: cache and TB miss behaviour."""
+    instructions = result.events.instructions or 1
+    stats = result.stats
+    tb_misses = stats.tb_misses
+    memmgmt_normal, memmgmt_stalled = result.reduction.routine_total("memmgmt.tb_miss")
+    # One abort cycle per microtrap accompanies each miss (Section 5's
+    # abort row); include it in the per-miss figure like the paper does
+    # ("a count of all cycles within the routine").
+    cycles_per_miss = (
+        (memmgmt_normal + memmgmt_stalled) / tb_misses if tb_misses else 0.0
+    )
+    stall_per_miss = memmgmt_stalled / tb_misses if tb_misses else 0.0
+    return {
+        "cache_read_misses_per_instruction": stats.cache_read_misses / instructions,
+        "cache_read_misses_istream": stats.cache_i_read_misses / instructions,
+        "cache_read_misses_dstream": stats.cache_d_read_misses / instructions,
+        "tb_misses_per_instruction": tb_misses / instructions,
+        "tb_misses_dstream": stats.tb_d_misses / instructions,
+        "tb_misses_istream": stats.tb_i_misses / instructions,
+        "cycles_per_tb_miss": cycles_per_miss,
+        "tb_miss_read_stall_cycles": stall_per_miss,
+    }
+
+
+def all_tables(result: ExperimentResult) -> Dict[str, object]:
+    """Every table keyed by its paper designation."""
+    return {
+        "table1": table1(result),
+        "table2": table2(result),
+        "table3": table3(result),
+        "table4": table4(result),
+        "table5": table5(result),
+        "table6": table6(result),
+        "table7": table7(result),
+        "table8": table8(result),
+        "table9": table9(result),
+        "sec41": sec41_istream(result),
+        "sec42": sec42_cache_tb(result),
+    }

@@ -1,0 +1,27 @@
+"""The VAX-11/780 CPU: the three-stage pipeline of Figure 1.
+
+* :mod:`repro.cpu.ibuffer` — I-Fetch stage: the 8-byte Instruction
+  Buffer with hardware prefetch (invisible to the micro-PC monitor,
+  exactly like the real machine).
+* :mod:`repro.cpu.operands` — the I-Decode stage's specifier decoding
+  plus the EBOX's specifier-processing microcode model.
+* :mod:`repro.cpu.semantics` — execute-phase semantics for every opcode
+  in the subset.
+* :mod:`repro.cpu.ebox` — the microcoded EBOX: runs instructions,
+  charges every cycle to a control-store address, takes microtraps.
+* :mod:`repro.cpu.machine` — the assembled machine.
+"""
+
+from repro.cpu.ibuffer import InstructionBuffer, IBStats
+from repro.cpu.events import EventCounters
+from repro.cpu.ebox import EBox, HaltExecution
+from repro.cpu.machine import VAX780
+
+__all__ = [
+    "InstructionBuffer",
+    "IBStats",
+    "EventCounters",
+    "EBox",
+    "HaltExecution",
+    "VAX780",
+]

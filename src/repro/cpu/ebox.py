@@ -1,0 +1,685 @@
+"""The EBOX: the 11/780's microcoded execution engine.
+
+Every cycle the EBOX spends is charged to a control-store address and
+strobed into the micro-PC monitor, faithfully reproducing the paper's
+measurement channel:
+
+* non-stalled microinstruction executions count in the normal bank;
+* read- and write-stall cycles count in the *stalled* bank at the address
+  of the read/write microinstruction that incurred them (Section 4.3);
+* IB stalls are executions of the "insufficient bytes" dispatch target in
+  whichever activity requested the bytes;
+* a TB miss costs one abort cycle (the microtrap) plus the miss-service
+  routine in the memory-management region;
+* unaligned references detour through the alignment microcode.
+
+The EBOX is also where instruction semantics happen: specifier processing
+reads operands, execute handlers (:mod:`repro.cpu.semantics`) do the
+work, and result stores charge the destination specifier's write slot —
+"a simple integer Move ... is accomplished entirely by specifier
+microcode: first a read, then a write" (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.isa.datatypes import DataType, f_floating_encode
+from repro.isa.opcodes import OPCODES, Opcode, OpcodeGroup
+from repro.isa.psl import AccessMode, ProcessorStatus
+from repro.isa.registers import Reg, RegisterFile
+from repro.isa.specifiers import (
+    AccessType,
+    AddressingMode,
+    OperandSpec,
+    TABLE4_ROW_FOR_MODE,
+)
+from repro.memory.subsystem import MemorySubsystem, PageFault
+from repro.memory.tb import TBMiss
+from repro.cpu.events import EventCounters
+from repro.cpu.ibuffer import InstructionBuffer
+from repro.cpu.operands import OperandRef, decode_specifier, expand_float_literal
+from repro.ucode.costs import (
+    EXCEPTION_ENTRY_COMPUTE_CYCLES,
+    EXCEPTION_ENTRY_WRITES,
+    INDEX_EXTRA_CYCLES,
+    INTERRUPT_ENTRY_COMPUTE_CYCLES,
+    INTERRUPT_ENTRY_WRITES,
+    SPEC_COSTS,
+    TB_MISS_COMPUTE_CYCLES,
+    UNALIGNED_EXTRA_CYCLES,
+    exec_profile,
+)
+from repro.ucode.microword import MicroSlot
+from repro.ucode.routines import MicrocodeLayout, build_layout
+
+#: Safety valve: a single instruction stalled this long means a modelling
+#: bug, not a slow memory.
+_STALL_WATCHDOG_CYCLES = 100_000
+
+
+class HaltExecution(Exception):
+    """Raised when the processor halts (HALT opcode or fatal fault)."""
+
+
+class IllegalInstruction(Exception):
+    """An opcode byte with no table entry reached the decoder."""
+
+
+_DTYPE_SIZE = {
+    DataType.BYTE: 1,
+    DataType.WORD: 2,
+    DataType.LONG: 4,
+    DataType.QUAD: 8,
+    DataType.F_FLOAT: 4,
+    DataType.PACKED: 1,
+    DataType.VARIABLE_FIELD: 4,
+}
+
+_TABLE5_GROUP_ROW = {
+    OpcodeGroup.SIMPLE: "simple",
+    OpcodeGroup.FIELD: "field",
+    OpcodeGroup.FLOAT: "float",
+    OpcodeGroup.CALLRET: "callret",
+    OpcodeGroup.SYSTEM: "system",
+    OpcodeGroup.CHARACTER: "character",
+    OpcodeGroup.DECIMAL: "decimal",
+}
+
+
+class EBox:
+    """The microcoded EBOX plus the I-Fetch and I-Decode stages it drives."""
+
+    def __init__(
+        self,
+        memory: MemorySubsystem,
+        layout: Optional[MicrocodeLayout] = None,
+        monitor=None,
+        events: Optional[EventCounters] = None,
+        machine=None,
+    ):
+        self.memory = memory
+        self.layout = layout if layout is not None else build_layout()
+        self.monitor = monitor  # UPCMonitor or None
+        self.events = events if events is not None else EventCounters()
+        self.machine = machine  # VAX780 back-reference (hooks)
+        self.regs = RegisterFile()
+        self.psl = ProcessorStatus()
+        self.ib = InstructionBuffer(memory)
+        self.cycle_count = 0
+        self.halted = False
+        #: per-access-mode stack pointers (kernel..user); the active one
+        #: lives in R14 and is swapped on mode change.
+        self.mode_sps = [0, 0, 0, 0]
+        #: processor registers (MTPR/MFPR space)
+        self.pr: Dict[int, int] = {}
+        #: ablation knobs: overlap the decode cycle with the previous
+        #: instruction (what the later 11/750 did), and the float-execute
+        #: slowdown applied when no Floating Point Accelerator is fitted.
+        self.decode_overlap = False
+        self.float_slowdown = 1
+        # per-instruction state
+        self.current_opcode: Optional[Opcode] = None
+        self.branch_displacement: Optional[int] = None
+        self._exec_routine = None
+        self._exec_a_used = False
+        self._merge_pending = False
+        self._last_source_routine = None
+        self._instruction_start_cycle = 0
+        self._last_instruction_redirected = True
+
+    # ------------------------------------------------------------------
+    # cycle accounting
+    # ------------------------------------------------------------------
+
+    def _tick(self, address: int, count: int = 1, stalled: bool = False) -> None:
+        """Spend ``count`` cycles at micro-PC ``address``.
+
+        Every EBOX cycle also gives the I-Fetch hardware a background
+        cycle — prefetch proceeds underneath computation and stalls alike.
+        """
+        if count <= 0:
+            return
+        if self.monitor is not None:
+            self.monitor.observe(address, stalled=stalled, repeat=count)
+        self.cycle_count += count
+        self.ib.run(count)
+
+    def _tick_slot(self, routine, slot: MicroSlot, count: int = 1, stalled: bool = False) -> None:
+        if slot is MicroSlot.COMPUTE_A and routine.patched:
+            # A patched entry microinstruction costs one abort cycle per
+            # execution (the microsequencer detours through the patch
+            # area), in addition to its normal cycle.
+            self._tick(self.layout.abort.address(MicroSlot.COMPUTE_A))
+        self._tick(routine.address(slot), count=count, stalled=stalled)
+
+    def _charge_compute(self, routine, cycles: int) -> None:
+        """Spend compute cycles: first at COMPUTE_A, the rest at COMPUTE_B."""
+        if cycles <= 0:
+            return
+        self._tick_slot(routine, MicroSlot.COMPUTE_A)
+        if cycles > 1:
+            self._tick_slot(routine, MicroSlot.COMPUTE_B, count=cycles - 1)
+
+    # ------------------------------------------------------------------
+    # memory references with microtrap handling
+    # ------------------------------------------------------------------
+
+    def data_read(self, va: int, size: int, routine, source: str) -> int:
+        """One D-stream read, with TB-miss/page-fault service and charging."""
+        while True:
+            try:
+                outcome = self.memory.read(va, size, now=self.cycle_count)
+                break
+            except TBMiss as miss:
+                self._service_tb_miss(miss.va, write=False)
+            except PageFault as fault:
+                self._deliver_page_fault(fault)
+        self._tick_slot(routine, MicroSlot.READ)
+        if outcome.stall_cycles:
+            self._tick_slot(routine, MicroSlot.READ, count=outcome.stall_cycles, stalled=True)
+        if outcome.unaligned:
+            self._charge_unaligned(read=True)
+        self.events.reads_by_source[source] += 1
+        return outcome.value
+
+    def data_write(self, va: int, size: int, value: int, routine, source: str) -> None:
+        """One D-stream write, with TB-miss/page-fault service and charging."""
+        while True:
+            try:
+                outcome = self.memory.write(va, size, value, now=self.cycle_count)
+                break
+            except TBMiss as miss:
+                self._service_tb_miss(miss.va, write=True)
+            except PageFault as fault:
+                self._deliver_page_fault(fault)
+        self._tick_slot(routine, MicroSlot.WRITE)
+        if outcome.stall_cycles:
+            self._tick_slot(routine, MicroSlot.WRITE, count=outcome.stall_cycles, stalled=True)
+        if outcome.unaligned:
+            self._charge_unaligned(read=False)
+        self.events.writes_by_source[source] += 1
+
+    def _charge_unaligned(self, read: bool) -> None:
+        """The alignment microcode's extra work for a straddling reference."""
+        alignment = self.layout.alignment
+        self._charge_compute(alignment, UNALIGNED_EXTRA_CYCLES)
+        slot = MicroSlot.READ if read else MicroSlot.WRITE
+        self._tick_slot(alignment, slot)
+
+    def _service_tb_miss(self, va: int, write: bool) -> None:
+        """Microtrap into the TB-miss service routine.
+
+        One abort cycle (the trap), then the service routine: compute
+        cycles plus the PTE read, whose own cache miss shows up as read
+        stall inside memory management — the paper's 21.6-cycle average
+        with 3.5 stall cycles.
+        """
+        self._tick_slot(self.layout.abort, MicroSlot.COMPUTE_A)
+        routine = self.layout.tb_miss
+        self._charge_compute(routine, TB_MISS_COMPUTE_CYCLES)
+        while True:
+            try:
+                fill = self.memory.service_tb_miss(va, write=write, now=self.cycle_count)
+                break
+            except PageFault as fault:
+                self._deliver_page_fault(fault)
+        self._tick_slot(routine, MicroSlot.READ)
+        if fill.pte_read_stall_cycles:
+            self._tick_slot(
+                routine, MicroSlot.READ, count=fill.pte_read_stall_cycles, stalled=True
+            )
+
+    def _deliver_page_fault(self, fault: PageFault) -> None:
+        """Exception entry plus the pager's work.
+
+        The reproduction services faults inline (map the page, charge the
+        delivery microcode and the pager's kernel activity) rather than
+        aborting and restarting the instruction; DESIGN.md documents this
+        simplification — frequencies and cycle accounting are preserved.
+        """
+        self.events.page_faults += 1
+        routine = self.layout.exception
+        self._charge_compute(routine, EXCEPTION_ENTRY_COMPUTE_CYCLES)
+        self._tick_slot(routine, MicroSlot.WRITE, count=EXCEPTION_ENTRY_WRITES)
+        for _ in range(EXCEPTION_ENTRY_WRITES):
+            self.events.writes_by_source["other"] += 1
+        if self.machine is None or not self.machine.handle_page_fault(fault.va, fault.write):
+            raise HaltExecution(
+                "unrecoverable page fault at {:#010x}".format(fault.va)
+            )
+
+    # ------------------------------------------------------------------
+    # I-stream consumption
+    # ------------------------------------------------------------------
+
+    def _take_bytes(self, count: int, wait_routine) -> bytes:
+        """Consume I-stream bytes, spending IB-stall cycles as needed."""
+        waited = 0
+        while True:
+            data = self.ib.try_consume(count)
+            if data is not None:
+                return data
+            if self.ib.tb_miss_pending:
+                self._service_istream_tb_miss()
+                continue
+            self._tick_slot(wait_routine, MicroSlot.IB_WAIT)
+            waited += 1
+            if waited > _STALL_WATCHDOG_CYCLES:
+                raise HaltExecution(
+                    "IB stall watchdog at va {:#010x}".format(self.ib.decode_va)
+                )
+
+    def _service_istream_tb_miss(self) -> None:
+        """The deferred I-stream TB miss, noticed when bytes ran out."""
+        self._service_tb_miss(self.ib.fetch_va, write=False)
+        self.ib.clear_tb_miss()
+
+    # ------------------------------------------------------------------
+    # specifier processing
+    # ------------------------------------------------------------------
+
+    def _process_specifier(self, position: int, spec: OperandSpec) -> OperandRef:
+        is_first = position == 0
+        wait_routine = self.layout.spec1_wait if is_first else self.layout.spec26_wait
+        decoded = decode_specifier(
+            lambda n: self._take_bytes(n, wait_routine), spec.dtype
+        )
+        position_class = "spec1" if is_first else "spec26"
+
+        # Microcode sharing: indexed specifiers run the shared index
+        # microcode in the SPEC2-6 region, even for first specifiers.
+        if decoded.is_indexed:
+            routine_bank = self.layout.spec26
+            self._charge_compute(self.layout.index_shared, INDEX_EXTRA_CYCLES)
+            self.events.indexed_specifiers[position_class] += 1
+        else:
+            routine_bank = self.layout.spec1 if is_first else self.layout.spec26
+        routine = routine_bank[decoded.mode]
+
+        self.events.specifier_counts[
+            (position_class, TABLE4_ROW_FOR_MODE[decoded.mode])
+        ] += 1
+        self.events.specifier_bytes += decoded.length
+        table5_row = "spec1" if is_first else "spec2_6"
+
+        cost = SPEC_COSTS[decoded.mode]
+        self._charge_compute(routine, cost.address_cycles)
+
+        size = _DTYPE_SIZE[spec.dtype]
+        mode = decoded.mode
+        operand = OperandRef(
+            spec=spec,
+            mode=mode,
+            register=decoded.register,
+            address=None,
+            value=None,
+            routine=routine,
+            position_class=position_class,
+        )
+        operand.is_indexed = decoded.is_indexed
+
+        if mode is AddressingMode.SHORT_LITERAL:
+            if spec.access not in (AccessType.READ, AccessType.VFIELD):
+                raise IllegalInstruction("short literal used for non-read access")
+            if spec.dtype is DataType.F_FLOAT:
+                operand.value = f_floating_encode(expand_float_literal(decoded.extension))
+            else:
+                operand.value = decoded.extension
+            self._note_source(routine, spec)
+            return operand
+
+        if mode is AddressingMode.IMMEDIATE:
+            if spec.access not in (AccessType.READ, AccessType.VFIELD):
+                raise IllegalInstruction("immediate used for non-read access")
+            operand.value = decoded.extension
+            self._note_source(routine, spec)
+            return operand
+
+        if mode is AddressingMode.REGISTER:
+            if spec.access in (AccessType.READ, AccessType.MODIFY, AccessType.VFIELD):
+                # A field base in a register means the field lives in the
+                # register itself: read the whole longword regardless of
+                # the nominal (byte) data type.
+                dtype = (
+                    DataType.LONG if spec.access is AccessType.VFIELD else spec.dtype
+                )
+                operand.value = self._read_register_operand(decoded.register, dtype)
+            if spec.access is AccessType.ADDRESS:
+                raise IllegalInstruction("address access to a register operand")
+            self._note_source(routine, spec)
+            return operand
+
+        # Memory modes: compute the effective address.
+        address = self._effective_address(decoded, size, routine, table5_row)
+        if decoded.is_indexed:
+            index_value = self.regs.read(decoded.index_register)
+            address = (address + index_value * size) & 0xFFFFFFFF
+        operand.address = address
+
+        if spec.access in (AccessType.READ, AccessType.MODIFY):
+            operand.value = self.data_read(address, size, routine, table5_row)
+        self._note_source(routine, spec)
+        return operand
+
+    def _note_source(self, routine, spec: OperandSpec) -> None:
+        """Track the last *source* specifier for the literal/register
+        execute-merge optimization (Section 5's first remark)."""
+        if spec.access is AccessType.READ:
+            self._last_source_routine = routine
+
+    def _read_register_operand(self, register: int, dtype: DataType) -> int:
+        if dtype is DataType.QUAD:
+            low = self.regs.read(register)
+            high = self.regs.read((register + 1) & 0xF)
+            return low | (high << 32)
+        size = _DTYPE_SIZE[dtype]
+        return self.regs.read(register) & ((1 << (8 * size)) - 1)
+
+    def _effective_address(self, decoded, size: int, routine, table5_row: str) -> int:
+        mode = decoded.mode
+        regs = self.regs
+        if mode is AddressingMode.REGISTER_DEFERRED:
+            return regs.read(decoded.register)
+        if mode is AddressingMode.AUTOINCREMENT:
+            address = regs.read(decoded.register)
+            regs.write(decoded.register, address + size)
+            return address
+        if mode is AddressingMode.AUTODECREMENT:
+            address = (regs.read(decoded.register) - size) & 0xFFFFFFFF
+            regs.write(decoded.register, address)
+            return address
+        if mode is AddressingMode.AUTOINCREMENT_DEFERRED:
+            pointer = regs.read(decoded.register)
+            regs.write(decoded.register, pointer + 4)
+            return self.data_read(pointer, 4, routine, table5_row)
+        if mode in (
+            AddressingMode.BYTE_DISPLACEMENT,
+            AddressingMode.WORD_DISPLACEMENT,
+            AddressingMode.LONG_DISPLACEMENT,
+        ):
+            return (regs.read(decoded.register) + decoded.extension) & 0xFFFFFFFF
+        if mode in (
+            AddressingMode.BYTE_DISPLACEMENT_DEFERRED,
+            AddressingMode.WORD_DISPLACEMENT_DEFERRED,
+            AddressingMode.LONG_DISPLACEMENT_DEFERRED,
+        ):
+            pointer = (regs.read(decoded.register) + decoded.extension) & 0xFFFFFFFF
+            return self.data_read(pointer, 4, routine, table5_row)
+        if mode is AddressingMode.ABSOLUTE:
+            return decoded.extension & 0xFFFFFFFF
+        if mode in (
+            AddressingMode.BYTE_RELATIVE,
+            AddressingMode.WORD_RELATIVE,
+            AddressingMode.LONG_RELATIVE,
+        ):
+            return (self.ib.decode_va + decoded.extension) & 0xFFFFFFFF
+        if mode in (
+            AddressingMode.BYTE_RELATIVE_DEFERRED,
+            AddressingMode.WORD_RELATIVE_DEFERRED,
+            AddressingMode.LONG_RELATIVE_DEFERRED,
+        ):
+            pointer = (self.ib.decode_va + decoded.extension) & 0xFFFFFFFF
+            return self.data_read(pointer, 4, routine, table5_row)
+        raise IllegalInstruction("unhandled addressing mode {}".format(mode))
+
+    # ------------------------------------------------------------------
+    # execute-phase services for semantics handlers
+    # ------------------------------------------------------------------
+
+    def exec_compute(self, cycles: int = 1) -> None:
+        """Spend execute-phase compute cycles at the current opcode's routine."""
+        if cycles <= 0:
+            return
+        if self._merge_pending:
+            # The literal/register optimization: the first execute cycle
+            # is combined with the last specifier cycle (already charged
+            # in the specifier row).
+            self._merge_pending = False
+            cycles -= 1
+            if cycles <= 0:
+                return
+        routine = self._exec_routine
+        if not self._exec_a_used:
+            self._tick_slot(routine, MicroSlot.COMPUTE_A)
+            self._exec_a_used = True
+            cycles -= 1
+        if cycles > 0:
+            self._tick_slot(routine, MicroSlot.COMPUTE_B, count=cycles)
+
+    def exec_loop(self, cycles: int) -> None:
+        """Loop-body compute cycles (always the COMPUTE_B slot)."""
+        if cycles > 0:
+            self._tick_slot(self._exec_routine, MicroSlot.COMPUTE_B, count=cycles)
+
+    def exec_read(self, va: int, size: int) -> int:
+        """An execute-phase memory read (stack pops, string loops ...)."""
+        source = _TABLE5_GROUP_ROW[self.current_opcode.group]
+        return self.data_read(va, size, self._exec_routine, source)
+
+    def exec_write(self, va: int, size: int, value: int) -> None:
+        """An execute-phase memory write (stack pushes, string stores ...)."""
+        source = _TABLE5_GROUP_ROW[self.current_opcode.group]
+        self.data_write(va, size, value, self._exec_routine, source)
+
+    def exec_read_physical(self, pa: int, size: int) -> int:
+        """A physically-addressed execute-phase read (PCB traffic)."""
+        outcome = self.memory.read_physical(pa, size, now=self.cycle_count)
+        self._tick_slot(self._exec_routine, MicroSlot.READ)
+        if outcome.stall_cycles:
+            self._tick_slot(
+                self._exec_routine, MicroSlot.READ, count=outcome.stall_cycles, stalled=True
+            )
+        source = _TABLE5_GROUP_ROW[self.current_opcode.group]
+        self.events.reads_by_source[source] += 1
+        return outcome.value
+
+    def exec_write_physical(self, pa: int, size: int, value: int) -> None:
+        """A physically-addressed execute-phase write (PCB traffic)."""
+        outcome = self.memory.write_physical(pa, size, value, now=self.cycle_count)
+        self._tick_slot(self._exec_routine, MicroSlot.WRITE)
+        if outcome.stall_cycles:
+            self._tick_slot(
+                self._exec_routine, MicroSlot.WRITE, count=outcome.stall_cycles, stalled=True
+            )
+        source = _TABLE5_GROUP_ROW[self.current_opcode.group]
+        self.events.writes_by_source[source] += 1
+
+    def push(self, value: int) -> None:
+        """Push one longword onto the current stack."""
+        sp = (self.regs.sp - 4) & 0xFFFFFFFF
+        self.regs.sp = sp
+        self.exec_write(sp, 4, value)
+
+    def pop(self) -> int:
+        """Pop one longword from the current stack."""
+        sp = self.regs.sp
+        value = self.exec_read(sp, 4)
+        self.regs.sp = (sp + 4) & 0xFFFFFFFF
+        return value
+
+    def store(self, operand: OperandRef, value: int) -> None:
+        """Store an instruction result through its destination specifier.
+
+        Register stores ride on cycles already charged; memory stores
+        execute the specifier routine's write microinstruction.
+        """
+        dtype = operand.dtype
+        if operand.is_register:
+            if dtype is DataType.QUAD:
+                self.regs.write(operand.register, value & 0xFFFFFFFF)
+                self.regs.write((operand.register + 1) & 0xF, (value >> 32) & 0xFFFFFFFF)
+            else:
+                size = _DTYPE_SIZE[dtype]
+                if size < 4:
+                    # Sub-longword register writes merge into the low bits.
+                    old = self.regs.read(operand.register)
+                    mask = (1 << (8 * size)) - 1
+                    value = (old & ~mask) | (value & mask)
+                self.regs.write(operand.register, value & 0xFFFFFFFF)
+            return
+        if operand.address is None:
+            raise IllegalInstruction("store to a valueless operand")
+        size = _DTYPE_SIZE[dtype]
+        table5_row = "spec1" if operand.position_class == "spec1" else "spec2_6"
+        self.data_write(operand.address, size, value, operand.routine, table5_row)
+
+    # -- branching ---------------------------------------------------------
+
+    def branch_with_displacement(self, taken: bool) -> None:
+        """Resolve a branch-displacement branch (Table 2 accounting is the
+        caller's job).  When taken: one B-DISP compute cycle to form the
+        target, one execute cycle to redirect the IB."""
+        opcode = self.current_opcode
+        if not taken:
+            return
+        self._tick_slot(self.layout.bdisp, MicroSlot.COMPUTE_A)
+        target = (self.ib.decode_va + self.branch_displacement) & 0xFFFFFFFF
+        self._redirect(target)
+
+    def jump(self, target: int) -> None:
+        """Redirect to a target from a specifier or implicit source."""
+        self._redirect(target)
+
+    def _redirect(self, target: int) -> None:
+        profile = exec_profile(self.current_opcode)
+        if profile.taken_extra_cycles:
+            self.exec_loop(profile.taken_extra_cycles)
+        self.ib.redirect(target)
+
+    def record_branch(self, taken: bool) -> None:
+        """Table 2 accounting for the current PC-changing instruction."""
+        branch_class = self.current_opcode.branch_class
+        if branch_class is not None:
+            self.events.record_branch(branch_class.value, taken)
+
+    # -- mode/stack plumbing -------------------------------------------------
+
+    def switch_mode(self, new_mode: AccessMode) -> None:
+        """Change access mode, swapping the per-mode stack pointers."""
+        old_mode = self.psl.current_mode
+        if new_mode is old_mode:
+            return
+        self.mode_sps[int(old_mode)] = self.regs.sp
+        self.psl.previous_mode = old_mode
+        self.psl.current_mode = new_mode
+        self.regs.sp = self.mode_sps[int(new_mode)]
+
+    # ------------------------------------------------------------------
+    # the instruction loop
+    # ------------------------------------------------------------------
+
+    def reset(self, start_va: int, sp: int = 0, mode: AccessMode = AccessMode.KERNEL) -> None:
+        """Point the machine at ``start_va`` with a fresh pipeline."""
+        self.psl.current_mode = mode
+        self.regs.sp = sp
+        self.regs.pc = start_va
+        self.ib.redirect(start_va)
+        self.halted = False
+
+    def step(self) -> bool:
+        """Run one instruction (or deliver one interrupt).
+
+        Returns False once halted.
+        """
+        if self.halted:
+            return False
+
+        if self.machine is not None:
+            pending = self.machine.pending_interrupt(self.psl.ipl)
+            if pending is not None:
+                self._deliver_interrupt(*pending)
+                return True
+
+        start_va = self.ib.decode_va
+        self._instruction_start_cycle = self.cycle_count
+
+        redirects_before = self.ib.stats.redirects
+        opcode_byte = self._take_bytes(1, self.layout.decode)[0]
+        # The 780's first I-Decode for an instruction cannot start until
+        # the previous instruction completes: one non-overlapped decode
+        # cycle each.  With decode_overlap (the 11/750's improvement) the
+        # cycle is hidden except after a taken branch.
+        if not self.decode_overlap or self._last_instruction_redirected:
+            self._tick_slot(self.layout.decode, MicroSlot.COMPUTE_A)
+        opcode = OPCODES.get(opcode_byte)
+        if opcode is None:
+            raise IllegalInstruction(
+                "undecodable opcode {:#04x} at {:#010x}".format(opcode_byte, start_va)
+            )
+
+        self.current_opcode = opcode
+        self._exec_routine = self.layout.execute[opcode.mnemonic]
+        self._exec_a_used = False
+        self._last_source_routine = None
+        self.branch_displacement = None
+
+        operands: List[OperandRef] = []
+        for position, spec in enumerate(opcode.operands):
+            if spec.access is AccessType.BRANCH:
+                width = _DTYPE_SIZE[spec.dtype]
+                raw = self._take_bytes(width, self.layout.bdisp)
+                value = int.from_bytes(raw, "little")
+                if value & (1 << (8 * width - 1)):
+                    value -= 1 << (8 * width)
+                self.branch_displacement = value
+                self.events.branch_displacements += 1
+                self.events.displacement_bytes += width
+            else:
+                operands.append(self._process_specifier(position, spec))
+
+        self._merge_pending = (
+            opcode.group in (OpcodeGroup.SIMPLE, OpcodeGroup.FIELD)
+            and self._last_source_routine is not None
+            and operands
+            and operands[-1].mode
+            in (AddressingMode.REGISTER, AddressingMode.SHORT_LITERAL)
+        )
+
+        self.events.instruction_bytes += self.ib.decode_va - start_va
+        self.events.opcode_counts[opcode.mnemonic] += 1
+
+        from repro.cpu.semantics import dispatch  # local import breaks the cycle
+
+        dispatch(self, opcode, operands)
+
+        self.events.instructions += 1
+        self.regs.pc = self.ib.decode_va
+        self._merge_pending = False
+        self._last_instruction_redirected = (
+            self.ib.stats.redirects != redirects_before
+        )
+        return not self.halted
+
+    def run(self, max_instructions: int = 1_000_000, max_cycles: Optional[int] = None) -> int:
+        """Run until halt or a budget runs out; returns instructions run."""
+        executed = 0
+        while executed < max_instructions:
+            if max_cycles is not None and self.cycle_count >= max_cycles:
+                break
+            if not self.step():
+                break
+            executed += 1
+        return executed
+
+    # ------------------------------------------------------------------
+    # interrupts
+    # ------------------------------------------------------------------
+
+    def _deliver_interrupt(self, ipl: int, vector_va: int) -> None:
+        """Interrupt delivery microcode: save state, raise IPL, vector."""
+        routine = self.layout.interrupt
+        self._charge_compute(routine, INTERRUPT_ENTRY_COMPUTE_CYCLES)
+        return_pc = self.ib.decode_va
+        saved_psl = self.psl.pack()
+        self.switch_mode(AccessMode.KERNEL)
+        for value in (saved_psl, return_pc):
+            sp = (self.regs.sp - 4) & 0xFFFFFFFF
+            self.regs.sp = sp
+            self.data_write(sp, 4, value, routine, "other")
+        self.psl.ipl = ipl
+        self.ib.redirect(vector_va)
+        self.regs.pc = vector_va
+        self.events.interrupts_delivered += 1
+        if self.machine is not None:
+            self.machine.acknowledge_interrupt()

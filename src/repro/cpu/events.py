@@ -1,0 +1,76 @@
+"""Direct event counters for things the micro-PC monitor cannot see.
+
+The paper is explicit about the monitor's blind spots: I-stream memory
+references are made by hardware, not microcode, so their counts came from
+a separate cache study [Clark 83]; branch-taken proportions and some
+opcode distinctions came from "other measurements".  This module is the
+simulator's stand-in for those companion instruments.  Everything that
+*can* come from the histogram does come from the histogram (see
+:mod:`repro.core.reduction`); these counters carry only the rest, plus
+ground truth used by tests to validate the histogram pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class EventCounters:
+    """Ground-truth event counts accumulated by the machine."""
+
+    instructions: int = 0
+    #: dynamic opcode execution counts, by mnemonic
+    opcode_counts: Counter = field(default_factory=Counter)
+    #: branch outcomes by Table 2 class name: (executed, taken)
+    branch_executed: Counter = field(default_factory=Counter)
+    branch_taken: Counter = field(default_factory=Counter)
+    #: operand-specifier occurrences: (position_class, table4_row) -> count
+    specifier_counts: Counter = field(default_factory=Counter)
+    indexed_specifiers: Counter = field(default_factory=Counter)  # by position class
+    branch_displacements: int = 0
+    #: instruction-stream size accounting
+    instruction_bytes: int = 0
+    specifier_bytes: int = 0
+    displacement_bytes: int = 0
+    #: D-stream reads/writes by Table 5 row label
+    reads_by_source: Counter = field(default_factory=Counter)
+    writes_by_source: Counter = field(default_factory=Counter)
+    #: interrupt / context switch events (Table 7)
+    software_interrupt_requests: int = 0
+    interrupts_delivered: int = 0
+    context_switches: int = 0
+    #: exceptions
+    page_faults: int = 0
+    arithmetic_exceptions: int = 0
+
+    def record_branch(self, class_name: str, taken: bool) -> None:
+        self.branch_executed[class_name] += 1
+        if taken:
+            self.branch_taken[class_name] += 1
+
+    def taken_fraction(self, class_name: str) -> float:
+        executed = self.branch_executed[class_name]
+        return self.branch_taken[class_name] / executed if executed else 0.0
+
+    def merge_from(self, other: "EventCounters") -> None:
+        """Accumulate another run's counters (composite workloads)."""
+        self.instructions += other.instructions
+        self.opcode_counts += other.opcode_counts
+        self.branch_executed += other.branch_executed
+        self.branch_taken += other.branch_taken
+        self.specifier_counts += other.specifier_counts
+        self.indexed_specifiers += other.indexed_specifiers
+        self.branch_displacements += other.branch_displacements
+        self.instruction_bytes += other.instruction_bytes
+        self.specifier_bytes += other.specifier_bytes
+        self.displacement_bytes += other.displacement_bytes
+        self.reads_by_source += other.reads_by_source
+        self.writes_by_source += other.writes_by_source
+        self.software_interrupt_requests += other.software_interrupt_requests
+        self.interrupts_delivered += other.interrupts_delivered
+        self.context_switches += other.context_switches
+        self.page_faults += other.page_faults
+        self.arithmetic_exceptions += other.arithmetic_exceptions

@@ -1,0 +1,164 @@
+"""I-Decode specifier decoding and the operand references handed to
+execute-phase semantics.
+
+``decode_specifier`` consumes specifier bytes through a caller-supplied
+byte source (the EBOX's charged IB consumer) and resolves the addressing
+mode, including the PC pseudo-modes (immediate, absolute, relative) and
+index prefixes.  :class:`OperandRef` carries everything the execute phase
+needs: the loaded value for read/modify operands, the effective address
+for memory operands, and the control-store routine where a result store
+must charge its write cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.isa.datatypes import DataType, sign_extend
+from repro.isa.specifiers import AccessType, AddressingMode, DecodedSpecifier, OperandSpec
+from repro.ucode.control_store import Routine
+
+_PC = 15
+
+_BASE_MODES = {
+    0x5: AddressingMode.REGISTER,
+    0x6: AddressingMode.REGISTER_DEFERRED,
+    0x7: AddressingMode.AUTODECREMENT,
+    0x8: AddressingMode.AUTOINCREMENT,
+    0x9: AddressingMode.AUTOINCREMENT_DEFERRED,
+    0xA: AddressingMode.BYTE_DISPLACEMENT,
+    0xB: AddressingMode.BYTE_DISPLACEMENT_DEFERRED,
+    0xC: AddressingMode.WORD_DISPLACEMENT,
+    0xD: AddressingMode.WORD_DISPLACEMENT_DEFERRED,
+    0xE: AddressingMode.LONG_DISPLACEMENT,
+    0xF: AddressingMode.LONG_DISPLACEMENT_DEFERRED,
+}
+
+_PC_MODES = {
+    0x8: AddressingMode.IMMEDIATE,
+    0x9: AddressingMode.ABSOLUTE,
+    0xA: AddressingMode.BYTE_RELATIVE,
+    0xB: AddressingMode.BYTE_RELATIVE_DEFERRED,
+    0xC: AddressingMode.WORD_RELATIVE,
+    0xD: AddressingMode.WORD_RELATIVE_DEFERRED,
+    0xE: AddressingMode.LONG_RELATIVE,
+    0xF: AddressingMode.LONG_RELATIVE_DEFERRED,
+}
+
+
+class IllegalSpecifier(Exception):
+    """An addressing mode forbidden for the operand's access type."""
+
+
+def decode_specifier(take: Callable[[int], bytes], dtype: DataType) -> DecodedSpecifier:
+    """Decode one operand specifier, consuming bytes via ``take``.
+
+    ``dtype`` sizes immediate extensions.  Returns a
+    :class:`~repro.isa.specifiers.DecodedSpecifier`.
+    """
+    first = take(1)[0]
+    length = 1
+    nibble = first >> 4
+    low = first & 0xF
+
+    index_register: Optional[int] = None
+    if nibble == 0x4:
+        index_register = low
+        first = take(1)[0]
+        length += 1
+        nibble = first >> 4
+        low = first & 0xF
+        if nibble in (0x0, 0x1, 0x2, 0x3, 0x4, 0x5) or (nibble == 0x8 and low == _PC):
+            raise IllegalSpecifier("base mode {:#x} cannot follow an index prefix".format(nibble))
+
+    if nibble <= 0x3:
+        # Short literal: six bits packed into the specifier byte.
+        return DecodedSpecifier(
+            mode=AddressingMode.SHORT_LITERAL,
+            register=None,
+            extension=first & 0x3F,
+            length=length,
+            index_register=index_register,
+        )
+
+    if low == _PC and nibble in _PC_MODES:
+        mode = _PC_MODES[nibble]
+        if mode is AddressingMode.IMMEDIATE:
+            size = _immediate_size(dtype)
+            raw = int.from_bytes(take(size), "little")
+            return DecodedSpecifier(mode, None, raw, length + size, index_register)
+        if mode is AddressingMode.ABSOLUTE:
+            raw = int.from_bytes(take(4), "little")
+            return DecodedSpecifier(mode, None, raw, length + 4, index_register)
+        disp_size = mode.displacement_size
+        raw = int.from_bytes(take(disp_size), "little")
+        extension = sign_extend(raw, 8 * disp_size)
+        return DecodedSpecifier(mode, None, extension, length + disp_size, index_register)
+
+    mode = _BASE_MODES.get(nibble)
+    if mode is None:
+        raise IllegalSpecifier("unknown specifier byte {:#04x}".format(first))
+    disp_size = mode.displacement_size
+    extension = 0
+    if disp_size:
+        raw = int.from_bytes(take(disp_size), "little")
+        extension = sign_extend(raw, 8 * disp_size)
+    return DecodedSpecifier(mode, low, extension, length + disp_size, index_register)
+
+
+def _immediate_size(dtype: DataType) -> int:
+    if dtype is DataType.QUAD:
+        return 8
+    if dtype in (DataType.BYTE,):
+        return 1
+    if dtype is DataType.WORD:
+        return 2
+    return 4
+
+
+def expand_float_literal(bits: int) -> float:
+    """Expand a 6-bit short literal into its F_floating value.
+
+    The six bits split into a 3-bit exponent and 3-bit fraction, giving
+    the values 0.5, 0.5625, ... up to 120.0.
+    """
+    exponent = (bits >> 3) & 7
+    fraction = bits & 7
+    return 0.5 * (1.0 + fraction / 8.0) * (2.0 ** exponent)
+
+
+@dataclass
+class OperandRef:
+    """A fully processed operand, as the execute phase sees it.
+
+    ``value`` is populated for READ and MODIFY access (raw unsigned form
+    of the operand's data type); ``address`` for memory operands;
+    ``register`` for register-mode operands.  ``routine`` is the
+    specifier microroutine whose WRITE slot a result store charges.
+    """
+
+    spec: OperandSpec
+    mode: AddressingMode
+    register: Optional[int]
+    address: Optional[int]
+    value: Optional[int]
+    routine: Routine
+    position_class: str  # 'spec1' | 'spec26'
+    is_indexed: bool = False
+
+    @property
+    def is_register(self) -> bool:
+        return self.mode is AddressingMode.REGISTER
+
+    @property
+    def is_memory(self) -> bool:
+        return self.address is not None
+
+    @property
+    def dtype(self) -> DataType:
+        return self.spec.dtype
+
+    @property
+    def access(self) -> AccessType:
+        return self.spec.access

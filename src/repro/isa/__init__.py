@@ -1,0 +1,43 @@
+"""VAX architecture subset: data types, opcodes, operand specifiers, registers.
+
+This package defines the *architectural* layer of the reproduction — the
+things that are true of any VAX implementation (Section 3 of the paper).
+The implementation-specific machinery (pipeline, microcode, caches) lives
+in :mod:`repro.cpu`, :mod:`repro.ucode` and :mod:`repro.memory`.
+"""
+
+from repro.isa.datatypes import (
+    DataType,
+    sign_extend,
+    truncate,
+    to_signed,
+    f_floating_encode,
+    f_floating_decode,
+    packed_decimal_encode,
+    packed_decimal_decode,
+)
+from repro.isa.opcodes import Opcode, OpcodeGroup, OPCODES, opcode_by_mnemonic
+from repro.isa.specifiers import AddressingMode, AccessType, OperandSpec
+from repro.isa.registers import RegisterFile, Reg
+from repro.isa.psl import ProcessorStatus
+
+__all__ = [
+    "DataType",
+    "sign_extend",
+    "truncate",
+    "to_signed",
+    "f_floating_encode",
+    "f_floating_decode",
+    "packed_decimal_encode",
+    "packed_decimal_decode",
+    "Opcode",
+    "OpcodeGroup",
+    "OPCODES",
+    "opcode_by_mnemonic",
+    "AddressingMode",
+    "AccessType",
+    "OperandSpec",
+    "RegisterFile",
+    "Reg",
+    "ProcessorStatus",
+]

@@ -1,0 +1,75 @@
+"""The VAX Processor Status Longword (PSL).
+
+The low word (PSW) carries the condition codes and trap-enable bits; the
+high word carries processor state: current/previous access mode,
+interrupt priority level (IPL), and the interrupt-stack flag.  The
+miniature VMS layer in :mod:`repro.vms` manipulates the IPL and mode
+fields through CHMK/REI and MTPR exactly as real VMS does.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.isa.datatypes import ConditionCodes
+
+
+class AccessMode(IntEnum):
+    """The four VAX access modes, most to least privileged."""
+
+    KERNEL = 0
+    EXECUTIVE = 1
+    SUPERVISOR = 2
+    USER = 3
+
+
+class ProcessorStatus:
+    """Architectural processor status: condition codes, IPL, access modes."""
+
+    __slots__ = ("cc", "ipl", "current_mode", "previous_mode", "interrupt_stack", "trace")
+
+    def __init__(self):
+        self.cc = ConditionCodes()
+        self.ipl = 0
+        self.current_mode = AccessMode.KERNEL
+        self.previous_mode = AccessMode.KERNEL
+        self.interrupt_stack = False
+        self.trace = False
+
+    def pack(self) -> int:
+        """Pack into the architectural 32-bit PSL image."""
+        word = (
+            (1 if self.cc.c else 0)
+            | (1 if self.cc.v else 0) << 1
+            | (1 if self.cc.z else 0) << 2
+            | (1 if self.cc.n else 0) << 3
+            | (1 if self.trace else 0) << 4
+        )
+        high = (
+            (self.ipl & 0x1F) << 16
+            | (int(self.previous_mode) & 3) << 22
+            | (int(self.current_mode) & 3) << 24
+            | (1 if self.interrupt_stack else 0) << 26
+        )
+        return word | high
+
+    def unpack(self, image: int) -> None:
+        """Restore state from a packed PSL image (used by REI/LDPCTX)."""
+        self.cc.c = bool(image & 1)
+        self.cc.v = bool(image >> 1 & 1)
+        self.cc.z = bool(image >> 2 & 1)
+        self.cc.n = bool(image >> 3 & 1)
+        self.trace = bool(image >> 4 & 1)
+        self.ipl = image >> 16 & 0x1F
+        self.previous_mode = AccessMode(image >> 22 & 3)
+        self.current_mode = AccessMode(image >> 24 & 3)
+        self.interrupt_stack = bool(image >> 26 & 1)
+
+    @property
+    def is_kernel(self) -> bool:
+        return self.current_mode is AccessMode.KERNEL
+
+    def __repr__(self) -> str:
+        return "ProcessorStatus(ipl={}, mode={}, cc={})".format(
+            self.ipl, self.current_mode.name, self.cc
+        )

@@ -1,0 +1,199 @@
+"""VAX operand specifiers and addressing modes.
+
+A VAX instruction is an opcode byte followed by zero to six *operand
+specifiers*.  Each specifier's first byte carries a 4-bit addressing mode
+in its high nibble and (usually) a register number in its low nibble;
+modes 0-3 pack a 6-bit short literal into the byte instead.  Register 15
+is the PC, and the register modes acquire PC-relative meanings when
+Rn = PC (immediate, absolute, relative, relative deferred).
+
+The paper's Table 4 reports the dynamic distribution of these modes;
+:mod:`repro.core.tables` recreates that table from specifier-microcode
+execution counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.isa.datatypes import DataType
+
+
+class AccessType(Enum):
+    """How an instruction accesses an operand (VAX architecture terms)."""
+
+    READ = "r"
+    WRITE = "w"
+    MODIFY = "m"
+    ADDRESS = "a"
+    VFIELD = "v"  # variable-length bit field base
+    BRANCH = "b"  # branch displacement, not a general specifier
+
+
+class AddressingMode(Enum):
+    """VAX addressing modes, keyed by the specifier's high nibble.
+
+    ``SHORT_LITERAL`` covers nibbles 0-3.  The PC-register variants
+    (immediate, absolute, relative, relative deferred) are distinguished
+    during decode when the register field is 15.
+    """
+
+    SHORT_LITERAL = 0x0  # nibbles 0..3
+    INDEXED = 0x4
+    REGISTER = 0x5
+    REGISTER_DEFERRED = 0x6
+    AUTODECREMENT = 0x7
+    AUTOINCREMENT = 0x8
+    AUTOINCREMENT_DEFERRED = 0x9
+    BYTE_DISPLACEMENT = 0xA
+    BYTE_DISPLACEMENT_DEFERRED = 0xB
+    WORD_DISPLACEMENT = 0xC
+    WORD_DISPLACEMENT_DEFERRED = 0xD
+    LONG_DISPLACEMENT = 0xE
+    LONG_DISPLACEMENT_DEFERRED = 0xF
+    # PC-register pseudo-modes (mode nibble shown in comments):
+    IMMEDIATE = 0x108  # 8F: autoincrement of PC
+    ABSOLUTE = 0x109  # 9F: autoincrement deferred of PC
+    BYTE_RELATIVE = 0x10A  # AF
+    BYTE_RELATIVE_DEFERRED = 0x10B  # BF
+    WORD_RELATIVE = 0x10C  # CF
+    WORD_RELATIVE_DEFERRED = 0x10D  # DF
+    LONG_RELATIVE = 0x10E  # EF
+    LONG_RELATIVE_DEFERRED = 0x10F  # FF
+
+    @property
+    def is_pc_mode(self) -> bool:
+        return self.value >= 0x100
+
+    @property
+    def base_nibble(self) -> int:
+        """The high nibble this mode encodes to in the specifier byte."""
+        return self.value & 0xF
+
+    @property
+    def references_memory(self) -> bool:
+        """True when operand *data* lives in memory (not register/literal)."""
+        return self not in (
+            AddressingMode.SHORT_LITERAL,
+            AddressingMode.REGISTER,
+            AddressingMode.INDEXED,  # memory-ness comes from the base mode
+        )
+
+    @property
+    def is_deferred(self) -> bool:
+        return self in _DEFERRED_MODES
+
+    @property
+    def displacement_size(self) -> int:
+        """Bytes of displacement that follow the specifier byte (0 if none)."""
+        return _DISPLACEMENT_SIZES.get(self, 0)
+
+
+_DEFERRED_MODES = frozenset(
+    {
+        AddressingMode.AUTOINCREMENT_DEFERRED,
+        AddressingMode.BYTE_DISPLACEMENT_DEFERRED,
+        AddressingMode.WORD_DISPLACEMENT_DEFERRED,
+        AddressingMode.LONG_DISPLACEMENT_DEFERRED,
+        AddressingMode.ABSOLUTE,
+        AddressingMode.BYTE_RELATIVE_DEFERRED,
+        AddressingMode.WORD_RELATIVE_DEFERRED,
+        AddressingMode.LONG_RELATIVE_DEFERRED,
+    }
+)
+
+_DISPLACEMENT_SIZES = {
+    AddressingMode.BYTE_DISPLACEMENT: 1,
+    AddressingMode.BYTE_DISPLACEMENT_DEFERRED: 1,
+    AddressingMode.WORD_DISPLACEMENT: 2,
+    AddressingMode.WORD_DISPLACEMENT_DEFERRED: 2,
+    AddressingMode.LONG_DISPLACEMENT: 4,
+    AddressingMode.LONG_DISPLACEMENT_DEFERRED: 4,
+    AddressingMode.BYTE_RELATIVE: 1,
+    AddressingMode.BYTE_RELATIVE_DEFERRED: 1,
+    AddressingMode.WORD_RELATIVE: 2,
+    AddressingMode.WORD_RELATIVE_DEFERRED: 2,
+    AddressingMode.LONG_RELATIVE: 4,
+    AddressingMode.LONG_RELATIVE_DEFERRED: 4,
+    AddressingMode.ABSOLUTE: 4,
+}
+
+#: Mode groups used by the Table 4 row labels.
+TABLE4_ROW_FOR_MODE = {
+    AddressingMode.REGISTER: "register",
+    AddressingMode.SHORT_LITERAL: "short_literal",
+    AddressingMode.IMMEDIATE: "immediate",
+    AddressingMode.BYTE_DISPLACEMENT: "displacement",
+    AddressingMode.WORD_DISPLACEMENT: "displacement",
+    AddressingMode.LONG_DISPLACEMENT: "displacement",
+    AddressingMode.BYTE_RELATIVE: "displacement",
+    AddressingMode.WORD_RELATIVE: "displacement",
+    AddressingMode.LONG_RELATIVE: "displacement",
+    AddressingMode.REGISTER_DEFERRED: "register_deferred",
+    AddressingMode.BYTE_DISPLACEMENT_DEFERRED: "displacement_deferred",
+    AddressingMode.WORD_DISPLACEMENT_DEFERRED: "displacement_deferred",
+    AddressingMode.LONG_DISPLACEMENT_DEFERRED: "displacement_deferred",
+    AddressingMode.BYTE_RELATIVE_DEFERRED: "displacement_deferred",
+    AddressingMode.WORD_RELATIVE_DEFERRED: "displacement_deferred",
+    AddressingMode.LONG_RELATIVE_DEFERRED: "displacement_deferred",
+    AddressingMode.ABSOLUTE: "absolute",
+    AddressingMode.AUTOINCREMENT: "auto_inc_dec_def",
+    AddressingMode.AUTODECREMENT: "auto_inc_dec_def",
+    AddressingMode.AUTOINCREMENT_DEFERRED: "auto_inc_dec_def",
+}
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    """The static signature of one operand position of an opcode.
+
+    For example ``ADDL3 add.rl, add.rl, sum.wl`` has three OperandSpecs:
+    two ``(READ, LONG)`` and one ``(WRITE, LONG)``.
+    """
+
+    access: AccessType
+    dtype: DataType
+
+    def __str__(self) -> str:
+        return "{}{}".format(self.access.value, self.dtype.value)
+
+
+def parse_operand_signature(signature: str):
+    """Parse a compact signature like ``"rl,rl,wl"`` into OperandSpecs.
+
+    Access letters: r/w/m/a/v/b; type letters: b/w/l/q/f/p/v (see
+    :class:`DataType`).  Used by the opcode table for brevity.
+    """
+    if not signature:
+        return ()
+    specs = []
+    for token in signature.split(","):
+        token = token.strip()
+        if len(token) != 2:
+            raise ValueError("bad operand token {!r}".format(token))
+        specs.append(OperandSpec(AccessType(token[0]), DataType(token[1])))
+    return tuple(specs)
+
+
+@dataclass(frozen=True)
+class DecodedSpecifier:
+    """A dynamically decoded operand specifier (output of the I-Decode stage).
+
+    ``mode`` is the resolved addressing mode (PC pseudo-modes already
+    distinguished), ``register`` the base register (None for literal /
+    PC pseudo-modes), ``extension`` the literal value or displacement,
+    ``index_register`` the Rx of an index prefix (None when not indexed),
+    and ``length`` the total bytes the specifier occupied in the I-stream.
+    """
+
+    mode: AddressingMode
+    register: Optional[int]
+    extension: int
+    length: int
+    index_register: Optional[int] = None
+
+    @property
+    def is_indexed(self) -> bool:
+        return self.index_register is not None

@@ -1,0 +1,42 @@
+"""The VAX-11/780 memory subsystem.
+
+Wires together the pieces of Figure 1's right-hand side: virtual addresses
+pass through the Translation Buffer, physical addresses access the
+write-through data cache, misses travel over the SBI to main memory, and
+data writes drain through the single-longword write buffer.  Each piece
+reports the implementation events (Section 4 of the paper) the analysis
+layer aggregates: TB misses, cache misses, stall cycles, unaligned
+references.
+"""
+
+from repro.memory.physical import PhysicalMemory
+from repro.memory.pagetable import PageTable, PageTableEntry, PAGE_SIZE
+from repro.memory.tb import TranslationBuffer, TBMiss
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.write_buffer import WriteBuffer
+from repro.memory.sbi import SBI
+from repro.memory.subsystem import (
+    MemorySubsystem,
+    PageFault,
+    ReadOutcome,
+    WriteOutcome,
+    READ_MISS_STALL_CYCLES,
+)
+
+__all__ = [
+    "PhysicalMemory",
+    "PageTable",
+    "PageTableEntry",
+    "PAGE_SIZE",
+    "TranslationBuffer",
+    "TBMiss",
+    "Cache",
+    "CacheStats",
+    "WriteBuffer",
+    "SBI",
+    "MemorySubsystem",
+    "PageFault",
+    "ReadOutcome",
+    "WriteOutcome",
+    "READ_MISS_STALL_CYCLES",
+]

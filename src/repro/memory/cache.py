@@ -1,0 +1,143 @@
+"""The VAX-11/780 data cache.
+
+8 Kbytes, two-way set associative, 8-byte blocks, write-through with no
+write allocation: "during a data write, the cache is accessed to update
+its contents with the data being written.  Note, however, that if the
+write access misses, the cache is not updated" (Section 2.1).
+
+Both the EBOX (D-stream) and the Instruction Buffer (I-stream) reference
+this single cache; the stats distinguish the streams because the paper's
+Section 4.2 reports them separately (0.18 I-stream + 0.10 D-stream read
+misses per instruction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+BLOCK_SIZE = 8
+DEFAULT_CACHE_BYTES = 8 * 1024
+DEFAULT_WAYS = 2
+
+
+@dataclass
+class CacheStats:
+    """Read/write hit and miss counters, split by stream."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    i_read_misses: int = 0
+    d_read_misses: int = 0
+    i_read_hits: int = 0
+    d_read_hits: int = 0
+
+    @property
+    def read_references(self) -> int:
+        return self.read_hits + self.read_misses
+
+    @property
+    def read_miss_rate(self) -> float:
+        total = self.read_references
+        return self.read_misses / total if total else 0.0
+
+
+@dataclass
+class _Line:
+    tag: int = -1
+    lru: int = 0
+
+
+class Cache:
+    """Physically-indexed, physically-tagged set-associative cache.
+
+    The cache holds tags only — data always comes from
+    :class:`~repro.memory.physical.PhysicalMemory`, which is correct for a
+    write-through cache whose backing store is always up to date.  What
+    the simulator needs from the cache is *timing truth*: whether each
+    reference hit.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int = DEFAULT_CACHE_BYTES,
+        ways: int = DEFAULT_WAYS,
+        block_size: int = BLOCK_SIZE,
+    ):
+        if size_bytes % (ways * block_size):
+            raise ValueError("cache size must be a multiple of ways * block_size")
+        self.block_size = block_size
+        self.ways = ways
+        self.sets = size_bytes // (ways * block_size)
+        self._lines: List[List[_Line]] = [
+            [_Line() for _ in range(ways)] for _ in range(self.sets)
+        ]
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def _set_and_tag(self, pa: int):
+        block = pa // self.block_size
+        return block % self.sets, block // self.sets
+
+    def _find(self, lines, tag) -> Optional[_Line]:
+        for line in lines:
+            if line.tag == tag:
+                return line
+        return None
+
+    def read(self, pa: int, stream: str = "d") -> bool:
+        """Look up one block read; returns True on hit, filling on miss."""
+        self._clock += 1
+        index, tag = self._set_and_tag(pa)
+        lines = self._lines[index]
+        line = self._find(lines, tag)
+        if line is not None:
+            line.lru = self._clock
+            self.stats.read_hits += 1
+            if stream == "i":
+                self.stats.i_read_hits += 1
+            else:
+                self.stats.d_read_hits += 1
+            return True
+        self.stats.read_misses += 1
+        if stream == "i":
+            self.stats.i_read_misses += 1
+        else:
+            self.stats.d_read_misses += 1
+        victim = min(lines, key=lambda l: l.lru)
+        victim.tag = tag
+        victim.lru = self._clock
+        return False
+
+    def write(self, pa: int) -> bool:
+        """Look up one block write; updates the block only on hit
+        (no write allocation).  Returns True on hit."""
+        self._clock += 1
+        index, tag = self._set_and_tag(pa)
+        line = self._find(self._lines[index], tag)
+        if line is not None:
+            line.lru = self._clock
+            self.stats.write_hits += 1
+            return True
+        self.stats.write_misses += 1
+        return False
+
+    def probe(self, pa: int) -> bool:
+        """Check residency without statistics or LRU side effects."""
+        index, tag = self._set_and_tag(pa)
+        return self._find(self._lines[index], tag) is not None
+
+    def invalidate_all(self) -> None:
+        """Full cache flush (boot time)."""
+        for lines in self._lines:
+            for line in lines:
+                line.tag = -1
+                line.lru = 0
+
+    def blocks_spanned(self, pa: int, size: int) -> int:
+        """How many cache blocks a [pa, pa+size) reference touches."""
+        first = pa // self.block_size
+        last = (pa + size - 1) // self.block_size
+        return last - first + 1

@@ -1,0 +1,101 @@
+"""VAX page tables, backed by real physical memory.
+
+The VAX has 512-byte pages.  Page-table entries are 32-bit longwords with
+a valid bit, protection field and page-frame number.  Crucially for the
+paper's Section 4.2, PTEs live *in memory*: the TB-miss service microcode
+fetches them through the data cache, and those fetches themselves can
+miss ("Memory management has more than 3 times as many read-stalled
+cycles as reads ... references to Page Table Entries [tend] to miss in
+the cache").  Backing the tables with physical memory reproduces that
+locality behaviour instead of faking it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PAGE_SIZE = 512
+PAGE_SHIFT = 9
+
+#: PTE bit layout (a simplification of the architectural PTE that keeps
+#: the fields the simulator needs).
+PTE_VALID = 1 << 31
+PTE_WRITABLE = 1 << 30
+_PFN_MASK = (1 << 25) - 1
+
+
+@dataclass(frozen=True)
+class PageTableEntry:
+    """A decoded PTE."""
+
+    pfn: int
+    valid: bool
+    writable: bool
+
+    def pack(self) -> int:
+        word = self.pfn & _PFN_MASK
+        if self.valid:
+            word |= PTE_VALID
+        if self.writable:
+            word |= PTE_WRITABLE
+        return word
+
+    @classmethod
+    def unpack(cls, word: int) -> "PageTableEntry":
+        return cls(
+            pfn=word & _PFN_MASK,
+            valid=bool(word & PTE_VALID),
+            writable=bool(word & PTE_WRITABLE),
+        )
+
+
+class PageTable:
+    """One region's page table, stored in a span of physical memory.
+
+    ``base_pa`` is the physical address of PTE 0; entry *n* lives at
+    ``base_pa + 4 * n``.  The table maps virtual page numbers *relative to
+    the region base* (P0 pages count from 0 at VA 0; system pages count
+    from 0 at VA 0x80000000).
+    """
+
+    def __init__(self, physical, base_pa: int, length: int):
+        if base_pa % 4:
+            raise ValueError("page table base must be longword aligned")
+        self.physical = physical
+        self.base_pa = base_pa
+        self.length = length
+
+    def pte_address(self, vpn: int) -> int:
+        """Physical address of the PTE for relative page ``vpn``."""
+        if not 0 <= vpn < self.length:
+            raise IndexError("vpn {} outside page table of {} entries".format(vpn, self.length))
+        return self.base_pa + 4 * vpn
+
+    def map(self, vpn: int, pfn: int, writable: bool = True) -> None:
+        """Install a valid mapping for relative page ``vpn``."""
+        entry = PageTableEntry(pfn=pfn, valid=True, writable=writable)
+        self.physical.write(self.pte_address(vpn), 4, entry.pack())
+
+    def unmap(self, vpn: int) -> None:
+        """Mark ``vpn`` invalid (the pager will fault it back in)."""
+        self.physical.write(self.pte_address(vpn), 4, 0)
+
+    def lookup(self, vpn: int) -> PageTableEntry:
+        """Read and decode the PTE (without modelling the cache access —
+        timing-visible PTE fetches go through :class:`MemorySubsystem`)."""
+        return PageTableEntry.unpack(self.physical.read(self.pte_address(vpn), 4))
+
+
+def region_of(va: int) -> str:
+    """Which architectural region a virtual address falls in: p0/p1/system."""
+    top = (va >> 30) & 3
+    if top == 0:
+        return "p0"
+    if top == 1:
+        return "p1"
+    return "system"
+
+
+def vpn_of(va: int) -> int:
+    """Region-relative virtual page number of ``va``."""
+    return (va & 0x3FFFFFFF) >> PAGE_SHIFT

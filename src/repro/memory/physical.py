@@ -1,0 +1,52 @@
+"""Byte-addressable physical memory.
+
+All measured machines in the paper had 8 Megabytes; that is the default.
+Values are little-endian, as everywhere on the VAX.
+"""
+
+from __future__ import annotations
+
+DEFAULT_MEMORY_BYTES = 8 * 1024 * 1024
+
+
+class PhysicalMemory:
+    """A flat little-endian byte array with bounds checking."""
+
+    def __init__(self, size: int = DEFAULT_MEMORY_BYTES):
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        self.size = size
+        self._bytes = bytearray(size)
+
+    def read(self, address: int, size: int) -> int:
+        """Read ``size`` bytes at ``address`` as an unsigned integer."""
+        end = address + size
+        if address < 0 or end > self.size:
+            raise IndexError(
+                "physical read [{:#x}, {:#x}) outside memory of {:#x} bytes".format(
+                    address, end, self.size
+                )
+            )
+        return int.from_bytes(self._bytes[address:end], "little")
+
+    def write(self, address: int, size: int, value: int) -> None:
+        """Write ``size`` low-order bytes of ``value`` at ``address``."""
+        end = address + size
+        if address < 0 or end > self.size:
+            raise IndexError(
+                "physical write [{:#x}, {:#x}) outside memory of {:#x} bytes".format(
+                    address, end, self.size
+                )
+            )
+        self._bytes[address:end] = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+
+    def load(self, address: int, payload: bytes) -> None:
+        """Bulk-load an image (used to install assembled programs)."""
+        end = address + len(payload)
+        if address < 0 or end > self.size:
+            raise IndexError("image of {} bytes does not fit at {:#x}".format(len(payload), address))
+        self._bytes[address:end] = payload
+
+    def dump(self, address: int, size: int) -> bytes:
+        """Copy out raw bytes (for tests and debugging)."""
+        return bytes(self._bytes[address : address + size])

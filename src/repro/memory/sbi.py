@@ -1,0 +1,73 @@
+"""The Synchronous Backplane Interconnect (SBI).
+
+The path between the cache and main memory.  A cache read miss becomes an
+SBI read transaction; "in the simplest case (no concurrent memory
+activity of other types) this takes 6 cycles on the 11/780" — and the
+qualifier matters: the SBI is a *shared* resource, so a miss that arrives
+while another transaction is in flight queues behind it.  Both the EBOX's
+D-stream misses and the Instruction Buffer's fills travel here, which is
+how I-stream traffic lengthens D-stream stalls (and vice versa) on the
+real machine.
+
+The SBI also carries Unibus traffic — notably the histogram monitor's
+control commands, which the paper stresses are issued only outside
+measurement intervals so monitoring is perturbation-free.  The simulator
+enforces the same property: :class:`~repro.core.monitor.HistogramMonitor`
+never generates SBI transactions while collecting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Read-miss memory latency in EBOX cycles (the "simplest case" figure).
+DEFAULT_READ_LATENCY = 6
+
+
+@dataclass
+class SBIStats:
+    read_transactions: int = 0
+    write_transactions: int = 0
+    total_read_stall_cycles: int = 0
+    queueing_cycles: int = 0
+
+
+class SBI:
+    """Fixed-latency backplane transactions with busy-queue modelling."""
+
+    def __init__(self, read_latency: int = DEFAULT_READ_LATENCY):
+        self.read_latency = read_latency
+        self._busy_until = 0
+        self.stats = SBIStats()
+
+    def read_block(self, now: Optional[int] = None) -> int:
+        """One cache-fill read; returns the total stall cycles it costs.
+
+        With ``now`` (EBOX cycle time) supplied, the transaction queues
+        behind any in-flight transaction; without it, the simplest-case
+        fixed latency is charged (used by unit tests and cold paths).
+        """
+        self.stats.read_transactions += 1
+        if now is None:
+            self.stats.total_read_stall_cycles += self.read_latency
+            return self.read_latency
+        wait = max(0, self._busy_until - now)
+        self._busy_until = now + wait + self.read_latency
+        total = wait + self.read_latency
+        self.stats.queueing_cycles += wait
+        self.stats.total_read_stall_cycles += total
+        return total
+
+    def write_longword(self) -> None:
+        """One write-through transaction.
+
+        Writes overlap EBOX execution through the write buffer; their
+        occupancy of the memory port is modelled by the write buffer's
+        drain time (see :meth:`MemorySubsystem.read`), so they are only
+        counted here.
+        """
+        self.stats.write_transactions += 1
+
+    def busy_cycles_remaining(self, now: int) -> int:
+        return max(0, self._busy_until - now)

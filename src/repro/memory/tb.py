@@ -1,0 +1,133 @@
+"""The VAX-11/780 Translation Buffer.
+
+128 entries split into two direct-mapped halves of 64: one for system
+space, one for process (P0/P1) space.  The process half is flushed on
+every context switch (LDPCTX), which is why the paper points at
+context-switch headway as "useful in setting the 'flush' interval in
+cache and translation buffer simulations".
+
+A lookup either hits (returning the cached PFN) or raises :class:`TBMiss`;
+on the real machine an EBOX-reference miss asserts a microcode interrupt
+and the miss-service microroutine walks the page table and calls
+:meth:`TranslationBuffer.fill`.  The EBOX model does exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.pagetable import PAGE_SHIFT, PAGE_SIZE, region_of, vpn_of
+
+HALF_ENTRIES = 64
+
+
+class TBMiss(Exception):
+    """Raised when a virtual address has no TB entry.
+
+    Carries everything the miss-service microroutine needs.
+    """
+
+    def __init__(self, va: int, write: bool, stream: str):
+        super().__init__("TB miss at {:#010x}".format(va))
+        self.va = va
+        self.write = write
+        self.stream = stream  # 'i' or 'd'
+
+
+@dataclass
+class _Entry:
+    tag: int = -1
+    pfn: int = 0
+    writable: bool = False
+
+
+@dataclass
+class TBStats:
+    """Per-stream hit/miss counters (paper: 0.029 misses/instr total,
+    0.020 D-stream + 0.009 I-stream)."""
+
+    hits: int = 0
+    misses: int = 0
+    d_misses: int = 0
+    i_misses: int = 0
+    process_flushes: int = 0
+
+    @property
+    def references(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.references if self.references else 0.0
+
+
+class TranslationBuffer:
+    """Two direct-mapped halves (system / process), 64 entries each on
+    the 11/780; the half size is parameterized for ablation studies."""
+
+    def __init__(self, half_entries: int = HALF_ENTRIES):
+        if half_entries <= 0 or half_entries & (half_entries - 1):
+            raise ValueError("half_entries must be a positive power of two")
+        self.half_entries = half_entries
+        self._index_bits = half_entries.bit_length() - 1
+        self._system = [_Entry() for _ in range(half_entries)]
+        self._process = [_Entry() for _ in range(half_entries)]
+        self.stats = TBStats()
+
+    def _half_and_tag(self, va: int):
+        # Index by low VPN bits within the region; tag with the rest plus
+        # the region so P0 and P1 pages cannot alias each other.
+        vpn = vpn_of(va)
+        index = vpn % self.half_entries
+        region = region_of(va)
+        tag = (vpn >> self._index_bits) << 2 | {"p0": 0, "p1": 1, "system": 2}[region]
+        half = self._system if region == "system" else self._process
+        return half, index, tag
+
+    def translate(self, va: int, write: bool = False, stream: str = "d") -> int:
+        """Translate ``va``; raise :class:`TBMiss` when not resident.
+
+        Returns the physical address.  (Write-protection faults are the
+        VMS layer's concern; the TB only caches what it was filled with.)
+        """
+        half, index, tag = self._half_and_tag(va)
+        entry = half[index]
+        if entry.tag != tag:
+            self.stats.misses += 1
+            if stream == "i":
+                self.stats.i_misses += 1
+            else:
+                self.stats.d_misses += 1
+            raise TBMiss(va, write, stream)
+        self.stats.hits += 1
+        return (entry.pfn << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
+
+    def probe(self, va: int) -> bool:
+        """True when a translation is resident (no statistics side effects)."""
+        half, index, tag = self._half_and_tag(va)
+        return half[index].tag == tag
+
+    def fill(self, va: int, pfn: int, writable: bool) -> None:
+        """Install a translation (the tail of the miss-service routine)."""
+        half, index, tag = self._half_and_tag(va)
+        half[index] = _Entry(tag=tag, pfn=pfn, writable=writable)
+
+    def invalidate(self, va: int) -> None:
+        """TBIS: invalidate a single virtual address if resident."""
+        half, index, tag = self._half_and_tag(va)
+        if half[index].tag == tag:
+            half[index] = _Entry()
+
+    def flush_process(self) -> None:
+        """Flush the process half (LDPCTX / process-space TBIA)."""
+        self._process = [_Entry() for _ in range(self.half_entries)]
+        self.stats.process_flushes += 1
+
+    def flush_all(self) -> None:
+        """Full TBIA (used at boot)."""
+        self._system = [_Entry() for _ in range(self.half_entries)]
+        self._process = [_Entry() for _ in range(self.half_entries)]
+
+    def resident_count(self) -> int:
+        """Number of valid entries (diagnostics)."""
+        return sum(1 for e in self._system + self._process if e.tag != -1)

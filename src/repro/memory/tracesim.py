@@ -1,0 +1,225 @@
+"""Trace-driven cache and translation-buffer simulators.
+
+The paper leans on two companion studies — Clark's cache measurements
+(reference [2]) and Clark & Emer's TB simulation-and-measurement study
+(reference [3]) — and notes that its context-switch headway "is useful in
+setting the 'flush' interval in cache and translation buffer
+simulations".  This module supplies those simulators: capture a virtual
+reference trace from a running machine (via
+:attr:`MemorySubsystem.trace_hook`), then replay it against arbitrary
+cache/TB geometries and flush intervals without re-running the machine.
+
+A reference that TB-missed during capture appears twice in the trace
+(the microtrap retry re-issues it); replay handles this naturally — the
+duplicate hits whatever structure the first occurrence filled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.memory.pagetable import PAGE_SHIFT
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One captured reference: kind, virtual address, owning process."""
+
+    kind: str  # 'iread' | 'dread' | 'write'
+    va: int
+    pid: int = 0
+
+
+@dataclass
+class ReferenceTrace:
+    """A captured reference stream with context-switch markers."""
+
+    entries: List[TraceEntry] = field(default_factory=list)
+    switch_points: List[int] = field(default_factory=list)  # indices into entries
+
+    def append(self, kind: str, va: int, pid: int) -> None:
+        if self.entries and self.entries[-1].pid != pid:
+            self.switch_points.append(len(self.entries))
+        self.entries.append(TraceEntry(kind, va, pid))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def mean_switch_interval(self) -> float:
+        """Average references between context switches."""
+        if not self.switch_points:
+            return float(len(self.entries))
+        return len(self.entries) / (len(self.switch_points) + 1)
+
+
+class TraceRecorder:
+    """Captures a :class:`ReferenceTrace` from a running kernel's machine.
+
+    Usage::
+
+        recorder = TraceRecorder(kernel)
+        recorder.start()
+        kernel.run(max_instructions=...)
+        trace = recorder.stop()
+    """
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.trace = ReferenceTrace()
+
+    def _hook(self, kind: str, va: int) -> None:
+        current = self.kernel.current
+        pid = current.pid if current is not None else -1
+        if current is not None and current.is_null:
+            return  # the Null process is excluded from measurement
+        self.trace.append(kind, va, pid)
+
+    def start(self) -> None:
+        self.kernel.machine.memory.trace_hook = self._hook
+
+    def stop(self) -> "ReferenceTrace":
+        self.kernel.machine.memory.trace_hook = None
+        return self.trace
+
+
+# ---------------------------------------------------------------------------
+# replay models
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheSimResult:
+    references: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    i_read_misses: int = 0
+    d_read_misses: int = 0
+
+    @property
+    def read_miss_rate(self) -> float:
+        return self.read_misses / self.references if self.references else 0.0
+
+
+def simulate_cache(
+    trace: ReferenceTrace,
+    size_bytes: int = 8 * 1024,
+    ways: int = 2,
+    block_size: int = 8,
+    write_allocate: bool = False,
+    flush_on_switch: bool = False,
+) -> CacheSimResult:
+    """Replay a trace against a set-associative cache geometry.
+
+    Addresses are virtual (the 780's cache was physical, but within one
+    process the mapping is effectively linear, and per-process tagging is
+    approximated by mixing the pid into the tag).
+    """
+    if size_bytes % (ways * block_size):
+        raise ValueError("size must be a multiple of ways * block_size")
+    sets = size_bytes // (ways * block_size)
+    lines = [[(-1, 0)] * ways for _ in range(sets)]  # (tag, lru)
+    clock = 0
+    result = CacheSimResult()
+    switch_set = set(trace.switch_points)
+
+    for index, entry in enumerate(trace.entries):
+        if flush_on_switch and index in switch_set:
+            lines = [[(-1, 0)] * ways for _ in range(sets)]
+        clock += 1
+        block = entry.va // block_size
+        set_index = block % sets
+        tag = ((block // sets) << 8) | (entry.pid & 0xFF)
+        row = lines[set_index]
+        hit_way = next((w for w, (t, _) in enumerate(row) if t == tag), None)
+        result.references += 1
+        if entry.kind == "write":
+            if hit_way is None:
+                result.write_misses += 1
+                if not write_allocate:
+                    continue
+            else:
+                row[hit_way] = (tag, clock)
+                continue
+        else:
+            if hit_way is not None:
+                row[hit_way] = (tag, clock)
+                continue
+            result.read_misses += 1
+            if entry.kind == "iread":
+                result.i_read_misses += 1
+            else:
+                result.d_read_misses += 1
+        victim = min(range(ways), key=lambda w: row[w][1])
+        row[victim] = (tag, clock)
+    return result
+
+
+@dataclass
+class TBSimResult:
+    references: int = 0
+    misses: int = 0
+    flushes: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.references if self.references else 0.0
+
+
+def simulate_tb(
+    trace: ReferenceTrace,
+    half_entries: int = 64,
+    flush_interval: Optional[int] = None,
+    flush_on_switch: bool = True,
+) -> TBSimResult:
+    """Replay page references against a direct-mapped process-half TB.
+
+    ``flush_interval`` (references between synthetic flushes) overrides
+    the trace's real context-switch points when given — this is exactly
+    the knob the paper says its Table 7 informs.  System-space pages
+    (VA bit 31) go to an unflushed system half, as on the 780.
+    """
+    process_half = [-1] * half_entries
+    system_half = [-1] * half_entries
+    index_bits = half_entries.bit_length() - 1
+    result = TBSimResult()
+    switch_set = set(trace.switch_points)
+    since_flush = 0
+
+    for index, entry in enumerate(trace.entries):
+        flush = False
+        if flush_interval is not None:
+            since_flush += 1
+            if since_flush >= flush_interval:
+                flush = True
+                since_flush = 0
+        elif flush_on_switch and index in switch_set:
+            flush = True
+        if flush:
+            process_half = [-1] * half_entries
+            result.flushes += 1
+
+        is_system = bool(entry.va & 0x8000_0000)
+        vpn = (entry.va & 0x3FFF_FFFF) >> PAGE_SHIFT
+        slot = vpn % half_entries
+        tag = ((vpn >> index_bits) << 8) | (0 if is_system else (entry.pid & 0xFF))
+        half = system_half if is_system else process_half
+        result.references += 1
+        if half[slot] != tag:
+            result.misses += 1
+            half[slot] = tag
+    return result
+
+
+def flush_interval_sweep(
+    trace: ReferenceTrace,
+    intervals: Iterable[int],
+    half_entries: int = 64,
+) -> List[Tuple[int, float]]:
+    """The paper's suggested study: TB miss rate as a function of the
+    flush interval.  Returns (interval, miss_rate) pairs."""
+    return [
+        (interval, simulate_tb(trace, half_entries=half_entries, flush_interval=interval).miss_rate)
+        for interval in intervals
+    ]

@@ -1,0 +1,36 @@
+"""The microcoded EBOX's control store.
+
+The 11/780 executes every VAX instruction as a sequence of
+microinstructions held in a 16K-location control store; the paper's
+monitor counts cycles *per control-store location*.  This package lays
+out that control store: every activity the EBOX can perform — opcode
+decode, each specifier mode's processing (separately for first and
+subsequent specifiers), branch-displacement handling, each opcode's
+execute phase, TB-miss service, interrupt entry, abort cycles — gets real
+micro-PC addresses.  The region map doubles as the analyst's dictionary
+for turning raw histogram counts back into the paper's tables.
+"""
+
+from repro.ucode.microword import CycleKind, MicroSlot
+from repro.ucode.control_store import (
+    ControlStore,
+    Region,
+    Routine,
+    CONTROL_STORE_SIZE,
+)
+from repro.ucode.routines import MicrocodeLayout, build_layout
+from repro.ucode.costs import SPEC_COSTS, exec_profile, ExecProfile
+
+__all__ = [
+    "CycleKind",
+    "MicroSlot",
+    "ControlStore",
+    "Region",
+    "Routine",
+    "CONTROL_STORE_SIZE",
+    "MicrocodeLayout",
+    "build_layout",
+    "SPEC_COSTS",
+    "exec_profile",
+    "ExecProfile",
+]

@@ -1,0 +1,148 @@
+"""The 16K-location control store and its region map.
+
+Regions correspond to the *rows* of Table 8: decode, first-specifier
+processing, subsequent-specifier processing, branch displacements, one
+execute region per opcode group, and the overhead regions (interrupts and
+exceptions, memory management, aborts).  The analysis layer classifies a
+histogram bucket by looking its address up here — exactly the
+"additional interpretation of the raw histogram data" the paper
+describes, with the region map standing in for the microcode listings the
+authors read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.ucode.microword import SLOT_KIND, CycleKind, MicroSlot
+
+CONTROL_STORE_SIZE = 16 * 1024
+
+
+class Region(Enum):
+    """Named control-store regions with (base, size) extents."""
+
+    DECODE = ("decode", 0x0000, 0x0010)
+    SPEC1 = ("spec1", 0x0100, 0x0100)
+    SPEC26 = ("spec26", 0x0200, 0x0100)
+    BDISP = ("bdisp", 0x0300, 0x0010)
+    EXEC_SIMPLE = ("exec_simple", 0x0400, 0x0400)
+    EXEC_FIELD = ("exec_field", 0x0800, 0x0100)
+    EXEC_FLOAT = ("exec_float", 0x0900, 0x0200)
+    EXEC_CALLRET = ("exec_callret", 0x0B00, 0x0080)
+    EXEC_SYSTEM = ("exec_system", 0x0C00, 0x0100)
+    EXEC_CHARACTER = ("exec_character", 0x0D00, 0x0080)
+    EXEC_DECIMAL = ("exec_decimal", 0x0E00, 0x0080)
+    INTEXC = ("intexc", 0x0F00, 0x0040)
+    MEMMGMT = ("memmgmt", 0x0F40, 0x0040)
+    ABORT = ("abort", 0x0F80, 0x0010)
+
+    def __init__(self, label: str, base: int, size: int):
+        self.label = label
+        self.base = base
+        self.size = size
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+@dataclass
+class Routine:
+    """One microroutine: a name plus the addresses of its slots.
+
+    ``patched`` marks routines whose entry microinstruction carries a
+    control-store patch; each execution costs one extra abort cycle
+    (Section 5: "one [abort cycle] ... for each microcode patch").
+    """
+
+    name: str
+    region: Region
+    slots: Dict[MicroSlot, int]
+    patched: bool = False
+
+    def address(self, slot: MicroSlot) -> int:
+        """The micro-PC of one slot of this routine."""
+        return self.slots[slot]
+
+    @property
+    def base(self) -> int:
+        return min(self.slots.values())
+
+
+class ControlStore:
+    """Allocates routines into regions and answers reverse lookups."""
+
+    def __init__(self):
+        self._cursor: Dict[Region, int] = {region: region.base for region in Region}
+        self._routines: List[Routine] = []
+        self._by_address: Dict[int, Tuple[Routine, MicroSlot]] = {}
+        self._verify_regions_disjoint()
+
+    @staticmethod
+    def _verify_regions_disjoint() -> None:
+        extents = sorted((region.base, region.end, region) for region in Region)
+        for (b1, e1, r1), (b2, e2, r2) in zip(extents, extents[1:]):
+            if e1 > b2:
+                raise ValueError("regions {} and {} overlap".format(r1, r2))
+        if extents[-1][1] > CONTROL_STORE_SIZE:
+            raise ValueError("regions exceed the 16K control store")
+
+    def allocate(self, region: Region, name: str, slots=tuple(MicroSlot)) -> Routine:
+        """Allocate a routine with the given slots in ``region``."""
+        cursor = self._cursor[region]
+        if cursor + len(slots) > region.end:
+            raise ValueError("region {} is full".format(region))
+        addresses = {}
+        for offset, slot in enumerate(slots):
+            address = cursor + offset
+            addresses[slot] = address
+        routine = Routine(name=name, region=region, slots=addresses)
+        for slot, address in addresses.items():
+            self._by_address[address] = (routine, slot)
+        self._cursor[region] = cursor + len(slots)
+        self._routines.append(routine)
+        return routine
+
+    def lookup(self, address: int) -> Optional[Tuple[Routine, MicroSlot]]:
+        """Reverse-map a micro-PC to (routine, slot); None for unused."""
+        return self._by_address.get(address)
+
+    def kind_of(self, address: int) -> Optional[CycleKind]:
+        """The cycle category of the microinstruction at ``address``."""
+        entry = self._by_address.get(address)
+        if entry is None:
+            return None
+        return SLOT_KIND[entry[1]]
+
+    def region_of(self, address: int) -> Optional[Region]:
+        entry = self._by_address.get(address)
+        return entry[0].region if entry else None
+
+    @property
+    def routines(self) -> List[Routine]:
+        return list(self._routines)
+
+    def used_addresses(self):
+        """All allocated micro-PCs (for histogram-coverage checks)."""
+        return sorted(self._by_address)
+
+    def listing(self) -> str:
+        """A human-readable control-store listing.
+
+        The analysis role of this map is exactly what the paper's authors
+        got from the real microcode listings: which activity each
+        micro-PC belongs to, and what the microinstruction there does.
+        """
+        lines = ["addr   region         routine                        slot"]
+        for address in self.used_addresses():
+            routine, slot = self._by_address[address]
+            patch = "  [patched]" if routine.patched and slot is MicroSlot.COMPUTE_A else ""
+            lines.append(
+                "{:04x}   {:<14} {:<30} {}{}".format(
+                    address, routine.region.label, routine.name, slot.name, patch
+                )
+            )
+        return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Microinstruction cycle categories.
+
+Table 8's columns classify every EBOX cycle into one of six mutually
+exclusive categories.  Three of them (compute, read, write) are
+properties of the *microinstruction* at an address; the stall categories
+are properties of *how the cycle was counted*: the histogram board keeps
+a non-stalled and a stalled count per location, and read-/write-stall
+cycles land in the stalled bank of the read/write microinstruction that
+incurred them.  IB stalls are different again — they are executions of a
+dedicated "insufficient bytes" dispatch microinstruction, counted in the
+normal bank at that address (paper Section 4.3).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class CycleKind(Enum):
+    """What a microinstruction at a given address does."""
+
+    COMPUTE = "compute"
+    READ = "read"
+    WRITE = "write"
+    IB_STALL = "ib_stall"  # the "insufficient bytes in IB" dispatch target
+    DECODE = "decode"  # the opcode/specifier decode dispatch (a compute cycle)
+
+
+class MicroSlot(Enum):
+    """The standard slots every routine in this layout exposes.
+
+    Real 11/780 microroutines were hand-packed sequences; this layout
+    regularizes each routine into up to five addressable slots.  Loops in
+    real microcode re-execute the same address many times — here long
+    computations re-tick ``COMPUTE_B`` the same way, so histogram counts
+    remain faithful to how the real board accumulated them.
+    """
+
+    COMPUTE_A = 0  # first/setup compute microinstruction
+    COMPUTE_B = 1  # loop-body compute microinstruction
+    READ = 2  # the memory-read microinstruction
+    WRITE = 3  # the memory-write microinstruction
+    IB_WAIT = 4  # the insufficient-bytes dispatch target
+
+
+#: Which cycle category each slot's executions fall into.
+SLOT_KIND = {
+    MicroSlot.COMPUTE_A: CycleKind.COMPUTE,
+    MicroSlot.COMPUTE_B: CycleKind.COMPUTE,
+    MicroSlot.READ: CycleKind.READ,
+    MicroSlot.WRITE: CycleKind.WRITE,
+    MicroSlot.IB_WAIT: CycleKind.IB_STALL,
+}

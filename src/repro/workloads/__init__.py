@@ -1,0 +1,31 @@
+"""Workload synthesis: the stand-in for the paper's five workloads.
+
+The original measurements ran for an hour each on live timesharing
+machines and RTE-driven synthetic user populations; those workloads are
+unrecoverable.  This package synthesizes instruction streams whose
+*architectural* event mix is calibrated around the paper's published
+composite (Tables 1-4), differentiated per workload the way the paper
+describes them: program development and editing for the timesharing and
+educational loads, numeric computation for the scientific load,
+transaction processing (decimal/character heavy) for the commercial
+load.
+"""
+
+from repro.workloads.profiles import (
+    WorkloadProfile,
+    PROFILES,
+    profile_by_name,
+    COMPOSITE_WORKLOAD_NAMES,
+)
+from repro.workloads.codegen import generate_program, GeneratedProgram
+from repro.workloads.rte import RemoteTerminalEmulator
+
+__all__ = [
+    "WorkloadProfile",
+    "PROFILES",
+    "profile_by_name",
+    "COMPOSITE_WORKLOAD_NAMES",
+    "generate_program",
+    "GeneratedProgram",
+    "RemoteTerminalEmulator",
+]

@@ -1,0 +1,185 @@
+"""The five workload profiles.
+
+Section 2.2 of the paper describes five measurement settings:
+
+* two **live timesharing** machines inside Digital engineering — one
+  lightly loaded research machine (~15 users: editing, program
+  development, mail) and one heavier CPU-development machine (~30 users,
+  adding circuit simulation and microcode development);
+* three **RTE-driven** synthetic populations — *educational* (40 users,
+  program development in several languages, file manipulation),
+  *scientific/engineering* (40 users, numeric computation plus program
+  development), and *commercial* (32 users, transactional database
+  inquiries and updates).
+
+Each profile sets the instruction-mix weights the code generator draws
+from, plus interactivity (system-service rate) and locality parameters.
+The composite of all five is what every table of the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Parameters for one synthetic workload."""
+
+    name: str
+    description: str
+    seed: int
+    users: int
+    #: weights for the generator's slot categories (normalized at use)
+    mix: Dict[str, float]
+    #: CHMK system services per ~1000 slots (drives kernel activity)
+    syscall_weight: float
+    #: share of syscalls that are blocking terminal QIOs
+    qio_fraction: float
+    #: character-string lengths (the paper infers 36-44 bytes)
+    string_length: Tuple[int, int] = (36, 44)
+    #: packed-decimal digit counts
+    decimal_digits: Tuple[int, int] = (5, 15)
+    #: registers saved by procedure entry masks
+    call_mask_bits: Tuple[int, int] = (2, 4)
+    #: SOB-loop iteration counts (the paper: about 10)
+    loop_iterations: Tuple[int, int] = (8, 12)
+    #: pages of process-private data the generator scatters accesses over
+    data_pages: int = 64
+    #: number of code blocks in the generated ring
+    blocks: int = 90
+    #: slots per block
+    slots_per_block: int = 12
+
+
+# Slot categories the generator understands:
+#   data      - scalar moves/ALU with drawn addressing modes
+#   branch    - conditional branch pattern (~50% taken)
+#   loop      - a SOB loop of ~10 iterations
+#   call      - CALLS to a leaf procedure (+ RET)
+#   bsb       - BSB/RSB subroutine pattern
+#   case      - CASEB dispatch
+#   fieldop   - EXTZV/INSV/FFS pattern
+#   bitbranch - BBS/BBC pattern
+#   floatop   - F_floating arithmetic
+#   muldiv    - integer multiply/divide
+#   charop    - MOVC3/CMPC3/LOCC on 36-44 byte strings
+#   decop     - packed-decimal arithmetic
+#   queueop   - INSQUE/REMQUE pair
+#   pushpop   - PUSHR/POPR of ~8 registers
+#   syscall   - CHMK service
+
+# Weights are *slot draw* probabilities; a slot can expand to many
+# dynamic instructions (a loop slot executes ~25), so these are tuned so
+# the resulting dynamic instruction mix lands on Tables 1 and 2.
+_BASE_MIX = {
+    "data": 40.0,
+    "branch": 62.0,
+    "loop": 1.2,
+    "call": 3.6,
+    "bsb": 6.3,
+    "case": 2.0,
+    "fieldop": 9.0,
+    "bitbranch": 12.0,
+    "floatop": 6.0,
+    "muldiv": 1.6,
+    "charop": 0.9,
+    "decop": 0.04,
+    "queueop": 1.3,
+    "pushpop": 0.9,
+    "syscall": 0.18,
+}
+
+
+def _mix(**overrides: float) -> Dict[str, float]:
+    mixed = dict(_BASE_MIX)
+    mixed.update(overrides)
+    return mixed
+
+
+PROFILES: Dict[str, WorkloadProfile] = {
+    "timesharing_light": WorkloadProfile(
+        name="timesharing_light",
+        description=(
+            "Live timesharing stand-in: research group machine, ~15 users, "
+            "text editing, program development, electronic mail"
+        ),
+        seed=101,
+        users=15,
+        mix=_mix(charop=1.3, syscall=0.20, floatop=3.6),
+        syscall_weight=1.0,
+        qio_fraction=0.18,
+        data_pages=56,
+    ),
+    "timesharing_heavy": WorkloadProfile(
+        name="timesharing_heavy",
+        description=(
+            "Live timesharing stand-in: VAX CPU development machine, ~30 "
+            "users, timesharing plus circuit simulation and microcode work"
+        ),
+        seed=202,
+        users=30,
+        mix=_mix(floatop=6.5, muldiv=2.4, data=38.0),
+        syscall_weight=0.8,
+        qio_fraction=0.15,
+        data_pages=56,
+    ),
+    "educational": WorkloadProfile(
+        name="educational",
+        description=(
+            "RTE: educational environment, 40 simulated users doing program "
+            "development in various languages and file manipulation"
+        ),
+        seed=303,
+        users=40,
+        mix=_mix(call=3.2, bsb=7.0, charop=0.9, syscall=0.22),
+        syscall_weight=1.2,
+        qio_fraction=0.20,
+        data_pages=40,
+    ),
+    "scientific": WorkloadProfile(
+        name="scientific",
+        description=(
+            "RTE: scientific/engineering environment, 40 simulated users "
+            "doing scientific computation and program development"
+        ),
+        seed=404,
+        users=40,
+        mix=_mix(floatop=9.5, muldiv=3.2, loop=1.6, data=36.0),
+        syscall_weight=0.6,
+        qio_fraction=0.12,
+        data_pages=72,
+    ),
+    "commercial": WorkloadProfile(
+        name="commercial",
+        description=(
+            "RTE: commercial transaction-processing environment, 32 "
+            "simulated users doing database inquiries and updates"
+        ),
+        seed=505,
+        users=32,
+        mix=_mix(decop=0.16, charop=2.2, queueop=2.2, syscall=0.26, fieldop=10.5),
+        syscall_weight=1.4,
+        qio_fraction=0.22,
+        data_pages=52,
+    ),
+}
+
+#: The composite the paper reports is the sum of these five.
+COMPOSITE_WORKLOAD_NAMES = [
+    "timesharing_light",
+    "timesharing_heavy",
+    "educational",
+    "scientific",
+    "commercial",
+]
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            "unknown workload {!r}; known: {}".format(name, sorted(PROFILES))
+        ) from None

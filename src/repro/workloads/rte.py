@@ -1,0 +1,72 @@
+"""The Remote Terminal Emulator (RTE).
+
+The paper's three synthetic workloads were driven by an RTE — "a PDP-11
+with many asynchronous terminal interfaces; output characters generated
+by the RTE from canned user scripts are seen as terminal input
+characters by the VAX" (Section 2.2, citing Greenbaum and the NBS
+survey).
+
+This class plays the PDP-11's role: it owns a population of simulated
+users, each looping over a canned script of keystrokes with think time
+between bursts, and feeds the kernel's terminal interrupt source.  A
+keystroke targets the process currently waiting for terminal input when
+there is one — completing its QIO and waking it — mirroring how
+interactive jobs progressed on the measured systems.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.vms.kernel import VMSKernel
+from repro.vms.process import ProcessState
+
+#: Canned user scripts: what the simulated users "type", looped.
+CANNED_SCRIPTS = {
+    "educational": "edit prog.pas\ncompile prog\nrun prog\nmail\n",
+    "scientific": "run simulate step=0.01 n=10000\nplot results\n",
+    "commercial": "inquire account 4417\nupdate balance +125.50\ncommit\n",
+    "timesharing": "edit notes.txt\nsend report\ndir\ntype readme\n",
+}
+
+
+@dataclass
+class _User:
+    script: str
+    position: int = 0
+
+    def next_char(self) -> int:
+        char = ord(self.script[self.position % len(self.script)])
+        self.position += 1
+        return char & 0xFF
+
+
+class RemoteTerminalEmulator:
+    """Feeds scripted keystrokes into the kernel's terminal interrupts."""
+
+    def __init__(self, kernel: VMSKernel, users: int, script_name: str, seed: int = 7):
+        script = CANNED_SCRIPTS.get(script_name, CANNED_SCRIPTS["timesharing"])
+        self.kernel = kernel
+        self.users = [_User(script=script, position=i * 3) for i in range(users)]
+        self._random = random.Random(seed)
+        self.keystrokes = 0
+        kernel.terminal_source = self.keystroke
+
+    def keystroke(self, kernel: VMSKernel) -> Optional[Tuple[int, int]]:
+        """Called by the kernel's terminal timer: one arriving character.
+
+        Returns (pid, char) or None to suppress the interrupt.
+        """
+        if not self.users or not kernel.processes:
+            return None
+        user = self._random.choice(self.users)
+        char = user.next_char()
+        self.keystrokes += 1
+        blocked = [p for p in kernel.processes if p.state is ProcessState.BLOCKED]
+        if blocked:
+            target = self._random.choice(blocked)
+        else:
+            target = self._random.choice(kernel.processes)
+        return (target.pid, char)

@@ -1,0 +1,189 @@
+"""Unit tests for the two-pass assembler's byte-level encodings."""
+
+import struct
+
+import pytest
+
+from repro.asm import Assembler, AssemblyError
+
+
+def assemble_one(mnemonic, *operands, origin=0):
+    asm = Assembler(origin=origin)
+    asm.instr(mnemonic, *operands)
+    return asm.assemble()
+
+
+class TestBasicEncodings:
+    def test_movl_register_to_register(self):
+        # MOVL R0, R1 -> D0 50 51
+        assert assemble_one("MOVL", "R0", "R1") == bytes([0xD0, 0x50, 0x51])
+
+    def test_short_literal(self):
+        # MOVL #5, R0 -> D0 05 50
+        assert assemble_one("MOVL", "#5", "R0") == bytes([0xD0, 0x05, 0x50])
+
+    def test_immediate_long(self):
+        # MOVL #0x12345678, R0 -> D0 8F 78 56 34 12 50
+        image = assemble_one("MOVL", "#0x12345678", "R0")
+        assert image == bytes([0xD0, 0x8F, 0x78, 0x56, 0x34, 0x12, 0x50])
+
+    def test_immediate_byte_sized_by_dtype(self):
+        # MOVB #100, R0: immediate payload is one byte
+        image = assemble_one("MOVB", "#100", "R0")
+        assert image == bytes([0x90, 0x8F, 100, 0x50])
+
+    def test_register_deferred(self):
+        assert assemble_one("TSTL", "(R3)") == bytes([0xD5, 0x63])
+
+    def test_autoincrement(self):
+        assert assemble_one("MOVL", "(R1)+", "R0") == bytes([0xD0, 0x81, 0x50])
+
+    def test_autodecrement_push_idiom(self):
+        assert assemble_one("MOVL", "R0", "-(SP)") == bytes([0xD0, 0x50, 0x7E])
+
+    def test_byte_displacement(self):
+        # MOVL 4(R5), R0 -> D0 A5 04 50
+        assert assemble_one("MOVL", "4(R5)", "R0") == bytes([0xD0, 0xA5, 0x04, 0x50])
+
+    def test_negative_byte_displacement(self):
+        image = assemble_one("MOVL", "-4(FP)", "R0")
+        assert image == bytes([0xD0, 0xAD, 0xFC, 0x50])
+
+    def test_word_displacement(self):
+        image = assemble_one("MOVL", "W^260(R5)", "R0")
+        assert image == bytes([0xD0, 0xC5, 0x04, 0x01, 0x50])
+
+    def test_absolute(self):
+        image = assemble_one("TSTL", "@#0x1000")
+        assert image == bytes([0xD5, 0x9F, 0x00, 0x10, 0x00, 0x00])
+
+    def test_indexed(self):
+        # MOVL (R1)[R2], R0 -> D0 42 61 50
+        image = assemble_one("MOVL", "(R1)[R2]", "R0")
+        assert image == bytes([0xD0, 0x42, 0x61, 0x50])
+
+    def test_no_operand_instruction(self):
+        assert assemble_one("RSB") == bytes([0x05])
+        assert assemble_one("NOP") == bytes([0x01])
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AssemblyError):
+            assemble_one("MOVL", "R0")
+
+
+class TestBranches:
+    def test_backward_branch_byte(self):
+        asm = Assembler()
+        asm.label("top")
+        asm.instr("NOP")
+        asm.instr("BRB", "top")
+        image = asm.assemble()
+        # BRB at address 1, displacement from PC=3 back to 0 -> -3
+        assert image == bytes([0x01, 0x11, 0xFD])
+
+    def test_forward_branch_byte(self):
+        asm = Assembler()
+        asm.instr("BEQL", "skip")
+        asm.instr("NOP")
+        asm.label("skip")
+        asm.instr("NOP")
+        image = asm.assemble()
+        assert image[:3] == bytes([0x13, 0x01, 0x01])
+
+    def test_word_branch(self):
+        asm = Assembler()
+        asm.instr("BRW", "far")
+        asm.space(300)
+        asm.label("far")
+        image = asm.assemble()
+        displacement = struct.unpack("<h", image[1:3])[0]
+        assert displacement == 300
+
+    def test_byte_branch_out_of_range_raises(self):
+        asm = Assembler()
+        asm.instr("BRB", "far")
+        asm.space(200)
+        asm.label("far")
+        with pytest.raises(AssemblyError):
+            asm.assemble()
+
+    def test_undefined_label_raises(self):
+        asm = Assembler()
+        asm.instr("BRB", "nowhere")
+        with pytest.raises(AssemblyError):
+            asm.assemble()
+
+    def test_duplicate_label_raises(self):
+        asm = Assembler()
+        asm.label("x")
+        with pytest.raises(AssemblyError):
+            asm.label("x")
+
+    def test_sobgtr_loop_shape(self):
+        # SOBGTR R1, top : F5 51 <disp>
+        asm = Assembler()
+        asm.label("top")
+        asm.instr("ADDL2", "#1", "R0")
+        asm.instr("SOBGTR", "R1", "top")
+        image = asm.assemble()
+        assert image[0] == 0xC0  # ADDL2
+        sob_at = 3
+        assert image[sob_at] == 0xF5 and image[sob_at + 1] == 0x51
+        displacement = struct.unpack("<b", image[sob_at + 2 : sob_at + 3])[0]
+        assert sob_at + 3 + displacement == 0
+
+
+class TestDataDirectives:
+    def test_byte_word_long(self):
+        asm = Assembler()
+        asm.byte(1, 2)
+        asm.word(0x0304)
+        asm.long(0x05060708)
+        assert asm.assemble() == bytes([1, 2, 0x04, 0x03, 0x08, 0x07, 0x06, 0x05])
+
+    def test_ascii_and_space(self):
+        asm = Assembler()
+        asm.ascii("AB")
+        asm.space(2, fill=0xFF)
+        assert asm.assemble() == b"AB\xff\xff"
+
+    def test_align(self):
+        asm = Assembler()
+        asm.byte(1)
+        asm.align(4)
+        asm.label("data")
+        assert asm.symbols["data"] == 4
+
+    def test_origin_offsets_symbols(self):
+        asm = Assembler(origin=0x1000)
+        asm.label("start")
+        asm.instr("NOP")
+        assert asm.symbols["start"] == 0x1000
+        assert len(asm.assemble()) == 1
+
+    def test_word_ref_table(self):
+        asm = Assembler()
+        asm.label("base")
+        asm.word_ref("target", "base")
+        asm.label("target")
+        image = asm.assemble()
+        assert struct.unpack("<h", image[0:2])[0] == 2
+
+
+class TestPcRelativeData:
+    def test_label_operand_encodes_long_relative(self):
+        asm = Assembler()
+        asm.instr("MOVL", "value", "R0")
+        asm.label("value")
+        asm.long(42)
+        image = asm.assemble()
+        assert image[1] == 0xEF
+        # Specifier occupies bytes 1..5; PC after it is 6; label at 7 (after
+        # the R0 specifier byte).  The displacement is relative to that PC.
+        displacement = struct.unpack("<i", image[2:6])[0]
+        assert 6 + displacement == 7
+
+    def test_float_immediate(self):
+        image = assemble_one("MOVF", "I^#1", "R6")
+        assert image[0] == 0x50 and image[1] == 0x8F
+        assert struct.unpack("<I", image[2:6])[0] == 0x00004080

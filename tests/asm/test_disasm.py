@@ -1,0 +1,159 @@
+"""Disassembler tests, including encode/decode round-trip properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import Assembler
+from repro.asm.disasm import Disassembler, DisassemblyError, disassemble_image
+
+
+def assemble(*instructions, origin=0x200):
+    asm = Assembler(origin=origin)
+    for mnemonic, *operands in instructions:
+        asm.instr(mnemonic, *operands)
+    return asm.assemble()
+
+
+class TestBasicDisassembly:
+    def test_simple_instruction(self):
+        image = assemble(("MOVL", "R0", "R1"))
+        (instruction,) = disassemble_image(image, origin=0x200, count=1)
+        assert instruction.text == "MOVL R0, R1"
+        assert instruction.length == 3
+
+    def test_literal_and_immediate(self):
+        image = assemble(("MOVL", "#5", "R0"), ("MOVL", "I^#100000", "R0"))
+        first, second = disassemble_image(image, origin=0x200, count=2)
+        assert first.text == "MOVL S^#5, R0"
+        assert second.text == "MOVL I^#100000, R0"
+
+    def test_memory_modes(self):
+        image = assemble(
+            ("MOVL", "(R3)", "R0"),
+            ("MOVL", "(R4)+", "R0"),
+            ("MOVL", "-(SP)", "R0"),
+            ("MOVL", "@(R5)+", "R0"),
+            ("MOVL", "8(R6)", "R0"),
+            ("MOVL", "@#0x1234", "R0"),
+        )
+        texts = [i.text for i in disassemble_image(image, origin=0x200, count=6)]
+        assert texts == [
+            "MOVL (R3), R0",
+            "MOVL (R4)+, R0",
+            "MOVL -(SP), R0",
+            "MOVL @(R5)+, R0",
+            "MOVL B^8(R6), R0",
+            "MOVL @#0x1234, R0",
+        ]
+
+    def test_indexed(self):
+        image = assemble(("MOVL", "4(R1)[R2]", "R0"))
+        (instruction,) = disassemble_image(image, origin=0x200, count=1)
+        assert instruction.text == "MOVL B^4(R1)[R2], R0"
+
+    def test_branch_renders_target_address(self):
+        asm = Assembler(origin=0x200)
+        asm.label("top")
+        asm.instr("NOP")
+        asm.instr("BRB", "top")
+        image = asm.assemble()
+        instructions = disassemble_image(image, origin=0x200, count=2)
+        assert instructions[1].text == "BRB 0x200"
+
+    def test_no_operand_instructions(self):
+        image = assemble(("RSB",), ("RET",), ("HALT",))
+        texts = [i.text for i in disassemble_image(image, origin=0x200, count=3)]
+        assert texts == ["RSB", "RET", "HALT"]
+
+    def test_walk_stops_at_halt(self):
+        image = assemble(("NOP",), ("HALT",), ("NOP",))
+        instructions = disassemble_image(image, origin=0x200)
+        assert [i.opcode.mnemonic for i in instructions] == ["NOP", "HALT"]
+
+    def test_str_includes_hex(self):
+        image = assemble(("NOP",))
+        (instruction,) = disassemble_image(image, origin=0x200, count=1)
+        assert "01" in str(instruction)
+
+    def test_undecodable_byte_raises(self):
+        with pytest.raises(DisassemblyError):
+            disassemble_image(b"\xff", count=1)  # 0xFF is not in the subset
+
+    def test_out_of_image_raises(self):
+        with pytest.raises(DisassemblyError):
+            disassemble_image(b"\xd0", count=1)  # MOVL with no operands
+
+    def test_float_immediate_integral(self):
+        image = assemble(("MOVF", "I^#3", "R1"))
+        (instruction,) = disassemble_image(image, origin=0x200, count=1)
+        assert instruction.text == "MOVF I^#3, R1"
+
+
+class TestRoundTrip:
+    """assemble(disassemble(x)) == x for label-free operands."""
+
+    CASES = [
+        ("MOVL", "R1", "R2"),
+        ("MOVL", "#63", "R0"),
+        ("MOVB", "I^#200", "R3"),
+        ("MOVW", "I^#30000", "(R4)"),
+        ("ADDL3", "S^#1", "(R2)+", "-(SP)"),
+        ("MOVL", "@(R5)+", "R0"),
+        ("MOVL", "B^-8(FP)", "R0"),
+        ("MOVL", "W^1000(R7)", "R0"),
+        ("MOVL", "L^100000(R8)", "R0"),
+        ("MOVL", "@B^4(R9)", "R0"),
+        ("MOVL", "@#0xDEAD", "R0"),
+        ("CLRQ", "R6"),
+        ("MOVL", "B^4(R1)[R2]", "(R3)[R4]"),
+        ("EXTZV", "#3", "#7", "R1", "R2"),
+        ("MOVC3", "#12", "(R1)", "(R2)"),
+        ("PUSHR", "#0x3F"),
+        ("MTPR", "#5", "#18"),
+        ("MOVF", "I^#2", "R4"),
+    ]
+
+    @pytest.mark.parametrize("case", CASES, ids=lambda c: " ".join(c))
+    def test_round_trip(self, case):
+        mnemonic, *operands = case
+        original = assemble((mnemonic, *operands))
+        (instruction,) = disassemble_image(original, origin=0x200, count=1)
+        rebuilt = assemble((instruction.opcode.mnemonic, *instruction.operands))
+        assert rebuilt == original, instruction.text
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        register=st.integers(min_value=0, max_value=11),
+        literal=st.integers(min_value=0, max_value=63),
+        displacement=st.integers(min_value=-127, max_value=127),
+    )
+    def test_round_trip_property(self, register, literal, displacement):
+        original = assemble(
+            ("MOVL", "S^#{}".format(literal), "R{}".format(register)),
+            ("ADDL2", "B^{}(R{})".format(displacement, register), "R0"),
+        )
+        instructions = disassemble_image(original, origin=0x200, count=2)
+        rebuilt_asm = Assembler(origin=0x200)
+        for instruction in instructions:
+            rebuilt_asm.instr(instruction.opcode.mnemonic, *instruction.operands)
+        assert rebuilt_asm.assemble() == original
+
+    def test_workload_code_disassembles(self):
+        """Every instruction the workload generator emits must decode."""
+        from repro.workloads import generate_program, profile_by_name
+        from repro.workloads.codegen import CODE_ORIGIN
+
+        from repro.cpu.operands import IllegalSpecifier
+
+        program = generate_program(profile_by_name("commercial"), variant=3)
+        disassembler = Disassembler.from_bytes(program.code, origin=CODE_ORIGIN)
+        decoded = 0
+        # Linear sweep until inline data (procedure entry masks, CASE
+        # dispatch tables) derails it — unavoidable for any linear-sweep
+        # VAX disassembler; the prologue must decode cleanly first.
+        try:
+            for instruction in disassembler.walk(CODE_ORIGIN, count=200):
+                decoded += 1
+        except (DisassemblyError, IllegalSpecifier):
+            pass
+        assert decoded >= 9  # the whole prologue, at minimum

@@ -1,0 +1,130 @@
+"""Unit tests for assembler operand parsing."""
+
+import pytest
+
+from repro.asm.operands import OperandSyntaxError, parse_operand
+from repro.isa.specifiers import AddressingMode
+
+
+class TestRegisterForms:
+    def test_plain_register(self):
+        op = parse_operand("R5")
+        assert op.mode is AddressingMode.REGISTER and op.register == 5
+
+    def test_special_register_names(self):
+        assert parse_operand("SP").register == 14
+        assert parse_operand("FP").register == 13
+        assert parse_operand("AP").register == 12
+        assert parse_operand("PC").register == 15
+
+    def test_register_deferred(self):
+        op = parse_operand("(R3)")
+        assert op.mode is AddressingMode.REGISTER_DEFERRED and op.register == 3
+
+    def test_autoincrement(self):
+        op = parse_operand("(R7)+")
+        assert op.mode is AddressingMode.AUTOINCREMENT and op.register == 7
+
+    def test_autodecrement(self):
+        op = parse_operand("-(SP)")
+        assert op.mode is AddressingMode.AUTODECREMENT and op.register == 14
+
+    def test_autoincrement_deferred(self):
+        op = parse_operand("@(R2)+")
+        assert op.mode is AddressingMode.AUTOINCREMENT_DEFERRED
+
+
+class TestLiteralForms:
+    def test_small_immediate_becomes_short_literal(self):
+        op = parse_operand("#63")
+        assert op.mode is AddressingMode.SHORT_LITERAL and op.value == 63
+
+    def test_large_immediate(self):
+        op = parse_operand("#64")
+        assert op.mode is AddressingMode.IMMEDIATE and op.value == 64
+
+    def test_negative_immediate(self):
+        op = parse_operand("#-1")
+        assert op.mode is AddressingMode.IMMEDIATE
+
+    def test_forced_short_literal(self):
+        assert parse_operand("S^#0").mode is AddressingMode.SHORT_LITERAL
+
+    def test_forced_short_literal_range_check(self):
+        with pytest.raises(OperandSyntaxError):
+            parse_operand("S^#64")
+
+    def test_forced_immediate(self):
+        op = parse_operand("I^#5")
+        assert op.mode is AddressingMode.IMMEDIATE and op.value == 5
+
+    def test_hex_literal(self):
+        assert parse_operand("#0x20").value == 0x20
+
+
+class TestDisplacementForms:
+    def test_byte_displacement_inferred(self):
+        op = parse_operand("12(R5)")
+        assert op.mode is AddressingMode.BYTE_DISPLACEMENT and op.value == 12
+
+    def test_word_displacement_inferred(self):
+        op = parse_operand("300(R5)")
+        assert op.mode is AddressingMode.WORD_DISPLACEMENT
+
+    def test_long_displacement_inferred(self):
+        op = parse_operand("70000(R5)")
+        assert op.mode is AddressingMode.LONG_DISPLACEMENT
+
+    def test_forced_width(self):
+        op = parse_operand("W^4(R5)")
+        assert op.mode is AddressingMode.WORD_DISPLACEMENT and op.value == 4
+
+    def test_negative_displacement(self):
+        op = parse_operand("-4(FP)")
+        assert op.mode is AddressingMode.BYTE_DISPLACEMENT and op.value == -4
+
+    def test_displacement_deferred(self):
+        op = parse_operand("@8(R1)")
+        assert op.mode is AddressingMode.BYTE_DISPLACEMENT_DEFERRED and op.value == 8
+
+    def test_absolute(self):
+        op = parse_operand("@#0x1000")
+        assert op.mode is AddressingMode.ABSOLUTE and op.value == 0x1000
+
+
+class TestIndexedForms:
+    def test_indexed_register_deferred(self):
+        op = parse_operand("(R1)[R2]")
+        assert op.mode is AddressingMode.REGISTER_DEFERRED
+        assert op.index_register == 2 and op.is_label is False
+
+    def test_indexed_displacement(self):
+        op = parse_operand("8(R1)[R3]")
+        assert op.mode is AddressingMode.BYTE_DISPLACEMENT and op.index_register == 3
+
+    def test_register_mode_cannot_be_indexed(self):
+        with pytest.raises(OperandSyntaxError):
+            parse_operand("R1[R2]")
+
+    def test_literal_cannot_be_indexed(self):
+        with pytest.raises(OperandSyntaxError):
+            parse_operand("#5[R2]")
+
+
+class TestLabels:
+    def test_label_reference(self):
+        op = parse_operand("loop")
+        assert op.is_label and op.label == "loop"
+
+    def test_label_with_dots(self):
+        assert parse_operand("sys$entry").label == "sys$entry"
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(OperandSyntaxError):
+            parse_operand("")
+
+    def test_garbage(self):
+        with pytest.raises(OperandSyntaxError):
+            parse_operand("%%%")

@@ -1,0 +1,106 @@
+"""Tests for result serialization (save a measurement, re-analyse later)."""
+
+import pytest
+
+from repro.core import tables
+from repro.core.histogram_io import (
+    histogram_from_dict,
+    histogram_to_dict,
+    result_from_json,
+    result_to_json,
+)
+from repro.core.monitor import HistogramBoard
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    """A small measured workload, with its raw board."""
+    from repro.core.experiment import run_workload
+
+    # run_workload does not expose the board, so re-run the plumbing here.
+    from repro.core.monitor import UPCMonitor
+    from repro.core.experiment import MachineStats, result_from_machine
+    from repro.cpu import VAX780
+    from repro.vms import VMSKernel
+    from repro.workloads import generate_program, profile_by_name
+
+    profile = profile_by_name("educational")
+    monitor = UPCMonitor.build()
+    machine = VAX780(monitor=monitor)
+    kernel = VMSKernel(machine)
+    program = generate_program(profile, 0)
+    process = kernel.create_process("p", program.code, program.code_origin)
+    kernel.load_into_process(process, program.data_origin, program.data)
+    kernel.boot()
+    kernel.run(max_instructions=500)
+    baseline = MachineStats.from_machine(machine)
+    kernel.start_measurement()
+    kernel.run(max_instructions=2_000)
+    kernel.stop_measurement()
+    result = result_from_machine(machine, monitor, name="io-test", stats_baseline=baseline)
+    return result, monitor.board
+
+
+class TestHistogramRoundTrip:
+    def test_board_round_trip(self, small_run):
+        _, board = small_run
+        payload = histogram_to_dict(board)
+        rebuilt = histogram_from_dict(payload)
+        assert rebuilt.dump() == board.dump()
+
+    def test_sparse_encoding(self, small_run):
+        _, board = small_run
+        payload = histogram_to_dict(board)
+        counts, _ = board.dump()
+        nonzero = sum(1 for c in counts if c)
+        assert len(payload["counts"]) == nonzero
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_from_dict({"version": 99, "buckets": 16, "counts": {}, "stalled": {}})
+
+
+class TestResultRoundTrip:
+    def test_without_raw_histogram(self, small_run):
+        result, _ = small_run
+        text = result_to_json(result)
+        rebuilt = result_from_json(text)
+        assert rebuilt.instructions == result.instructions
+        assert rebuilt.cpi == pytest.approx(result.cpi)
+        assert rebuilt.events.opcode_counts == result.events.opcode_counts
+        assert rebuilt.stats.tb_misses == result.stats.tb_misses
+
+    def test_with_raw_histogram_re_reduces(self, small_run):
+        result, board = small_run
+        text = result_to_json(result, board=board)
+        rebuilt = result_from_json(text)
+        # Re-reduction from the raw banks reproduces the matrix exactly.
+        for row, columns in result.reduction.matrix.items():
+            for column, cycles in columns.items():
+                assert rebuilt.reduction.matrix[row][column] == pytest.approx(cycles)
+
+    def test_tables_run_against_reloaded_result(self, small_run):
+        result, _ = small_run
+        rebuilt = result_from_json(result_to_json(result))
+        fresh = tables.table1(rebuilt)
+        original = tables.table1(result)
+        for group in original:
+            assert fresh[group] == pytest.approx(original[group])
+        assert tables.table8(rebuilt)["total"]["total"] == pytest.approx(result.cpi)
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            result_from_json('{"version": 42}')
+
+
+class TestControlStoreListing:
+    def test_listing_covers_every_address(self):
+        from repro.ucode.routines import build_layout
+
+        layout = build_layout()
+        listing = layout.store.listing()
+        lines = listing.splitlines()
+        assert len(lines) == 1 + len(layout.store.used_addresses())
+        assert "exec.movl" in listing
+        assert "memmgmt.tb_miss" in listing
+        assert "[patched]" in listing

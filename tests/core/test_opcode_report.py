@@ -1,0 +1,77 @@
+"""Tests for the Clark & Levy-style per-opcode frequency report."""
+
+import pytest
+
+from repro.core.experiment import run_workload
+from repro.core.opcode_report import (
+    coverage_count,
+    frequency_cost_contrast,
+    opcode_frequencies,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_workload("timesharing_light", instructions=5_000, warmup_instructions=1_000)
+
+
+class TestOpcodeFrequencies:
+    def test_rows_sorted_and_cumulative(self, result):
+        rows = opcode_frequencies(result)
+        assert rows, "no opcodes recorded"
+        percents = [row.percent for row in rows]
+        assert percents == sorted(percents, reverse=True)
+        assert rows[-1].cumulative_percent == pytest.approx(100.0, abs=0.01)
+
+    def test_counts_match_events(self, result):
+        rows = opcode_frequencies(result)
+        total = sum(row.count for row in rows)
+        assert total == sum(result.events.opcode_counts.values())
+
+    def test_moves_near_the_top(self, result):
+        # Clark & Levy: MOVL is the most common VAX instruction.
+        top_ten = {row.mnemonic for row in opcode_frequencies(result)[:10]}
+        assert "MOVL" in top_ten
+
+    def test_groups_annotated(self, result):
+        for row in opcode_frequencies(result)[:20]:
+            assert row.group in (
+                "simple", "field", "float", "callret", "system", "character", "decimal",
+            )
+
+
+class TestCoverage:
+    def test_few_opcodes_cover_most_executions(self, result):
+        # The famous concentration: a modest subset covers 90 percent.
+        distinct = len(opcode_frequencies(result))
+        covering_90 = coverage_count(result, 90.0)
+        assert covering_90 < distinct
+        assert covering_90 <= 40
+
+    def test_coverage_monotone(self, result):
+        assert coverage_count(result, 50.0) <= coverage_count(result, 90.0)
+
+    def test_full_coverage_is_all(self, result):
+        assert coverage_count(result, 100.0) == len(opcode_frequencies(result))
+
+
+class TestContrastReport:
+    def test_report_renders(self, result):
+        text = frequency_cost_contrast(result)
+        assert "rank" in text and "most expensive" in text
+        assert "MOVL" in text or "BNEQ" in text
+
+    def test_empty_result_safe(self):
+        from repro.core.experiment import ExperimentResult, MachineStats
+        from repro.core.reduction import reduce_histogram
+        from repro.cpu.events import EventCounters
+        from repro.ucode.routines import build_layout
+
+        empty = ExperimentResult(
+            name="empty",
+            reduction=reduce_histogram([0] * 16000, [0] * 16000, build_layout()),
+            events=EventCounters(),
+            stats=MachineStats(),
+        )
+        assert opcode_frequencies(empty) == []
+        assert coverage_count(empty, 90.0) == 0

@@ -1,0 +1,179 @@
+"""Unit tests for histogram reduction (raw counts -> Table 8 matrix)."""
+
+import pytest
+
+from repro.asm import Assembler
+from repro.core.monitor import UPCMonitor
+from repro.core.reduction import COLUMNS, ROWS, reduce_histogram
+from repro.cpu import VAX780
+from repro.ucode.microword import MicroSlot
+
+
+def run_and_reduce(build):
+    monitor = UPCMonitor.build()
+    machine = VAX780(monitor=monitor)
+    asm = Assembler(origin=0x200)
+    build(asm)
+    asm.instr("HALT")
+    machine.load_program(asm.assemble(), 0x200)
+    monitor.start()
+    machine.run()
+    monitor.stop()
+    counts, stalled = monitor.board.dump()
+    reduction = reduce_histogram(counts, stalled, machine.layout, events=machine.events)
+    return machine, reduction
+
+
+class TestCycleConservation:
+    def test_matrix_total_equals_ebox_cycles(self):
+        def body(asm):
+            asm.instr("MOVL", "#10", "R1")
+            asm.label("loop")
+            asm.instr("ADDL2", "#1", "R0")
+            asm.instr("SOBGTR", "R1", "loop")
+
+        machine, reduction = run_and_reduce(body)
+        assert reduction.total_cycles == machine.ebox.cycle_count
+
+    def test_every_cycle_lands_in_exactly_one_cell(self):
+        def body(asm):
+            for _ in range(5):
+                asm.instr("MOVL", "#1", "R0")
+
+        machine, reduction = run_and_reduce(body)
+        cell_sum = sum(sum(cols.values()) for cols in reduction.matrix.values())
+        assert cell_sum == reduction.total_cycles
+
+    def test_rows_and_columns_complete(self):
+        def body(asm):
+            asm.instr("NOP")
+
+        _, reduction = run_and_reduce(body)
+        assert set(reduction.matrix) == set(ROWS)
+        for columns in reduction.matrix.values():
+            assert set(columns) == set(COLUMNS)
+
+
+class TestInstructionCounting:
+    def test_instruction_count_from_decode_dispatch(self):
+        def body(asm):
+            for _ in range(7):
+                asm.instr("NOP")
+
+        machine, reduction = run_and_reduce(body)
+        assert reduction.instructions == 8  # 7 NOPs + HALT
+        assert reduction.instructions == machine.events.instructions
+
+    def test_cpi(self):
+        def body(asm):
+            asm.instr("MOVL", "#1", "R0")
+
+        machine, reduction = run_and_reduce(body)
+        assert reduction.cpi == pytest.approx(
+            machine.ebox.cycle_count / machine.events.instructions
+        )
+
+
+class TestColumnClassification:
+    def test_reads_and_stalls_separate(self):
+        def body(asm):
+            asm.instr("MOVAL", "data", "R1")
+            asm.instr("MOVL", "(R1)", "R2")  # cold read: 1 read + stalls
+            asm.instr("HALT")
+            asm.align(8)
+            asm.label("data")
+            asm.long(1)
+
+        machine, reduction = run_and_reduce(body)
+        spec1 = reduction.matrix["spec1"]
+        assert spec1["read"] >= 1
+        assert spec1["rstall"] >= 6
+
+    def test_writes_classified_by_specifier_position(self):
+        def body(asm):
+            asm.instr("MOVAL", "data", "R1")
+            asm.instr("CLRL", "(R1)")  # first specifier writes
+            asm.instr("MOVL", "#5", "(R1)")  # second specifier writes
+            asm.instr("HALT")
+            asm.align(4)
+            asm.label("data")
+            asm.long(0)
+
+        _, reduction = run_and_reduce(body)
+        assert reduction.matrix["spec1"]["write"] >= 1
+        assert reduction.matrix["spec26"]["write"] >= 1
+
+    def test_decode_row_compute_equals_instructions(self):
+        def body(asm):
+            for _ in range(4):
+                asm.instr("NOP")
+
+        _, reduction = run_and_reduce(body)
+        assert reduction.matrix["decode"]["compute"] == reduction.instructions
+
+    def test_exec_rows_by_group(self):
+        def body(asm):
+            asm.instr("MOVC3", "#8", "src", "dst")
+            asm.instr("HALT")
+            asm.label("src")
+            asm.space(8, fill=0x41)
+            asm.label("dst")
+            asm.space(8)
+
+        _, reduction = run_and_reduce(body)
+        assert reduction.matrix["character"]["compute"] > 0
+        assert reduction.matrix["decimal"]["compute"] == 0
+
+
+class TestRoutineTotals:
+    def test_tb_miss_routine_isolated(self):
+        def body(asm):
+            asm.instr("MOVAL", "far", "R1")
+            asm.instr("MOVL", "(R1)", "R2")
+            asm.instr("HALT")
+            asm.space(600)
+            asm.align(4)
+            asm.label("far")
+            asm.long(9)
+
+        _, reduction = run_and_reduce(body)
+        normal, stalled = reduction.routine_total("memmgmt.tb_miss")
+        assert normal > 0
+
+    def test_unknown_prefix_is_zero(self):
+        def body(asm):
+            asm.instr("NOP")
+
+        _, reduction = run_and_reduce(body)
+        assert reduction.routine_total("no.such.routine") == (0, 0)
+
+    def test_exec_group_accessor_validates(self):
+        def body(asm):
+            asm.instr("NOP")
+
+        _, reduction = run_and_reduce(body)
+        with pytest.raises(KeyError):
+            reduction.exec_cycles_for_group("decode")
+        assert "compute" in reduction.exec_cycles_for_group("simple")
+
+
+class TestPerInstructionView:
+    def test_per_instruction_scales(self):
+        def body(asm):
+            for _ in range(9):
+                asm.instr("NOP")
+
+        _, reduction = run_and_reduce(body)
+        per = reduction.per_instruction()
+        assert per["decode"]["compute"] == pytest.approx(1.0)
+
+    def test_empty_reduction_safe(self):
+        from repro.core.reduction import reduce_histogram
+        from repro.ucode.routines import build_layout
+
+        layout = build_layout()
+        reduction = reduce_histogram([0] * 16_000, [0] * 16_000, layout)
+        assert reduction.instructions == 0
+        assert reduction.cpi == 0.0
+        per = reduction.per_instruction()
+        assert per["decode"]["compute"] == 0.0

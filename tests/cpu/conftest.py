@@ -1,0 +1,51 @@
+"""Shared fixtures: assemble-and-run helpers for CPU tests."""
+
+import pytest
+
+from repro.asm import Assembler
+from repro.core.monitor import UPCMonitor
+from repro.cpu import VAX780
+
+ORIGIN = 0x200
+
+
+class MachineHarness:
+    """Assemble a program, run it on a monitored machine, inspect state."""
+
+    def __init__(self):
+        self.monitor = UPCMonitor.build()
+        self.machine = VAX780(monitor=self.monitor)
+        self.asm = Assembler(origin=ORIGIN)
+
+    def run(self, max_instructions=100_000):
+        image = self.asm.assemble()
+        self.machine.load_program(image, ORIGIN)
+        self.monitor.start()
+        executed = self.machine.run(max_instructions=max_instructions)
+        self.monitor.stop()
+        return executed
+
+    # Conveniences -----------------------------------------------------
+
+    @property
+    def ebox(self):
+        return self.machine.ebox
+
+    @property
+    def regs(self):
+        return self.machine.ebox.regs
+
+    @property
+    def cc(self):
+        return self.machine.ebox.psl.cc
+
+    def reg(self, index):
+        return self.machine.ebox.regs.read(index)
+
+    def mem(self, va, size=4):
+        return self.machine.read_virtual(va, size)
+
+
+@pytest.fixture
+def harness():
+    return MachineHarness()

@@ -1,0 +1,97 @@
+"""Error-path behaviour: illegal instructions, fault exhaustion, halts."""
+
+import pytest
+
+from repro.asm import Assembler
+from repro.core.monitor import UPCMonitor
+from repro.cpu import VAX780
+from repro.cpu.ebox import HaltExecution, IllegalInstruction
+
+
+class TestIllegalInstruction:
+    def test_undecodable_opcode_raises(self):
+        machine = VAX780()
+        machine.load_program(b"\xff", origin=0x200)
+        with pytest.raises(IllegalInstruction):
+            machine.run()
+
+    def test_error_names_the_address(self):
+        machine = VAX780()
+        machine.load_program(b"\x01\xfe", origin=0x200)  # NOP then illegal
+        with pytest.raises(IllegalInstruction) as excinfo:
+            machine.run()
+        assert "0x00000201" in str(excinfo.value)
+
+
+class TestHalt:
+    def test_halt_stops_and_step_returns_false(self):
+        machine = VAX780()
+        asm = Assembler(origin=0x200)
+        asm.instr("HALT")
+        machine.load_program(asm.assemble(), 0x200)
+        # run() counts completed instructions; the halting one ends the
+        # run without counting, like the real processor stopping.
+        assert machine.run() == 0
+        assert machine.ebox.halted
+        assert machine.ebox.step() is False
+
+    def test_instruction_budget_stops_cleanly(self):
+        machine = VAX780()
+        asm = Assembler(origin=0x200)
+        asm.label("loop")
+        asm.instr("BRB", "loop")
+        machine.load_program(asm.assemble(), 0x200)
+        assert machine.run(max_instructions=100) == 100
+        assert not machine.ebox.halted
+
+    def test_cycle_budget_stops(self):
+        machine = VAX780()
+        asm = Assembler(origin=0x200)
+        asm.label("loop")
+        asm.instr("BRB", "loop")
+        machine.load_program(asm.assemble(), 0x200)
+        machine.run(max_cycles=500)
+        assert machine.ebox.cycle_count >= 500
+        assert machine.ebox.cycle_count < 600
+
+
+class TestUnrecoverableFaults:
+    def test_unmappable_reference_halts(self):
+        machine = VAX780()
+        machine.pager = lambda va, write: False  # pager refuses everything new
+        asm = Assembler(origin=0x200)
+        asm.instr("MOVL", "@#0x00300000", "R0")  # unmapped, pager says no
+        machine.load_program(asm.assemble(), 0x200)
+        with pytest.raises(HaltExecution):
+            machine.run()
+
+    def test_frame_exhaustion_is_memoryerror(self):
+        machine = VAX780(memory_bytes=4 * 1024 * 1024)
+        # Drain the allocator.
+        while machine.frames.frames_remaining:
+            machine.frames.allocate()
+        with pytest.raises(MemoryError):
+            machine.frames.allocate()
+
+    def test_default_pager_demand_zeroes(self):
+        machine = VAX780()
+        asm = Assembler(origin=0x200)
+        asm.instr("MOVL", "@#0x00300000", "R0")  # beyond loaded pages
+        asm.instr("HALT")
+        machine.load_program(asm.assemble(), 0x200)
+        machine.run()
+        assert machine.ebox.regs.read(0) == 0  # fresh zero frame
+        assert machine.events.page_faults >= 1
+
+
+class TestDivideByZeroPath:
+    def test_divl_by_zero_counts_exception(self):
+        machine = VAX780()
+        asm = Assembler(origin=0x200)
+        asm.instr("CLRL", "R1")
+        asm.instr("DIVL3", "R1", "#42", "R2")
+        asm.instr("HALT")
+        machine.load_program(asm.assemble(), 0x200)
+        machine.run()
+        assert machine.events.arithmetic_exceptions >= 1
+        assert machine.ebox.psl.cc.v

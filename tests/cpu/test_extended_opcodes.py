@@ -1,0 +1,151 @@
+"""Tests for the extended opcode set: POLYF, EMODF, ACBF, MOVTC,
+MATCHC, CRC — plus a handler-coverage sweep."""
+
+import pytest
+
+from repro.isa.datatypes import f_floating_decode, f_floating_encode
+from repro.isa.opcodes import OPCODES
+
+
+class TestHandlerCoverage:
+    def test_every_opcode_has_semantics(self):
+        from repro.cpu.semantics import HANDLERS
+
+        missing = [op.mnemonic for op in OPCODES.values() if op.mnemonic not in HANDLERS]
+        assert missing == []
+
+    def test_every_opcode_has_an_exec_profile_and_routine(self):
+        from repro.ucode.costs import exec_profile
+        from repro.ucode.routines import build_layout
+
+        layout = build_layout()
+        for opcode in OPCODES.values():
+            assert exec_profile(opcode).base_cycles >= 0
+            assert opcode.mnemonic in layout.execute
+
+
+class TestPolyf:
+    def test_evaluates_horner(self, harness):
+        # p(x) = 2x^2 + 3x + 4 at x = 2 -> 18.
+        # Table layout: highest-order coefficient first.
+        harness.asm.instr("POLYF", "I^#2", "#2", "coeffs")
+        harness.asm.instr("HALT")
+        harness.asm.align(4)
+        harness.asm.label("coeffs")
+        for value in (2.0, 3.0, 4.0):
+            harness.asm.long(f_floating_encode(value))
+        harness.run()
+        assert f_floating_decode(harness.reg(0)) == pytest.approx(18.0)
+        assert harness.reg(3) == harness.asm.symbols["coeffs"] + 12
+
+    def test_degree_zero_is_constant(self, harness):
+        harness.asm.instr("POLYF", "I^#9", "#0", "coeffs")
+        harness.asm.instr("HALT")
+        harness.asm.align(4)
+        harness.asm.label("coeffs")
+        harness.asm.long(f_floating_encode(7.0))
+        harness.run()
+        assert f_floating_decode(harness.reg(0)) == pytest.approx(7.0)
+
+
+class TestEmodf:
+    def test_splits_integer_and_fraction(self, harness):
+        # 2.5 * 3 = 7.5 -> integer 7, fraction 0.5
+        harness.asm.instr("MOVF", "I^#3", "R1")
+        harness.asm.instr("EMODF", "f2_5", "#0", "R1", "R2", "R3")
+        harness.asm.instr("HALT")
+        harness.asm.align(4)
+        harness.asm.label("f2_5")
+        harness.asm.long(f_floating_encode(2.5))
+        harness.run()
+        assert harness.reg(2) == 7
+        assert f_floating_decode(harness.reg(3)) == pytest.approx(0.5)
+
+
+class TestAcbf:
+    def test_float_loop(self, harness):
+        harness.asm.instr("MOVF", "I^#0", "R1")
+        harness.asm.instr("CLRL", "R0")
+        harness.asm.label("loop")
+        harness.asm.instr("INCL", "R0")
+        harness.asm.instr("ACBF", "I^#3", "I^#1", "R1", "loop")
+        harness.asm.instr("HALT")
+        harness.run()
+        # R1 walks 1.0, 2.0, 3.0 (taken while <= 3), then 4.0 (not taken).
+        assert harness.reg(0) == 4
+        assert f_floating_decode(harness.reg(1)) == pytest.approx(4.0)
+
+
+class TestMovtc:
+    def test_translates_through_table(self, harness):
+        # Table maps lower-case to upper-case (offset -32 in the range).
+        harness.asm.instr("MOVTC", "#5", "src", "#0x2A", "table", "#7", "dst")
+        harness.asm.instr("HALT")
+        harness.asm.label("src")
+        harness.asm.ascii("hello")
+        harness.asm.label("dst")
+        harness.asm.space(7, fill=0)
+        harness.asm.label("table")
+        table = bytearray(range(256))
+        for code in range(ord("a"), ord("z") + 1):
+            table[code] = code - 32
+        harness.asm.byte(*table)
+        harness.run()
+        dst = harness.asm.symbols["dst"]
+        copied = bytes(harness.mem(dst + i, 1) for i in range(7))
+        assert copied == b"HELLO**"  # translated + fill 0x2A
+
+
+class TestMatchc:
+    def test_finds_substring(self, harness):
+        harness.asm.instr("MATCHC", "#3", "needle", "#11", "haystack")
+        harness.asm.instr("HALT")
+        harness.asm.label("needle")
+        harness.asm.ascii("wor")
+        harness.asm.label("haystack")
+        harness.asm.ascii("hello world")
+        harness.run()
+        assert harness.cc.z  # found
+        assert harness.reg(0) == 0
+        # R3 points one past the match.
+        haystack = harness.asm.symbols["haystack"]
+        assert harness.reg(3) == haystack + 6 + 3
+
+    def test_missing_substring(self, harness):
+        harness.asm.instr("MATCHC", "#3", "needle", "#5", "haystack")
+        harness.asm.instr("HALT")
+        harness.asm.label("needle")
+        harness.asm.ascii("xyz")
+        harness.asm.label("haystack")
+        harness.asm.ascii("hello")
+        harness.run()
+        assert not harness.cc.z
+        assert harness.reg(0) == 3
+
+
+class TestCrc:
+    def test_crc_deterministic_and_data_dependent(self, harness):
+        def run_crc(data):
+            from tests.cpu.conftest import MachineHarness
+
+            h = MachineHarness()
+            h.asm.instr("CRC", "table", "#0", "#{}".format(len(data)), "stream")
+            h.asm.instr("HALT")
+            h.asm.align(4)
+            h.asm.label("table")
+            # CRC-32 nibble table (polynomial 0xEDB88320).
+            for index in range(16):
+                crc = index
+                for _ in range(4):
+                    crc = (crc >> 1) ^ (0xEDB88320 if crc & 1 else 0)
+                h.asm.long(crc)
+            h.asm.label("stream")
+            h.asm.byte(*data)
+            h.run()
+            return h.reg(0)
+
+        first = run_crc(b"hello")
+        again = run_crc(b"hello")
+        other = run_crc(b"hellp")
+        assert first == again
+        assert first != other

@@ -1,0 +1,404 @@
+"""Execute-phase semantics: FIELD, FLOAT, CALL/RET, SYSTEM, CHARACTER,
+DECIMAL groups."""
+
+import pytest
+
+from repro.isa.datatypes import f_floating_decode, f_floating_encode
+
+
+class TestFieldGroup:
+    def test_extzv_register_field(self, harness):
+        harness.asm.instr("MOVL", "#0xABCD", "R1")
+        harness.asm.instr("EXTZV", "#4", "#8", "R1", "R2")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(2) == 0xBC
+
+    def test_extv_sign_extends(self, harness):
+        harness.asm.instr("MOVL", "#0xF0", "R1")
+        harness.asm.instr("EXTV", "#4", "#4", "R1", "R2")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(2) == 0xFFFFFFFF
+
+    def test_insv_register(self, harness):
+        harness.asm.instr("MOVL", "#0", "R1")
+        harness.asm.instr("MOVL", "#0x5", "R0")
+        harness.asm.instr("INSV", "R0", "#8", "#4", "R1")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(1) == 0x500
+
+    def test_field_in_memory(self, harness):
+        harness.asm.instr("MOVAL", "datum", "R1")
+        harness.asm.instr("EXTZV", "#8", "#16", "(R1)", "R2")
+        harness.asm.instr("HALT")
+        harness.asm.align(4)
+        harness.asm.label("datum")
+        harness.asm.long(0xAABBCCDD)
+        harness.run()
+        assert harness.reg(2) == 0xBBCC
+
+    def test_ffs_finds_lowest_set_bit(self, harness):
+        harness.asm.instr("MOVL", "#0x10", "R1")
+        harness.asm.instr("FFS", "#0", "#31", "R1", "R2")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(2) == 4 and not harness.cc.z
+
+    def test_ffs_not_found_sets_z(self, harness):
+        harness.asm.instr("MOVL", "#0", "R1")
+        harness.asm.instr("FFS", "#0", "#31", "R1", "R2")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.cc.z and harness.reg(2) == 31
+
+    def test_bbs_taken(self, harness):
+        harness.asm.instr("MOVL", "#4", "R1")
+        harness.asm.instr("BBS", "#2", "R1", "set")
+        harness.asm.instr("MOVL", "#0", "R2")
+        harness.asm.instr("HALT")
+        harness.asm.label("set")
+        harness.asm.instr("MOVL", "#1", "R2")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(2) == 1
+
+    def test_bbss_sets_bit_after_test(self, harness):
+        harness.asm.instr("MOVL", "#0", "R1")
+        harness.asm.instr("BBSS", "#3", "R1", "was_set")
+        harness.asm.instr("HALT")
+        harness.asm.label("was_set")
+        harness.asm.instr("MOVL", "#99", "R2")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(1) == 8  # bit set as a side effect
+        assert harness.reg(2) == 0  # branch not taken (bit was clear)
+
+    def test_cmpzv(self, harness):
+        harness.asm.instr("MOVL", "#0x340", "R1")
+        harness.asm.instr("CMPZV", "#4", "#8", "R1", "#0x34")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.cc.z
+
+
+class TestFloatGroup:
+    def test_addf3(self, harness):
+        harness.asm.instr("MOVF", "I^#2", "R1")
+        harness.asm.instr("ADDF3", "I^#3", "R1", "R2")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert f_floating_decode(harness.reg(2)) == pytest.approx(5.0)
+
+    def test_subf2(self, harness):
+        harness.asm.instr("MOVF", "I^#10", "R1")
+        harness.asm.instr("SUBF2", "I^#4", "R1")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert f_floating_decode(harness.reg(1)) == pytest.approx(6.0)
+
+    def test_mulf_divf(self, harness):
+        harness.asm.instr("MOVF", "I^#6", "R1")
+        harness.asm.instr("MULF2", "I^#7", "R1")
+        harness.asm.instr("DIVF3", "I^#2", "R1", "R2")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert f_floating_decode(harness.reg(1)) == pytest.approx(42.0)
+        assert f_floating_decode(harness.reg(2)) == pytest.approx(21.0)
+
+    def test_float_short_literal_expansion(self, harness):
+        # Short literal 0 in float context means 0.5.
+        harness.asm.instr("MOVF", "S^#0", "R1")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert f_floating_decode(harness.reg(1)) == pytest.approx(0.5)
+
+    def test_cmpf(self, harness):
+        harness.asm.instr("MOVF", "I^#3", "R1")
+        harness.asm.instr("CMPF", "R1", "I^#3")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.cc.z
+
+    def test_cvtlf_and_back(self, harness):
+        harness.asm.instr("MOVL", "#123", "R0")
+        harness.asm.instr("CVTLF", "R0", "R1")
+        harness.asm.instr("CVTFL", "R1", "R2")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(2) == 123
+
+    def test_tstf_negative(self, harness):
+        harness.asm.instr("MNEGF", "I^#1", "R1")
+        harness.asm.instr("TSTF", "R1")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.cc.n
+
+
+class TestCallRet:
+    def _build_call_program(self, harness, mask):
+        harness.asm.instr("MOVL", "#111", "R2")
+        harness.asm.instr("MOVL", "#222", "R3")
+        harness.asm.instr("PUSHL", "#41")
+        harness.asm.instr("CALLS", "#1", "proc")
+        harness.asm.instr("HALT")
+        harness.asm.label("proc")
+        harness.asm.word(mask)  # entry mask
+        harness.asm.instr("MOVL", "#999", "R2")  # clobber a saved register
+        harness.asm.instr("MOVL", "4(AP)", "R0")  # first argument
+        harness.asm.instr("ADDL2", "#1", "R0")
+        harness.asm.instr("RET")
+
+    def test_calls_ret_restores_saved_registers(self, harness):
+        self._build_call_program(harness, mask=0b0000_0000_0000_0100)  # save R2
+        harness.run()
+        assert harness.reg(0) == 42  # argument seen and incremented
+        assert harness.reg(2) == 111  # restored by RET
+
+    def test_calls_ret_cleans_stack(self, harness):
+        harness.asm.instr("MOVL", "SP", "R6")
+        harness.asm.instr("PUSHL", "#41")
+        harness.asm.instr("CALLS", "#1", "proc")
+        harness.asm.instr("MOVL", "SP", "R7")
+        harness.asm.instr("HALT")
+        harness.asm.label("proc")
+        harness.asm.word(0)
+        harness.asm.instr("RET")
+        harness.run()
+        assert harness.reg(6) == harness.reg(7)  # arguments popped by RET
+
+    def test_unsaved_register_not_restored(self, harness):
+        self._build_call_program(harness, mask=0)  # save nothing
+        harness.run()
+        assert harness.reg(2) == 999  # clobber survives
+
+    def test_nested_calls(self, harness):
+        harness.asm.instr("CALLS", "#0", "outer")
+        harness.asm.instr("HALT")
+        harness.asm.label("outer")
+        harness.asm.word(0)
+        harness.asm.instr("CALLS", "#0", "inner")
+        harness.asm.instr("ADDL2", "#1", "R0")
+        harness.asm.instr("RET")
+        harness.asm.label("inner")
+        harness.asm.word(0)
+        harness.asm.instr("MOVL", "#10", "R0")
+        harness.asm.instr("RET")
+        harness.run()
+        assert harness.reg(0) == 11
+
+    def test_callg_argument_list(self, harness):
+        harness.asm.instr("CALLG", "args", "proc")
+        harness.asm.instr("HALT")
+        harness.asm.label("proc")
+        harness.asm.word(0)
+        harness.asm.instr("MOVL", "4(AP)", "R0")
+        harness.asm.instr("RET")
+        harness.asm.align(4)
+        harness.asm.label("args")
+        harness.asm.long(1, 77)  # count, arg1
+        harness.run()
+        assert harness.reg(0) == 77
+
+    def test_pushr_popr(self, harness):
+        harness.asm.instr("MOVL", "#1", "R1")
+        harness.asm.instr("MOVL", "#2", "R2")
+        harness.asm.instr("PUSHR", "#0x06")  # R1, R2
+        harness.asm.instr("CLRL", "R1")
+        harness.asm.instr("CLRL", "R2")
+        harness.asm.instr("POPR", "#0x06")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(1) == 1 and harness.reg(2) == 2
+
+
+class TestSystemGroup:
+    def test_insque_remque_roundtrip(self, harness):
+        harness.asm.instr("MOVAL", "header", "R1")
+        # Make the header self-referential (empty queue).
+        harness.asm.instr("MOVL", "R1", "(R1)")
+        harness.asm.instr("MOVAL", "header", "R2")
+        harness.asm.instr("MOVL", "R2", "4(R1)")
+        harness.asm.instr("INSQUE", "entry", "(R1)")
+        harness.asm.instr("REMQUE", "entry", "R5")
+        harness.asm.instr("HALT")
+        harness.asm.align(4)
+        harness.asm.label("header")
+        harness.asm.long(0, 0)
+        harness.asm.label("entry")
+        harness.asm.long(0, 0)
+        harness.run()
+        assert harness.reg(5) == harness.asm.symbols["entry"]
+        # Queue empty again: header points to itself.
+        header = harness.asm.symbols["header"]
+        assert harness.mem(header) == header
+
+    def test_mtpr_mfpr_roundtrip(self, harness):
+        harness.asm.instr("MTPR", "#0x1234", "#16")  # PCBB
+        harness.asm.instr("MFPR", "#16", "R0")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(0) == 0x1234
+
+    def test_mtpr_tbia_flushes(self, harness):
+        harness.asm.instr("MTPR", "#0", "#57")
+        harness.asm.instr("MOVL", "#1", "R0")
+        harness.asm.instr("HALT")
+        harness.run()
+        # The flush wipes even the current code page's entry; execution
+        # still completes because the next miss refills it.
+        assert harness.reg(0) == 1
+
+    def test_prober_on_mapped_page(self, harness):
+        harness.asm.instr("PROBER", "#0", "#4", "probe_target")
+        harness.asm.instr("HALT")
+        harness.asm.label("probe_target")
+        harness.asm.long(0)
+        harness.run()
+        assert not harness.cc.z  # accessible -> Z clear
+
+    def test_bispsw_bicpsw(self, harness):
+        harness.asm.instr("BISPSW", "#0x8")  # set N
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.cc.n
+
+
+class TestCharacterGroup:
+    def test_movc3_copies(self, harness):
+        harness.asm.instr("MOVC3", "#11", "src", "dst")
+        harness.asm.instr("HALT")
+        harness.asm.label("src")
+        harness.asm.ascii("hello world")
+        harness.asm.label("dst")
+        harness.asm.space(11)
+        harness.run()
+        dst = harness.asm.symbols["dst"]
+        copied = bytes(harness.mem(dst + i, 1) for i in range(11))
+        assert copied == b"hello world"
+        assert harness.reg(0) == 0 and harness.cc.z
+
+    def test_movc5_fills(self, harness):
+        harness.asm.instr("MOVC5", "#2", "src", "#0x20", "#5", "dst")
+        harness.asm.instr("HALT")
+        harness.asm.label("src")
+        harness.asm.ascii("ab")
+        harness.asm.label("dst")
+        harness.asm.space(5, fill=0xFF)
+        harness.run()
+        dst = harness.asm.symbols["dst"]
+        copied = bytes(harness.mem(dst + i, 1) for i in range(5))
+        assert copied == b"ab   "
+
+    def test_cmpc3_equal(self, harness):
+        harness.asm.instr("CMPC3", "#5", "one", "two")
+        harness.asm.instr("HALT")
+        harness.asm.label("one")
+        harness.asm.ascii("apple")
+        harness.asm.label("two")
+        harness.asm.ascii("apple")
+        harness.run()
+        assert harness.cc.z
+
+    def test_cmpc3_orders(self, harness):
+        harness.asm.instr("CMPC3", "#5", "one", "two")
+        harness.asm.instr("HALT")
+        harness.asm.label("one")
+        harness.asm.ascii("appla")
+        harness.asm.label("two")
+        harness.asm.ascii("apple")
+        harness.run()
+        assert not harness.cc.z and harness.cc.n  # 'a' < 'e'
+
+    def test_locc_finds_character(self, harness):
+        harness.asm.instr("LOCC", "#0x6C", "#11", "text")  # 'l'
+        harness.asm.instr("HALT")
+        harness.asm.label("text")
+        harness.asm.ascii("hello world")
+        harness.run()
+        text = harness.asm.symbols["text"]
+        assert harness.reg(1) == text + 2  # first 'l'
+        assert not harness.cc.z
+
+    def test_locc_not_found(self, harness):
+        harness.asm.instr("LOCC", "#0x7A", "#5", "text")  # 'z'
+        harness.asm.instr("HALT")
+        harness.asm.label("text")
+        harness.asm.ascii("hello")
+        harness.run()
+        assert harness.cc.z and harness.reg(0) == 0
+
+    def test_skpc_skips_leading(self, harness):
+        harness.asm.instr("SKPC", "#0x20", "#6", "text")  # skip spaces
+        harness.asm.instr("HALT")
+        harness.asm.label("text")
+        harness.asm.ascii("   abc")
+        harness.run()
+        assert harness.reg(1) == harness.asm.symbols["text"] + 3
+
+
+class TestDecimalGroup:
+    def test_cvtlp_movp_cvtpl_roundtrip(self, harness):
+        harness.asm.instr("CVTLP", "#1234", "#5", "packed1")
+        harness.asm.instr("MOVP", "#5", "packed1", "packed2")
+        harness.asm.instr("CVTPL", "#5", "packed2", "R0")
+        harness.asm.instr("HALT")
+        harness.asm.label("packed1")
+        harness.asm.space(3)
+        harness.asm.label("packed2")
+        harness.asm.space(3)
+        harness.run()
+        assert harness.reg(0) == 1234
+
+    def test_addp4(self, harness):
+        harness.asm.instr("CVTLP", "#1100", "#5", "a")
+        harness.asm.instr("CVTLP", "#134", "#5", "b")
+        harness.asm.instr("ADDP4", "#5", "a", "#5", "b")
+        harness.asm.instr("CVTPL", "#5", "b", "R0")
+        harness.asm.instr("HALT")
+        harness.asm.label("a")
+        harness.asm.space(3)
+        harness.asm.label("b")
+        harness.asm.space(3)
+        harness.run()
+        assert harness.reg(0) == 1234
+
+    def test_subp4_negative_result(self, harness):
+        harness.asm.instr("CVTLP", "#50", "#3", "a")
+        harness.asm.instr("CVTLP", "#20", "#3", "b")
+        harness.asm.instr("SUBP4", "#3", "a", "#3", "b")
+        harness.asm.instr("CVTPL", "#3", "b", "R0")
+        harness.asm.instr("HALT")
+        harness.asm.label("a")
+        harness.asm.space(2)
+        harness.asm.label("b")
+        harness.asm.space(2)
+        harness.run()
+        assert harness.reg(0) == 0xFFFFFFE2  # -30
+        assert harness.cc.n
+
+    def test_cmpp3(self, harness):
+        harness.asm.instr("CVTLP", "#77", "#3", "a")
+        harness.asm.instr("CVTLP", "#77", "#3", "b")
+        harness.asm.instr("CMPP3", "#3", "a", "b")
+        harness.asm.instr("HALT")
+        harness.asm.label("a")
+        harness.asm.space(2)
+        harness.asm.label("b")
+        harness.asm.space(2)
+        harness.run()
+        assert harness.cc.z
+
+    def test_ashp_scales_by_ten(self, harness):
+        harness.asm.instr("CVTLP", "#12", "#5", "a")
+        harness.asm.instr("ASHP", "#1", "#5", "a", "#0", "#5", "b")
+        harness.asm.instr("CVTPL", "#5", "b", "R0")
+        harness.asm.instr("HALT")
+        harness.asm.label("a")
+        harness.asm.space(3)
+        harness.asm.label("b")
+        harness.asm.space(3)
+        harness.run()
+        assert harness.reg(0) == 120

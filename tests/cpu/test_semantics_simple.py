@@ -1,0 +1,325 @@
+"""Execute-phase semantics: SIMPLE group (moves, ALU, branches)."""
+
+import pytest
+
+
+def run_program(harness, *instructions, data=None):
+    for mnemonic, *operands in instructions:
+        harness.asm.instr(mnemonic, *operands)
+    harness.asm.instr("HALT")
+    if data:
+        data(harness.asm)
+    harness.run()
+    return harness
+
+
+class TestMoves:
+    def test_movl_immediate(self, harness):
+        run_program(harness, ("MOVL", "#0x1234", "R0"))
+        assert harness.reg(0) == 0x1234
+
+    def test_movl_register_to_register(self, harness):
+        run_program(harness, ("MOVL", "#7", "R1"), ("MOVL", "R1", "R2"))
+        assert harness.reg(2) == 7
+
+    def test_movb_merges_low_byte(self, harness):
+        run_program(
+            harness,
+            ("MOVL", "#0x11223344", "R0"),
+            ("MOVB", "#0x55", "R0"),
+        )
+        assert harness.reg(0) == 0x11223355
+
+    def test_movl_to_memory_and_back(self, harness):
+        harness.asm.instr("MOVAL", "buffer", "R1")
+        harness.asm.instr("MOVL", "#42", "(R1)")
+        harness.asm.instr("MOVL", "(R1)", "R2")
+        harness.asm.instr("HALT")
+        harness.asm.label("buffer")
+        harness.asm.long(0)
+        harness.run()
+        assert harness.reg(2) == 42
+
+    def test_movq_moves_two_registers(self, harness):
+        harness.asm.instr("MOVAL", "data", "R1")
+        harness.asm.instr("MOVQ", "(R1)", "R2")
+        harness.asm.instr("HALT")
+        harness.asm.align(4)
+        harness.asm.label("data")
+        harness.asm.long(0x11111111, 0x22222222)
+        harness.run()
+        assert harness.reg(2) == 0x11111111
+        assert harness.reg(3) == 0x22222222
+
+    def test_movzbl_zero_extends(self, harness):
+        run_program(harness, ("MOVL", "#-1", "R0"), ("MOVZBL", "#0xFF", "R0"))
+        assert harness.reg(0) == 0xFF
+
+    def test_clrl(self, harness):
+        run_program(harness, ("MOVL", "#5", "R3"), ("CLRL", "R3"))
+        assert harness.reg(3) == 0 and harness.cc.z
+
+    def test_mcoml(self, harness):
+        run_program(harness, ("MCOML", "#0", "R0"))
+        assert harness.reg(0) == 0xFFFFFFFF and harness.cc.n
+
+    def test_mnegl(self, harness):
+        run_program(harness, ("MNEGL", "#5", "R0"))
+        assert harness.reg(0) == 0xFFFFFFFB
+
+    def test_moval_gets_address(self, harness):
+        harness.asm.instr("MOVAL", "spot", "R0")
+        harness.asm.instr("HALT")
+        harness.asm.label("spot")
+        harness.asm.long(0)
+        harness.run()
+        assert harness.reg(0) == harness.asm.symbols["spot"]
+
+    def test_pushl_decrements_sp(self, harness):
+        run_program(harness, ("MOVL", "SP", "R6"), ("PUSHL", "#9"))
+        assert harness.regs.sp == (harness.reg(6) - 4) & 0xFFFFFFFF
+        assert harness.mem(harness.regs.sp) == 9
+
+
+class TestALU:
+    def test_addl2(self, harness):
+        run_program(harness, ("MOVL", "#10", "R0"), ("ADDL2", "#5", "R0"))
+        assert harness.reg(0) == 15
+
+    def test_addl3(self, harness):
+        run_program(
+            harness,
+            ("MOVL", "#3", "R1"),
+            ("MOVL", "#4", "R2"),
+            ("ADDL3", "R1", "R2", "R3"),
+        )
+        assert harness.reg(3) == 7
+
+    def test_subl2_subtracts_from_destination(self, harness):
+        run_program(harness, ("MOVL", "#10", "R0"), ("SUBL2", "#3", "R0"))
+        assert harness.reg(0) == 7
+
+    def test_subl3_order(self, harness):
+        # SUBL3 min, sub, dst: dst = sub - min
+        run_program(
+            harness,
+            ("MOVL", "#3", "R1"),
+            ("MOVL", "#10", "R2"),
+            ("SUBL3", "R1", "R2", "R3"),
+        )
+        assert harness.reg(3) == 7
+
+    def test_incl_decl(self, harness):
+        run_program(harness, ("MOVL", "#5", "R0"), ("INCL", "R0"), ("DECL", "R0"), ("DECL", "R0"))
+        assert harness.reg(0) == 4
+
+    def test_add_overflow_sets_v(self, harness):
+        run_program(harness, ("MOVL", "#0x7FFFFFFF", "R0"), ("ADDL2", "#1", "R0"))
+        assert harness.cc.v and harness.reg(0) == 0x80000000
+
+    def test_cmpl_sets_codes_without_store(self, harness):
+        run_program(harness, ("MOVL", "#5", "R0"), ("CMPL", "R0", "#5"))
+        assert harness.cc.z and harness.reg(0) == 5
+
+    def test_tstl(self, harness):
+        run_program(harness, ("MOVL", "#-1", "R0"), ("TSTL", "R0"))
+        assert harness.cc.n and not harness.cc.z
+
+    def test_bicl2_clears_mask_bits(self, harness):
+        run_program(harness, ("MOVL", "#0xFF", "R0"), ("BICL2", "#0x0F", "R0"))
+        assert harness.reg(0) == 0xF0
+
+    def test_bisl2_sets_mask_bits(self, harness):
+        run_program(harness, ("MOVL", "#0xF0", "R0"), ("BISL2", "#0x0F", "R0"))
+        assert harness.reg(0) == 0xFF
+
+    def test_xorl2(self, harness):
+        run_program(harness, ("MOVL", "#0xFF", "R0"), ("XORL2", "#0x0F", "R0"))
+        assert harness.reg(0) == 0xF0
+
+    def test_ashl_left_and_right(self, harness):
+        run_program(
+            harness,
+            ("MOVL", "#1", "R1"),
+            ("ASHL", "#4", "R1", "R2"),
+            ("ASHL", "#-2", "R2", "R3"),
+        )
+        assert harness.reg(2) == 16 and harness.reg(3) == 4
+
+    def test_rotl(self, harness):
+        run_program(harness, ("MOVL", "#0x80000000", "R1"), ("ROTL", "#1", "R1", "R2"))
+        assert harness.reg(2) == 1
+
+    def test_cvtlb_truncates(self, harness):
+        run_program(harness, ("MOVL", "#0x1FF", "R0"), ("CVTLB", "R0", "R1"))
+        assert harness.reg(1) & 0xFF == 0xFF
+        assert harness.cc.v  # 511 does not fit a signed byte
+
+    def test_cvtbl_sign_extends(self, harness):
+        run_program(harness, ("MOVB", "#0xFF", "R0"), ("CVTBL", "R0", "R1"))
+        assert harness.reg(1) == 0xFFFFFFFF
+
+    def test_adwc_uses_carry(self, harness):
+        run_program(
+            harness,
+            ("MOVL", "#-1", "R0"),
+            ("ADDL2", "#1", "R0"),  # sets C
+            ("MOVL", "#5", "R1"),
+            ("ADWC", "#0", "R1"),
+        )
+        assert harness.reg(1) == 6
+
+    def test_mull3(self, harness):
+        run_program(harness, ("MOVL", "#6", "R1"), ("MULL3", "#7", "R1", "R2"))
+        assert harness.reg(2) == 42
+
+    def test_divl3(self, harness):
+        run_program(harness, ("MOVL", "#6", "R1"), ("DIVL3", "R1", "#42", "R2"))
+        # DIVL3 divisor, dividend, quotient
+        assert harness.reg(2) == 7
+
+    def test_emul(self, harness):
+        run_program(
+            harness,
+            ("MOVL", "#0x10000", "R1"),
+            ("MOVL", "#0x10000", "R2"),
+            ("MOVL", "#0", "R3"),
+            ("EMUL", "R1", "R2", "R3", "R4"),
+        )
+        assert harness.reg(4) == 0  # low longword of 2^32
+        assert harness.reg(5) == 1  # high longword
+
+
+class TestBranches:
+    def test_taken_forward_branch_skips(self, harness):
+        harness.asm.instr("MOVL", "#1", "R0")
+        harness.asm.instr("TSTL", "R0")
+        harness.asm.instr("BNEQ", "skip")
+        harness.asm.instr("MOVL", "#99", "R1")
+        harness.asm.label("skip")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(1) == 0
+
+    def test_not_taken_branch_falls_through(self, harness):
+        harness.asm.instr("MOVL", "#1", "R0")
+        harness.asm.instr("TSTL", "R0")
+        harness.asm.instr("BEQL", "skip")
+        harness.asm.instr("MOVL", "#99", "R1")
+        harness.asm.label("skip")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(1) == 99
+
+    def test_sobgtr_loop_count(self, harness):
+        harness.asm.instr("MOVL", "#10", "R1")
+        harness.asm.instr("MOVL", "#0", "R0")
+        harness.asm.label("loop")
+        harness.asm.instr("ADDL2", "#1", "R0")
+        harness.asm.instr("SOBGTR", "R1", "loop")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(0) == 10
+
+    def test_aoblss(self, harness):
+        harness.asm.instr("MOVL", "#0", "R1")
+        harness.asm.instr("MOVL", "#0", "R0")
+        harness.asm.label("loop")
+        harness.asm.instr("ADDL2", "#2", "R0")
+        harness.asm.instr("AOBLSS", "#5", "R1", "loop")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(1) == 5 and harness.reg(0) == 10
+
+    def test_acbl_stride(self, harness):
+        harness.asm.instr("MOVL", "#0", "R1")
+        harness.asm.instr("MOVL", "#0", "R0")
+        harness.asm.label("loop")
+        harness.asm.instr("INCL", "R0")
+        harness.asm.instr("ACBL", "#10", "#3", "R1", "loop")
+        harness.asm.instr("HALT")
+        harness.run()
+        # R1 walks 3, 6, 9, 12 -> loop body runs 4 times
+        assert harness.reg(0) == 4 and harness.reg(1) == 12
+
+    def test_blbs(self, harness):
+        harness.asm.instr("MOVL", "#3", "R0")
+        harness.asm.instr("BLBS", "R0", "odd")
+        harness.asm.instr("MOVL", "#0", "R1")
+        harness.asm.instr("HALT")
+        harness.asm.label("odd")
+        harness.asm.instr("MOVL", "#1", "R1")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(1) == 1
+
+    def test_bsb_rsb_roundtrip(self, harness):
+        harness.asm.instr("BSBW", "sub")
+        harness.asm.instr("MOVL", "#2", "R1")
+        harness.asm.instr("HALT")
+        harness.asm.label("sub")
+        harness.asm.instr("MOVL", "#1", "R0")
+        harness.asm.instr("RSB")
+        harness.run()
+        assert harness.reg(0) == 1 and harness.reg(1) == 2
+
+    def test_jsb_with_specifier_target(self, harness):
+        harness.asm.instr("MOVAL", "sub", "R5")
+        harness.asm.instr("JSB", "(R5)")
+        harness.asm.instr("HALT")
+        harness.asm.label("sub")
+        harness.asm.instr("MOVL", "#7", "R0")
+        harness.asm.instr("RSB")
+        harness.run()
+        assert harness.reg(0) == 7
+
+    def test_jmp(self, harness):
+        harness.asm.instr("JMP", "target")
+        harness.asm.instr("MOVL", "#99", "R0")
+        harness.asm.label("target")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(0) == 0
+
+    def test_casel_dispatch(self, harness):
+        harness.asm.instr("MOVL", "#1", "R0")
+        harness.asm.instr("CASEL", "R0", "#0", "#2")
+        harness.asm.label("table")
+        harness.asm.word_ref("case0", "table")
+        harness.asm.word_ref("case1", "table")
+        harness.asm.word_ref("case2", "table")
+        harness.asm.label("case0")
+        harness.asm.instr("MOVL", "#100", "R1")
+        harness.asm.instr("HALT")
+        harness.asm.label("case1")
+        harness.asm.instr("MOVL", "#101", "R1")
+        harness.asm.instr("HALT")
+        harness.asm.label("case2")
+        harness.asm.instr("MOVL", "#102", "R1")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(1) == 101
+
+    def test_casel_out_of_range_falls_past_table(self, harness):
+        harness.asm.instr("MOVL", "#9", "R0")
+        harness.asm.instr("CASEL", "R0", "#0", "#1")
+        harness.asm.label("table")
+        harness.asm.word_ref("case0", "table")
+        harness.asm.word_ref("case0", "table")
+        harness.asm.instr("MOVL", "#55", "R1")  # fall-through lands here
+        harness.asm.instr("HALT")
+        harness.asm.label("case0")
+        harness.asm.instr("MOVL", "#100", "R1")
+        harness.asm.instr("HALT")
+        harness.run()
+        assert harness.reg(1) == 55
+
+    def test_branch_events_recorded(self, harness):
+        harness.asm.instr("MOVL", "#2", "R1")
+        harness.asm.label("loop")
+        harness.asm.instr("SOBGTR", "R1", "loop")
+        harness.asm.instr("HALT")
+        harness.run()
+        events = harness.machine.events
+        assert events.branch_executed["loop"] == 2
+        assert events.branch_taken["loop"] == 1

@@ -1,0 +1,157 @@
+"""End-to-end tests of the experiment pipeline and composite analysis."""
+
+import pytest
+
+from repro.core.experiment import (
+    ExperimentResult,
+    composite,
+    run_composite_experiment,
+    run_workload,
+)
+from repro.core import tables as T
+from repro.core.reduction import COLUMNS
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    """One modest workload run shared by the checks below."""
+    return run_workload("timesharing_light", instructions=6_000, warmup_instructions=1_500)
+
+
+@pytest.fixture(scope="module")
+def small_composite():
+    results = [
+        run_workload(name, instructions=2_500, warmup_instructions=800)
+        for name in ("timesharing_light", "scientific")
+    ]
+    return composite(results)
+
+
+class TestRunWorkload:
+    def test_result_shape(self, small_result):
+        assert isinstance(small_result, ExperimentResult)
+        assert small_result.instructions > 5_000
+        assert 4.0 < small_result.cpi < 20.0
+
+    def test_monitor_and_events_agree_on_instructions(self, small_result):
+        assert small_result.reduction.instructions == small_result.events.instructions
+
+    def test_hardware_stats_are_deltas(self, small_result):
+        # The warmup ran thousands of instructions; if stats were not
+        # restricted to the measurement window, IB references per
+        # instruction would be far above the architectural bound.
+        refs = small_result.stats.ib_references / small_result.instructions
+        assert 1.0 < refs < 4.0
+
+
+class TestComposite:
+    def test_composite_sums_instructions(self, small_composite):
+        assert small_composite.instructions > 4_000
+
+    def test_composite_cpi_is_weighted(self):
+        a = run_workload("timesharing_light", instructions=1_500, warmup_instructions=500)
+        b = run_workload("scientific", instructions=1_500, warmup_instructions=500)
+        merged = composite([a, b])
+        low = min(a.cpi, b.cpi)
+        high = max(a.cpi, b.cpi)
+        assert low <= merged.cpi <= high
+
+    def test_composite_of_nothing_rejected(self):
+        with pytest.raises(ValueError):
+            composite([])
+
+
+class TestTables:
+    def test_table1_percentages_sum_to_100(self, small_result):
+        assert sum(T.table1(small_result).values()) == pytest.approx(100.0)
+
+    def test_table1_simple_dominates(self, small_result):
+        table = T.table1(small_result)
+        assert table["simple"] > 70.0
+        assert table["simple"] > table["field"] > table["decimal"]
+
+    def test_table2_taken_rates_bounded(self, small_result):
+        for row, cells in T.table2(small_result).items():
+            assert 0.0 <= cells["percent_taken"] <= 100.0
+
+    def test_table2_always_taken_classes(self, small_result):
+        table = T.table2(small_result)
+        for row in ("subroutine", "case", "procedure"):
+            if table[row]["percent_of_instructions"] > 0:
+                assert table[row]["percent_taken"] == pytest.approx(100.0)
+
+    def test_table3_specifier_rates_physical(self, small_result):
+        table = T.table3(small_result)
+        assert 0.4 < table["spec1"] <= 1.0  # at most one first specifier each
+        assert 0.0 < table["branch_displacements"] < 1.0
+
+    def test_table4_columns_sum_to_100(self, small_result):
+        table = T.table4(small_result)
+        for column in ("spec1", "spec26", "total"):
+            total = sum(
+                cells[column] for row, cells in table.items() if row != "percent_indexed"
+            )
+            assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_table4_register_mode_most_common_after_first(self, small_result):
+        table = T.table4(small_result)
+        assert table["register"]["spec26"] == max(
+            cells["spec26"] for row, cells in table.items() if row != "percent_indexed"
+        )
+
+    def test_table5_reads_exceed_writes(self, small_result):
+        totals = T.table5(small_result)["total"]
+        assert totals["reads"] > totals["writes"] > 0
+
+    def test_table6_total_consistent_with_parts(self, small_result):
+        table = T.table6(small_result)
+        estimated = (
+            table["opcode_bytes"]
+            + table["specifiers_per_instruction"] * table["specifier_size"]
+            + table["displacements_per_instruction"] * table["displacement_size"]
+        )
+        assert estimated == pytest.approx(table["total_bytes"], rel=0.02)
+
+    def test_table7_headways_positive(self, small_result):
+        for value in T.table7(small_result).values():
+            assert value > 0
+
+    def test_table8_row_and_column_totals_agree(self, small_result):
+        table = T.table8(small_result)
+        row_total_sum = sum(
+            cells["total"] for row, cells in table.items() if row != "total"
+        )
+        assert row_total_sum == pytest.approx(table["total"]["total"], rel=1e-9)
+        assert table["total"]["total"] == pytest.approx(small_result.cpi, rel=1e-9)
+
+    def test_table8_columns_complete(self, small_result):
+        table = T.table8(small_result)
+        assert set(table["total"]) == set(COLUMNS) | {"total"}
+
+    def test_table9_orders_groups_by_complexity(self, small_composite):
+        table = T.table9(small_composite)
+        # The paper's two-orders-of-magnitude observation.
+        assert table["character"]["total"] > 10 * table["simple"]["total"]
+        assert table["callret"]["total"] > table["simple"]["total"]
+
+    def test_sec41_bounds(self, small_result):
+        stats = T.sec41_istream(small_result)
+        assert 1.0 <= stats["bytes_per_reference"] <= 4.0
+        assert stats["instruction_bytes"] > 2.0
+
+    def test_sec42_split_sums(self, small_result):
+        stats = T.sec42_cache_tb(small_result)
+        assert stats["cache_read_misses_per_instruction"] == pytest.approx(
+            stats["cache_read_misses_istream"] + stats["cache_read_misses_dstream"],
+            rel=1e-6,
+        )
+        assert stats["tb_misses_per_instruction"] == pytest.approx(
+            stats["tb_misses_dstream"] + stats["tb_misses_istream"], rel=1e-6
+        )
+
+    def test_all_tables_runs(self, small_result):
+        everything = T.all_tables(small_result)
+        assert set(everything) == {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "table8", "table9", "sec41", "sec42",
+        }

@@ -1,0 +1,176 @@
+"""Unit tests for VAX scalar data types and arithmetic flag rules."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.datatypes import (
+    ConditionCodes,
+    add_with_flags,
+    div_with_flags,
+    f_floating_decode,
+    f_floating_encode,
+    from_signed,
+    mul_with_flags,
+    packed_decimal_decode,
+    packed_decimal_encode,
+    packed_size,
+    sign_extend,
+    sub_with_flags,
+    to_signed,
+    truncate,
+)
+
+
+class TestIntegerHelpers:
+    def test_truncate_masks_to_width(self):
+        assert truncate(0x1FFFFFFFF, 32) == 0xFFFFFFFF
+        assert truncate(0x100, 8) == 0
+
+    def test_sign_extend_byte(self):
+        assert sign_extend(0x7F, 8) == 0x7F
+        assert sign_extend(0x80, 8) == 0xFFFFFF80
+        assert sign_extend(0xFF, 8) == 0xFFFFFFFF
+
+    def test_sign_extend_word(self):
+        assert sign_extend(0x8000, 16) == 0xFFFF8000
+
+    def test_to_signed_roundtrip(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x7FFFFFFF) == 0x7FFFFFFF
+        assert from_signed(-1) == 0xFFFFFFFF
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_signed_unsigned_roundtrip(self, value):
+        assert to_signed(from_signed(value)) == value
+
+
+class TestAddSubFlags:
+    def test_add_sets_carry_on_unsigned_overflow(self):
+        result, cc = add_with_flags(0xFFFFFFFF, 1)
+        assert result == 0
+        assert cc.c and cc.z and not cc.v
+
+    def test_add_sets_overflow_on_signed_overflow(self):
+        result, cc = add_with_flags(0x7FFFFFFF, 1)
+        assert result == 0x80000000
+        assert cc.v and cc.n and not cc.c
+
+    def test_sub_borrow(self):
+        result, cc = sub_with_flags(0, 1)
+        assert result == 0xFFFFFFFF
+        assert cc.c and cc.n
+
+    def test_sub_equal_sets_z(self):
+        result, cc = sub_with_flags(42, 42)
+        assert result == 0 and cc.z and not cc.c
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_add_matches_python_semantics(self, a, b):
+        result, cc = add_with_flags(a, b)
+        assert result == (a + b) & 0xFFFFFFFF
+        assert cc.z == (result == 0)
+        assert cc.n == bool(result & 0x80000000)
+        assert cc.c == (a + b > 0xFFFFFFFF)
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_sub_then_add_roundtrip(self, a, b):
+        diff, _ = sub_with_flags(a, b)
+        total, _ = add_with_flags(diff, b)
+        assert total == a
+
+
+class TestMulDiv:
+    def test_mul_overflow_flag(self):
+        _, cc = mul_with_flags(0x10000, 0x10000)
+        assert cc.v
+
+    def test_mul_simple(self):
+        result, cc = mul_with_flags(6, 7)
+        assert result == 42 and not cc.v
+
+    def test_div_truncates_toward_zero(self):
+        result, _ = div_with_flags(from_signed(-7), 2)
+        assert to_signed(result) == -3
+
+    def test_div_by_zero_sets_v(self):
+        _, cc = div_with_flags(5, 0)
+        assert cc.v
+
+    @given(
+        st.integers(min_value=-(2**15), max_value=2**15 - 1),
+        st.integers(min_value=-(2**15), max_value=2**15 - 1),
+    )
+    def test_mul_matches_python(self, a, b):
+        # Products of 16-bit values always fit in 32 bits: no overflow.
+        result, cc = mul_with_flags(from_signed(a), from_signed(b))
+        assert to_signed(result) == a * b
+        assert not cc.v
+
+
+class TestConditionCodes:
+    def test_set_nz_negative(self):
+        cc = ConditionCodes()
+        cc.set_nz(0x80000000)
+        assert cc.n and not cc.z and not cc.v
+
+    def test_set_nz_zero(self):
+        cc = ConditionCodes()
+        cc.set_nz(0)
+        assert cc.z and not cc.n
+
+
+class TestFFloating:
+    @pytest.mark.parametrize("value", [1.0, -1.0, 0.5, 120.0, 3.14159, 1e10, -2.5e-5])
+    def test_roundtrip_close(self, value):
+        decoded = f_floating_decode(f_floating_encode(value))
+        assert math.isclose(decoded, value, rel_tol=1e-6)
+
+    def test_zero(self):
+        assert f_floating_encode(0.0) == 0
+        assert f_floating_decode(0) == 0.0
+
+    def test_memory_image_is_word_swapped(self):
+        # 1.0 in natural layout is 0x40800000; image swaps the halves.
+        assert f_floating_encode(1.0) == 0x00004080
+
+    def test_reserved_operand_raises(self):
+        # sign=1, exp=0 natural form: natural 0x80000000 -> image 0x00008000
+        with pytest.raises(ValueError):
+            f_floating_decode(0x00008000)
+
+    @given(st.floats(min_value=-1e30, max_value=1e30, allow_nan=False).filter(lambda x: x == 0 or abs(x) > 1e-30))
+    def test_roundtrip_property(self, value):
+        decoded = f_floating_decode(f_floating_encode(value))
+        if value == 0:
+            assert decoded == 0
+        else:
+            assert math.isclose(decoded, value, rel_tol=1e-6)
+
+
+class TestPackedDecimal:
+    @pytest.mark.parametrize("value,digits", [(0, 1), (5, 3), (-123, 5), (99999, 5), (-1, 31)])
+    def test_roundtrip(self, value, digits):
+        data = packed_decimal_encode(value, digits)
+        assert len(data) == packed_size(digits)
+        assert packed_decimal_decode(data, digits) == value
+
+    def test_overflow_raises(self):
+        with pytest.raises(OverflowError):
+            packed_decimal_encode(1000, 3)
+
+    def test_invalid_digit_raises(self):
+        with pytest.raises(ValueError):
+            packed_decimal_decode(b"\xff\x0c", 2)
+
+    @given(st.integers(min_value=-(10**15) + 1, max_value=10**15 - 1))
+    def test_roundtrip_property(self, value):
+        data = packed_decimal_encode(value, 15)
+        assert packed_decimal_decode(data, 15) == value

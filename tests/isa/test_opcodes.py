@@ -1,0 +1,128 @@
+"""Unit tests for the opcode table and the paper's group taxonomy."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    OPCODES,
+    BranchClass,
+    OpcodeGroup,
+    opcode_by_mnemonic,
+    opcodes_in_branch_class,
+    opcodes_in_group,
+)
+from repro.isa.specifiers import AccessType, DataType
+
+
+class TestTableIntegrity:
+    def test_no_duplicate_codes(self):
+        assert len(OPCODES) == len({op.code for op in OPCODES.values()})
+
+    def test_no_duplicate_mnemonics(self):
+        assert len(OPCODES) == len({op.mnemonic for op in OPCODES.values()})
+
+    def test_every_group_is_populated(self):
+        for group in OpcodeGroup:
+            assert opcodes_in_group(group), "group {} has no opcodes".format(group)
+
+    def test_every_branch_class_is_populated(self):
+        for branch_class in BranchClass:
+            assert opcodes_in_branch_class(branch_class)
+
+    def test_all_codes_are_single_byte(self):
+        assert all(0 <= op.code <= 0xFF for op in OPCODES.values())
+
+    def test_operand_count_never_exceeds_six(self):
+        # "zero to six operand specifiers" (paper Section 2.1)
+        assert all(len(op.operands) <= 6 for op in OPCODES.values())
+
+
+class TestWellKnownEncodings:
+    """Spot-check real VAX opcode byte values against the architecture manual."""
+
+    @pytest.mark.parametrize(
+        "mnemonic,code",
+        [
+            ("MOVL", 0xD0),
+            ("ADDL2", 0xC0),
+            ("ADDL3", 0xC1),
+            ("BRB", 0x11),
+            ("BRW", 0x31),
+            ("BEQL", 0x13),
+            ("BNEQ", 0x12),
+            ("CALLS", 0xFB),
+            ("RET", 0x04),
+            ("RSB", 0x05),
+            ("MOVC3", 0x28),
+            ("SOBGTR", 0xF5),
+            ("CASEL", 0xCF),
+            ("CHMK", 0xBC),
+            ("REI", 0x02),
+            ("PUSHL", 0xDD),
+            ("EXTV", 0xEE),
+            ("MULL2", 0xC4),
+            ("ADDF2", 0x40),
+        ],
+    )
+    def test_opcode_byte(self, mnemonic, code):
+        assert opcode_by_mnemonic(mnemonic).code == code
+
+    def test_lookup_is_case_insensitive(self):
+        assert opcode_by_mnemonic("movl") is opcode_by_mnemonic("MOVL")
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(KeyError):
+            opcode_by_mnemonic("FNORD")
+
+
+class TestGroupTaxonomy:
+    """The paper's Table 1 group definitions."""
+
+    def test_moves_and_branches_are_simple(self):
+        for mnemonic in ["MOVL", "ADDL2", "BEQL", "BRB", "SOBGTR", "BSBB", "RSB", "JMP", "CASEL"]:
+            assert opcode_by_mnemonic(mnemonic).group is OpcodeGroup.SIMPLE
+
+    def test_integer_multiply_divide_counts_as_float(self):
+        # Table 1: "Floating point, Integer multiply/divide"
+        for mnemonic in ["MULL2", "DIVL3", "EMUL", "EDIV", "ADDF2"]:
+            assert opcode_by_mnemonic(mnemonic).group is OpcodeGroup.FLOAT
+
+    def test_bit_branches_are_field_group(self):
+        assert opcode_by_mnemonic("BBS").group is OpcodeGroup.FIELD
+        assert opcode_by_mnemonic("BBS").branch_class is BranchClass.BIT
+
+    def test_callret_group(self):
+        for mnemonic in ["CALLS", "CALLG", "RET", "PUSHR", "POPR"]:
+            assert opcode_by_mnemonic(mnemonic).group is OpcodeGroup.CALLRET
+
+    def test_system_group_contains_context_switch(self):
+        for mnemonic in ["SVPCTX", "LDPCTX", "CHMK", "REI", "INSQUE", "PROBER"]:
+            assert opcode_by_mnemonic(mnemonic).group is OpcodeGroup.SYSTEM
+
+
+class TestBranchMetadata:
+    def test_conditional_branches_use_byte_displacement(self):
+        op = opcode_by_mnemonic("BNEQ")
+        assert op.uses_branch_displacement
+        (spec,) = op.operands
+        assert spec.access is AccessType.BRANCH and spec.dtype is DataType.BYTE
+
+    def test_brw_uses_word_displacement(self):
+        (spec,) = opcode_by_mnemonic("BRW").operands
+        assert spec.dtype is DataType.WORD
+
+    def test_jmp_has_no_branch_displacement(self):
+        # JMP determines its target with an ordinary address specifier.
+        op = opcode_by_mnemonic("JMP")
+        assert op.is_pc_changing and not op.uses_branch_displacement
+
+    def test_ret_is_pc_changing_without_operands(self):
+        op = opcode_by_mnemonic("RET")
+        assert op.is_pc_changing and not op.operands
+
+    def test_loop_branches(self):
+        assert opcode_by_mnemonic("AOBLSS").branch_class is BranchClass.LOOP
+        assert opcode_by_mnemonic("ACBL").branch_class is BranchClass.LOOP
+
+    def test_non_branches_have_no_class(self):
+        assert opcode_by_mnemonic("MOVL").branch_class is None
+        assert not opcode_by_mnemonic("MOVL").is_pc_changing

@@ -1,0 +1,169 @@
+"""Unit tests for specifier metadata, registers, and specifier decoding."""
+
+import pytest
+
+from repro.cpu.operands import IllegalSpecifier, decode_specifier, expand_float_literal
+from repro.isa.datatypes import DataType
+from repro.isa.registers import Reg, RegisterFile
+from repro.isa.specifiers import (
+    TABLE4_ROW_FOR_MODE,
+    AccessType,
+    AddressingMode,
+    OperandSpec,
+    parse_operand_signature,
+)
+
+
+class TestAddressingModeMetadata:
+    def test_pc_modes_flagged(self):
+        assert AddressingMode.IMMEDIATE.is_pc_mode
+        assert AddressingMode.BYTE_RELATIVE.is_pc_mode
+        assert not AddressingMode.REGISTER.is_pc_mode
+
+    def test_base_nibbles(self):
+        assert AddressingMode.REGISTER.base_nibble == 0x5
+        assert AddressingMode.IMMEDIATE.base_nibble == 0x8
+        assert AddressingMode.LONG_RELATIVE.base_nibble == 0xE
+
+    def test_memory_reference_classification(self):
+        assert AddressingMode.REGISTER_DEFERRED.references_memory
+        assert AddressingMode.ABSOLUTE.references_memory
+        assert not AddressingMode.REGISTER.references_memory
+        assert not AddressingMode.SHORT_LITERAL.references_memory
+
+    def test_deferred_classification(self):
+        assert AddressingMode.BYTE_DISPLACEMENT_DEFERRED.is_deferred
+        assert AddressingMode.ABSOLUTE.is_deferred
+        assert not AddressingMode.BYTE_DISPLACEMENT.is_deferred
+
+    def test_displacement_sizes(self):
+        assert AddressingMode.BYTE_DISPLACEMENT.displacement_size == 1
+        assert AddressingMode.WORD_RELATIVE.displacement_size == 2
+        assert AddressingMode.LONG_DISPLACEMENT_DEFERRED.displacement_size == 4
+        assert AddressingMode.REGISTER.displacement_size == 0
+
+    def test_every_table4_mode_mapped(self):
+        for mode in AddressingMode:
+            if mode is AddressingMode.INDEXED:
+                continue
+            assert mode in TABLE4_ROW_FOR_MODE
+
+    def test_relative_modes_count_as_displacement(self):
+        # Table 4 folds PC-relative into the displacement row.
+        assert TABLE4_ROW_FOR_MODE[AddressingMode.LONG_RELATIVE] == "displacement"
+
+
+class TestSignatureParsing:
+    def test_three_operand_signature(self):
+        specs = parse_operand_signature("rl,rl,wl")
+        assert len(specs) == 3
+        assert specs[0] == OperandSpec(AccessType.READ, DataType.LONG)
+        assert specs[2].access is AccessType.WRITE
+
+    def test_empty_signature(self):
+        assert parse_operand_signature("") == ()
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(ValueError):
+            parse_operand_signature("xl")
+
+
+class TestRegisterFile:
+    def test_write_masks_32_bits(self):
+        regs = RegisterFile()
+        regs.write(3, 0x1_2345_6789)
+        assert regs.read(3) == 0x2345_6789
+
+    def test_special_register_properties(self):
+        regs = RegisterFile()
+        regs.sp = 0x1000
+        regs.fp = 0x2000
+        regs.ap = 0x3000
+        regs.pc = 0x4000
+        assert regs.read(Reg.SP) == 0x1000
+        assert regs.read(Reg.FP) == 0x2000
+        assert regs.read(Reg.AP) == 0x3000
+        assert regs.read(Reg.PC) == 0x4000
+
+    def test_snapshot_restore_round_trip(self):
+        regs = RegisterFile()
+        for index in range(16):
+            regs.write(index, index * 11)
+        snapshot = regs.snapshot()
+        regs.write(5, 999)
+        regs.restore(snapshot)
+        assert regs.read(5) == 55
+
+    def test_restore_validates_length(self):
+        with pytest.raises(ValueError):
+            RegisterFile().restore([0] * 15)
+
+
+class TestSpecifierDecoding:
+    @staticmethod
+    def _decode(data, dtype=DataType.LONG):
+        data = bytes(data)
+        position = [0]
+
+        def take(count):
+            chunk = data[position[0] : position[0] + count]
+            position[0] += count
+            return chunk
+
+        return decode_specifier(take, dtype)
+
+    def test_short_literal(self):
+        decoded = self._decode([0x2A])
+        assert decoded.mode is AddressingMode.SHORT_LITERAL
+        assert decoded.extension == 0x2A and decoded.length == 1
+
+    def test_register(self):
+        decoded = self._decode([0x53])
+        assert decoded.mode is AddressingMode.REGISTER and decoded.register == 3
+
+    def test_immediate_sized_by_dtype(self):
+        decoded = self._decode([0x8F, 0x12], dtype=DataType.BYTE)
+        assert decoded.mode is AddressingMode.IMMEDIATE
+        assert decoded.extension == 0x12 and decoded.length == 2
+
+    def test_immediate_quad(self):
+        decoded = self._decode([0x8F] + [0xAA] * 8, dtype=DataType.QUAD)
+        assert decoded.length == 9
+
+    def test_displacement_sign_extended(self):
+        decoded = self._decode([0xA5, 0xFC])  # B^-4(R5)
+        assert decoded.mode is AddressingMode.BYTE_DISPLACEMENT
+        assert decoded.extension == 0xFFFFFFFC
+
+    def test_index_prefix(self):
+        decoded = self._decode([0x42, 0x65])  # (R5)[R2]
+        assert decoded.index_register == 2
+        assert decoded.mode is AddressingMode.REGISTER_DEFERRED
+        assert decoded.length == 2
+
+    def test_pc_relative(self):
+        decoded = self._decode([0xAF, 0x10])
+        assert decoded.mode is AddressingMode.BYTE_RELATIVE
+        assert decoded.extension == 0x10
+
+    def test_double_index_rejected(self):
+        with pytest.raises(IllegalSpecifier):
+            self._decode([0x42, 0x43, 0x65])
+
+    def test_literal_after_index_rejected(self):
+        with pytest.raises(IllegalSpecifier):
+            self._decode([0x42, 0x2A])
+
+
+class TestFloatLiteralExpansion:
+    @pytest.mark.parametrize(
+        "bits,value",
+        [(0, 0.5), (7, 0.9375), (0b001000, 1.0), (0b111111, 120.0)],
+    )
+    def test_expansion_table(self, bits, value):
+        assert expand_float_literal(bits) == pytest.approx(value)
+
+    def test_range_covers_paper_examples(self):
+        values = {expand_float_literal(bits) for bits in range(64)}
+        assert min(values) == 0.5 and max(values) == 120.0
+        assert len(values) == 64

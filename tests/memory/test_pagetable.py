@@ -1,0 +1,76 @@
+"""Unit tests for VAX page tables and address-region helpers."""
+
+import pytest
+
+from repro.memory import PAGE_SIZE, PageTable, PageTableEntry, PhysicalMemory
+from repro.memory.pagetable import PAGE_SHIFT, region_of, vpn_of
+
+
+class TestRegions:
+    def test_p0_p1_system(self):
+        assert region_of(0x0000_0000) == "p0"
+        assert region_of(0x3FFF_FFFF) == "p0"
+        assert region_of(0x4000_0000) == "p1"
+        assert region_of(0x7FFF_FFFF) == "p1"
+        assert region_of(0x8000_0000) == "system"
+        assert region_of(0xBFFF_FFFF) == "system"
+
+    def test_vpn_is_region_relative(self):
+        assert vpn_of(0x0000_0000) == 0
+        assert vpn_of(0x0000_0200) == 1
+        assert vpn_of(0x4000_0200) == 1  # P1 counts from its own base
+        assert vpn_of(0x8000_0400) == 2
+
+    def test_page_constants(self):
+        assert PAGE_SIZE == 512 and (1 << PAGE_SHIFT) == PAGE_SIZE
+
+
+class TestPageTableEntry:
+    def test_pack_unpack_round_trip(self):
+        entry = PageTableEntry(pfn=0x1234, valid=True, writable=False)
+        assert PageTableEntry.unpack(entry.pack()) == entry
+
+    def test_invalid_entry(self):
+        entry = PageTableEntry.unpack(0)
+        assert not entry.valid and entry.pfn == 0
+
+    def test_flags_independent(self):
+        writable = PageTableEntry(pfn=1, valid=True, writable=True)
+        readonly = PageTableEntry(pfn=1, valid=True, writable=False)
+        assert writable.pack() != readonly.pack()
+
+
+class TestPageTable:
+    def test_map_and_lookup(self):
+        physical = PhysicalMemory(64 * 1024)
+        table = PageTable(physical, base_pa=0x1000, length=16)
+        table.map(3, pfn=42)
+        entry = table.lookup(3)
+        assert entry.valid and entry.pfn == 42
+
+    def test_ptes_live_in_physical_memory(self):
+        # The property the TB-miss timing depends on: PTEs are fetchable
+        # at predictable physical addresses.
+        physical = PhysicalMemory(64 * 1024)
+        table = PageTable(physical, base_pa=0x1000, length=16)
+        table.map(5, pfn=7)
+        assert table.pte_address(5) == 0x1000 + 20
+        raw = physical.read(0x1000 + 20, 4)
+        assert PageTableEntry.unpack(raw).pfn == 7
+
+    def test_unmap(self):
+        physical = PhysicalMemory(64 * 1024)
+        table = PageTable(physical, base_pa=0x1000, length=16)
+        table.map(2, pfn=9)
+        table.unmap(2)
+        assert not table.lookup(2).valid
+
+    def test_out_of_range_vpn_rejected(self):
+        physical = PhysicalMemory(64 * 1024)
+        table = PageTable(physical, base_pa=0x1000, length=4)
+        with pytest.raises(IndexError):
+            table.pte_address(4)
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            PageTable(PhysicalMemory(1024), base_pa=0x1002, length=4)

@@ -1,0 +1,60 @@
+"""Unit tests for physical memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import PhysicalMemory
+
+
+class TestPhysicalMemory:
+    def test_read_back_longword(self):
+        mem = PhysicalMemory(1024)
+        mem.write(100, 4, 0xDEADBEEF)
+        assert mem.read(100, 4) == 0xDEADBEEF
+
+    def test_little_endian_layout(self):
+        mem = PhysicalMemory(16)
+        mem.write(0, 4, 0x11223344)
+        assert mem.read(0, 1) == 0x44
+        assert mem.read(3, 1) == 0x11
+
+    def test_write_masks_value(self):
+        mem = PhysicalMemory(16)
+        mem.write(0, 1, 0x1FF)
+        assert mem.read(0, 1) == 0xFF
+
+    def test_load_and_dump(self):
+        mem = PhysicalMemory(64)
+        mem.load(8, b"\x01\x02\x03")
+        assert mem.dump(8, 3) == b"\x01\x02\x03"
+
+    def test_out_of_bounds_read_raises(self):
+        mem = PhysicalMemory(16)
+        with pytest.raises(IndexError):
+            mem.read(15, 4)
+
+    def test_out_of_bounds_write_raises(self):
+        mem = PhysicalMemory(16)
+        with pytest.raises(IndexError):
+            mem.write(-1, 1, 0)
+
+    def test_oversize_load_raises(self):
+        mem = PhysicalMemory(4)
+        with pytest.raises(IndexError):
+            mem.load(2, b"abc")
+
+    def test_default_size_is_8mb(self):
+        assert PhysicalMemory().size == 8 * 1024 * 1024
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(0)
+
+    @given(
+        st.integers(min_value=0, max_value=1020),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_longword_roundtrip_property(self, address, value):
+        mem = PhysicalMemory(1024)
+        mem.write(address, 4, value)
+        assert mem.read(address, 4) == value

@@ -1,0 +1,152 @@
+"""Unit tests for the translation buffer and data cache."""
+
+import pytest
+
+from repro.memory import Cache, TranslationBuffer, TBMiss
+from repro.memory.pagetable import PAGE_SIZE
+from repro.memory.tb import HALF_ENTRIES
+
+
+SYSTEM_VA = 0x80000000
+
+
+class TestTranslationBuffer:
+    def test_miss_then_fill_then_hit(self):
+        tb = TranslationBuffer()
+        with pytest.raises(TBMiss):
+            tb.translate(0x1000)
+        tb.fill(0x1000, pfn=7, writable=True)
+        pa = tb.translate(0x1000)
+        assert pa == 7 * PAGE_SIZE
+
+    def test_offset_preserved(self):
+        tb = TranslationBuffer()
+        tb.fill(0x1200, pfn=3, writable=True)
+        assert tb.translate(0x1234) == 3 * PAGE_SIZE + 0x34
+
+    def test_miss_carries_stream(self):
+        tb = TranslationBuffer()
+        with pytest.raises(TBMiss) as excinfo:
+            tb.translate(0x2000, stream="i")
+        assert excinfo.value.stream == "i"
+        assert tb.stats.i_misses == 1 and tb.stats.d_misses == 0
+
+    def test_process_flush_keeps_system_half(self):
+        tb = TranslationBuffer()
+        tb.fill(0x1000, pfn=1, writable=True)  # process space
+        tb.fill(SYSTEM_VA + 0x1000, pfn=2, writable=True)  # system space
+        tb.flush_process()
+        assert not tb.probe(0x1000)
+        assert tb.probe(SYSTEM_VA + 0x1000)
+        assert tb.stats.process_flushes == 1
+
+    def test_direct_mapped_conflict(self):
+        tb = TranslationBuffer()
+        va1 = 0
+        va2 = HALF_ENTRIES * PAGE_SIZE  # same index, different tag
+        tb.fill(va1, pfn=1, writable=True)
+        tb.fill(va2, pfn=2, writable=True)
+        assert not tb.probe(va1)  # evicted
+        assert tb.probe(va2)
+
+    def test_p0_p1_do_not_alias(self):
+        tb = TranslationBuffer()
+        p0_va = 0x1000
+        p1_va = 0x40001000  # same relative vpn, P1 region
+        tb.fill(p0_va, pfn=1, writable=True)
+        assert not tb.probe(p1_va)
+
+    def test_invalidate_single(self):
+        tb = TranslationBuffer()
+        tb.fill(0x1000, pfn=1, writable=True)
+        tb.invalidate(0x1000)
+        assert not tb.probe(0x1000)
+
+    def test_miss_rate(self):
+        tb = TranslationBuffer()
+        with pytest.raises(TBMiss):
+            tb.translate(0x1000)
+        tb.fill(0x1000, pfn=1, writable=True)
+        tb.translate(0x1000)
+        tb.translate(0x1000)
+        assert tb.stats.miss_rate == pytest.approx(1 / 3)
+
+    def test_resident_count(self):
+        tb = TranslationBuffer()
+        assert tb.resident_count() == 0
+        tb.fill(0x1000, pfn=1, writable=True)
+        tb.fill(SYSTEM_VA, pfn=2, writable=True)
+        assert tb.resident_count() == 2
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = Cache()
+        assert cache.read(0x100) is False
+        assert cache.read(0x100) is True
+
+    def test_block_granularity(self):
+        cache = Cache()
+        cache.read(0x100)
+        assert cache.read(0x104) is True  # same 8-byte block
+        assert cache.read(0x108) is False  # next block
+
+    def test_two_way_associativity(self):
+        cache = Cache()
+        set_stride = cache.sets * cache.block_size
+        cache.read(0x0)
+        cache.read(set_stride)  # same set, second way
+        assert cache.probe(0x0) and cache.probe(set_stride)
+        cache.read(2 * set_stride)  # evicts LRU (0x0)
+        assert not cache.probe(0x0)
+        assert cache.probe(set_stride)
+
+    def test_lru_respects_recency(self):
+        cache = Cache()
+        stride = cache.sets * cache.block_size
+        cache.read(0x0)
+        cache.read(stride)
+        cache.read(0x0)  # refresh way holding 0x0
+        cache.read(2 * stride)  # should evict `stride` now
+        assert cache.probe(0x0)
+        assert not cache.probe(stride)
+
+    def test_write_no_allocate(self):
+        cache = Cache()
+        assert cache.write(0x200) is False
+        assert cache.probe(0x200) is False  # miss did not allocate
+        cache.read(0x200)
+        assert cache.write(0x200) is True
+
+    def test_stream_stats_split(self):
+        cache = Cache()
+        cache.read(0x100, stream="i")
+        cache.read(0x300, stream="d")
+        assert cache.stats.i_read_misses == 1
+        assert cache.stats.d_read_misses == 1
+
+    def test_geometry_default_is_8kb_2way(self):
+        cache = Cache()
+        assert cache.sets * cache.ways * cache.block_size == 8 * 1024
+        assert cache.ways == 2 and cache.block_size == 8
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=1000, ways=3, block_size=8)
+
+    def test_invalidate_all(self):
+        cache = Cache()
+        cache.read(0x100)
+        cache.invalidate_all()
+        assert not cache.probe(0x100)
+
+    def test_blocks_spanned(self):
+        cache = Cache()
+        assert cache.blocks_spanned(0x100, 4) == 1
+        assert cache.blocks_spanned(0x106, 4) == 2
+
+    def test_miss_rate_statistic(self):
+        cache = Cache()
+        cache.read(0x0)
+        cache.read(0x0)
+        assert cache.stats.read_miss_rate == pytest.approx(0.5)

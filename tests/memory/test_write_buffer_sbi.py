@@ -1,0 +1,104 @@
+"""Unit tests for the write buffer and the SBI queue model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.sbi import SBI
+from repro.memory.write_buffer import WriteBuffer
+
+
+class TestWriteBuffer:
+    def test_idle_buffer_accepts_immediately(self):
+        wb = WriteBuffer()
+        assert wb.submit(now=0) == 0
+
+    def test_busy_buffer_stalls_remaining_time(self):
+        wb = WriteBuffer(drain_cycles=6)
+        wb.submit(now=0)
+        assert wb.submit(now=2) == 4
+
+    def test_stall_extends_occupancy(self):
+        wb = WriteBuffer(drain_cycles=6)
+        wb.submit(now=0)
+        wb.submit(now=2)  # stalls 4, accepted at 6, drains at 12
+        assert wb.busy_cycles_remaining(now=6) == 6
+
+    def test_exact_boundary_no_stall(self):
+        wb = WriteBuffer(drain_cycles=6)
+        wb.submit(now=0)
+        assert wb.submit(now=6) == 0
+
+    def test_stats(self):
+        wb = WriteBuffer(drain_cycles=6)
+        wb.submit(now=0)
+        wb.submit(now=1)
+        assert wb.stats.writes == 2
+        assert wb.stats.stalled_writes == 1
+        assert wb.stats.stall_cycles == 5
+
+    def test_reset(self):
+        wb = WriteBuffer()
+        wb.submit(now=0)
+        wb.reset()
+        assert wb.submit(now=1) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=40))
+    def test_total_time_conserved(self, gaps):
+        """However writes are spaced, each occupies exactly drain_cycles
+        of buffer time: final drain completion = arrivals + stalls + drain."""
+        wb = WriteBuffer(drain_cycles=6)
+        now = 0
+        for gap in gaps:
+            now += gap
+            stall = wb.submit(now)
+            now += stall  # the EBOX waits out the stall
+        assert wb.busy_cycles_remaining(now) == 6
+
+
+class TestSBIQueueing:
+    def test_legacy_fixed_latency(self):
+        sbi = SBI()
+        assert sbi.read_block() == 6
+
+    def test_uncontended_read_costs_base_latency(self):
+        sbi = SBI()
+        assert sbi.read_block(now=100) == 6
+
+    def test_back_to_back_reads_queue(self):
+        sbi = SBI()
+        assert sbi.read_block(now=0) == 6  # busy until 6
+        assert sbi.read_block(now=2) == 10  # waits 4, then 6
+
+    def test_spaced_reads_do_not_queue(self):
+        sbi = SBI()
+        sbi.read_block(now=0)
+        assert sbi.read_block(now=6) == 6
+
+    def test_queueing_counted(self):
+        sbi = SBI()
+        sbi.read_block(now=0)
+        sbi.read_block(now=0)
+        assert sbi.stats.queueing_cycles == 6
+        assert sbi.stats.read_transactions == 2
+
+    def test_busy_cycles_remaining(self):
+        sbi = SBI()
+        sbi.read_block(now=0)
+        assert sbi.busy_cycles_remaining(3) == 3
+        assert sbi.busy_cycles_remaining(10) == 0
+
+    def test_writes_counted_but_not_queued(self):
+        sbi = SBI()
+        sbi.write_longword()
+        assert sbi.stats.write_transactions == 1
+        assert sbi.read_block(now=0) == 6  # writes do not hold the queue
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=30))
+    def test_stalls_at_least_base_latency(self, arrivals):
+        sbi = SBI()
+        now = 0
+        for gap in arrivals:
+            now += gap
+            stall = sbi.read_block(now=now)
+            assert stall >= 6
+            now += stall

@@ -1,0 +1,155 @@
+"""Tests for the control-store layout and cost tables."""
+
+import pytest
+
+from repro.isa.opcodes import OPCODES
+from repro.isa.specifiers import AddressingMode
+from repro.ucode import (
+    CONTROL_STORE_SIZE,
+    ControlStore,
+    CycleKind,
+    MicroSlot,
+    Region,
+    build_layout,
+)
+from repro.ucode.costs import SPEC_COSTS, exec_profile
+from repro.ucode.routines import PATCHED_ROUTINES
+
+
+class TestRegions:
+    def test_regions_are_disjoint_and_fit(self):
+        extents = sorted((r.base, r.end) for r in Region)
+        for (b1, e1), (b2, e2) in zip(extents, extents[1:]):
+            assert e1 <= b2
+        assert extents[-1][1] <= CONTROL_STORE_SIZE
+
+    def test_region_labels_unique(self):
+        labels = [r.label for r in Region]
+        assert len(labels) == len(set(labels))
+
+
+class TestAllocation:
+    def test_routine_gets_distinct_addresses(self):
+        store = ControlStore()
+        routine = store.allocate(Region.DECODE, "r")
+        addresses = set(routine.slots.values())
+        assert len(addresses) == len(routine.slots)
+        assert all(Region.DECODE.base <= a < Region.DECODE.end for a in addresses)
+
+    def test_reverse_lookup(self):
+        store = ControlStore()
+        routine = store.allocate(Region.BDISP, "x", (MicroSlot.COMPUTE_A,))
+        found, slot = store.lookup(routine.address(MicroSlot.COMPUTE_A))
+        assert found is routine and slot is MicroSlot.COMPUTE_A
+
+    def test_unused_address_lookup_is_none(self):
+        store = ControlStore()
+        assert store.lookup(0x3FFF) is None
+        assert store.kind_of(0x3FFF) is None
+
+    def test_kind_classification(self):
+        store = ControlStore()
+        routine = store.allocate(Region.MEMMGMT, "m")
+        assert store.kind_of(routine.address(MicroSlot.READ)) is CycleKind.READ
+        assert store.kind_of(routine.address(MicroSlot.WRITE)) is CycleKind.WRITE
+        assert store.kind_of(routine.address(MicroSlot.COMPUTE_A)) is CycleKind.COMPUTE
+        assert store.kind_of(routine.address(MicroSlot.IB_WAIT)) is CycleKind.IB_STALL
+
+    def test_region_overflow_raises(self):
+        store = ControlStore()
+        with pytest.raises(ValueError):
+            for index in range(100):  # DECODE region is only 16 locations
+                store.allocate(Region.DECODE, "r{}".format(index))
+
+
+class TestBuiltLayout:
+    @pytest.fixture(scope="class")
+    def layout(self):
+        return build_layout()
+
+    def test_every_opcode_has_an_exec_routine(self, layout):
+        for opcode in OPCODES.values():
+            routine = layout.execute[opcode.mnemonic]
+            assert routine.name == "exec." + opcode.mnemonic.lower()
+
+    def test_every_mode_has_spec_routines_in_both_banks(self, layout):
+        for mode in AddressingMode:
+            if mode is AddressingMode.INDEXED:
+                continue
+            assert mode in layout.spec1 and mode in layout.spec26
+            assert layout.spec1[mode].region is Region.SPEC1
+            assert layout.spec26[mode].region is Region.SPEC26
+
+    def test_index_microcode_shared_in_spec26(self, layout):
+        # The microcode-sharing quirk the paper reports: indexed base
+        # calculation lives at SPEC2-6 addresses.
+        assert layout.index_shared.region is Region.SPEC26
+
+    def test_exec_routines_in_group_regions(self, layout):
+        assert layout.execute["MOVL"].region is Region.EXEC_SIMPLE
+        assert layout.execute["EXTV"].region is Region.EXEC_FIELD
+        assert layout.execute["ADDF2"].region is Region.EXEC_FLOAT
+        assert layout.execute["CALLS"].region is Region.EXEC_CALLRET
+        assert layout.execute["CHMK"].region is Region.EXEC_SYSTEM
+        assert layout.execute["MOVC3"].region is Region.EXEC_CHARACTER
+        assert layout.execute["ADDP4"].region is Region.EXEC_DECIMAL
+
+    def test_overhead_routines_present(self, layout):
+        assert layout.tb_miss.region is Region.MEMMGMT
+        assert layout.alignment.region is Region.MEMMGMT
+        assert layout.interrupt.region is Region.INTEXC
+        assert layout.exception.region is Region.INTEXC
+        assert layout.abort.region is Region.ABORT
+
+    def test_no_address_collisions(self, layout):
+        addresses = layout.store.used_addresses()
+        assert len(addresses) == len(set(addresses))
+
+    def test_patched_routines_marked(self, layout):
+        patched = {r.name for r in layout.store.routines if r.patched}
+        assert patched == set(PATCHED_ROUTINES) & patched
+        assert "exec.calls" in patched
+        assert "exec.movl" not in patched  # hot unpatched paths stay clean
+
+    def test_layout_is_deterministic(self, layout):
+        other = build_layout()
+        assert other.store.used_addresses() == layout.store.used_addresses()
+        assert other.decode.slots == layout.decode.slots
+
+
+class TestCosts:
+    def test_every_mode_has_a_cost(self):
+        for mode in AddressingMode:
+            if mode is AddressingMode.INDEXED:
+                continue
+            assert mode in SPEC_COSTS
+            assert SPEC_COSTS[mode].address_cycles >= 1
+
+    def test_deferred_modes_cost_a_pointer_read(self):
+        assert SPEC_COSTS[AddressingMode.BYTE_DISPLACEMENT_DEFERRED].pointer_reads == 1
+        assert SPEC_COSTS[AddressingMode.REGISTER_DEFERRED].pointer_reads == 0
+
+    def test_every_opcode_has_an_exec_profile(self):
+        for opcode in OPCODES.values():
+            profile = exec_profile(opcode)
+            assert profile.base_cycles >= 0
+            assert profile.per_item_cycles >= 0
+
+    def test_cost_ordering_matches_table9(self):
+        """The per-opcode cost model must respect the paper's complexity
+        ordering even before any workload runs."""
+        from repro.isa.opcodes import opcode_by_mnemonic
+
+        def base(mnemonic):
+            return exec_profile(opcode_by_mnemonic(mnemonic)).base_cycles
+
+        assert base("MOVL") <= base("EXTV") <= base("CALLS")
+        assert base("DIVL3") > base("MULL3") > base("ADDL3")
+        assert base("DIVF2") > base("ADDF2")
+        assert base("ADDP4") > base("ADDL2")
+
+    def test_branches_pay_for_redirect_only_when_taken(self):
+        from repro.isa.opcodes import opcode_by_mnemonic
+
+        profile = exec_profile(opcode_by_mnemonic("BNEQ"))
+        assert profile.taken_extra_cycles >= 1

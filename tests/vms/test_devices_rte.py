@@ -1,0 +1,117 @@
+"""Tests for device timers, processes, and the Remote Terminal Emulator."""
+
+import pytest
+
+from repro.asm import Assembler
+from repro.cpu import VAX780
+from repro.core.monitor import UPCMonitor
+from repro.vms import DeviceBoard, DeviceTimer, VMSKernel
+from repro.vms.process import PCB_BYTES, ProcessState, initialize_pcb
+from repro.workloads.rte import CANNED_SCRIPTS, RemoteTerminalEmulator
+
+
+class TestDeviceTimers:
+    def test_fires_on_schedule(self):
+        fired = []
+        board = DeviceBoard(seed=3)
+        board.add("t", ipl=20, period_cycles=100, callback=lambda t: fired.append(t), jitter=0.0)
+        board.start(now=0)
+        board.poll(now=99)
+        assert fired == []
+        board.poll(now=100)
+        assert len(fired) == 1
+
+    def test_catches_up_after_long_gap(self):
+        fired = []
+        board = DeviceBoard(seed=3)
+        board.add("t", ipl=20, period_cycles=100, callback=lambda t: fired.append(1), jitter=0.0)
+        board.start(now=0)
+        board.poll(now=1000)
+        assert len(fired) == 10
+
+    def test_jitter_spreads_periods(self):
+        timers = []
+        for seed in range(5):
+            board = DeviceBoard(seed=seed)
+            timer = board.add("t", ipl=20, period_cycles=1000, callback=lambda t: None, jitter=0.4)
+            board.start(now=0)
+            timers.append(timer.next_fire)
+        assert len(set(timers)) > 1  # different seeds, different phases
+
+    def test_firings_counted(self):
+        board = DeviceBoard(seed=1)
+        timer = board.add("t", ipl=20, period_cycles=50, callback=lambda t: None, jitter=0.0)
+        board.start(now=0)
+        board.poll(now=500)
+        assert timer.firings == 10
+
+
+class TestProcessStructures:
+    def test_pcb_layout_round_trip(self):
+        machine = VAX780()
+        pcb = 0x90000
+        initialize_pcb(machine, pcb, entry_pc=0x1234, kernel_sp=0x8000_4000, user_sp=0xF000)
+        assert machine.physical.read(pcb + 4 * 18, 4) == 0x1234  # PC
+        assert machine.physical.read(pcb + 4 * 14, 4) == 0x8000_4000  # KSP
+        assert machine.physical.read(pcb + 4 * 17, 4) == 0xF000  # USP
+        psl = machine.physical.read(pcb + 4 * 19, 4)
+        assert (psl >> 24) & 3 == 3  # user mode
+
+    def test_pcb_kernel_mode_variant(self):
+        machine = VAX780()
+        initialize_pcb(machine, 0x90000, 0x1000, 0x8000_4000, 0x8000_4000, user_mode=False)
+        psl = machine.physical.read(0x90000 + 4 * 19, 4)
+        assert (psl >> 24) & 3 == 0
+
+    def test_pcb_size_constant(self):
+        assert PCB_BYTES == 80  # 20 longwords
+
+
+class TestRTE:
+    def _kernel_with_processes(self, count=2):
+        machine = VAX780(monitor=UPCMonitor.build())
+        kernel = VMSKernel(machine)
+        asm = Assembler(origin=0x1000)
+        asm.label("loop")
+        asm.instr("CHMK", "#1")  # block on terminal input
+        asm.instr("BRB", "loop")
+        image = asm.assemble()
+        for index in range(count):
+            kernel.create_process("p{}".format(index), image, 0x1000)
+        return machine, kernel
+
+    def test_scripts_exist_for_all_environments(self):
+        for name in ("educational", "scientific", "commercial", "timesharing"):
+            assert len(CANNED_SCRIPTS[name]) > 10
+
+    def test_keystrokes_target_blocked_processes(self):
+        machine, kernel = self._kernel_with_processes()
+        rte = RemoteTerminalEmulator(kernel, users=4, script_name="educational")
+        kernel.processes[0].state = ProcessState.BLOCKED
+        pid, char = rte.keystroke(kernel)
+        assert pid == kernel.processes[0].pid
+        assert 0 <= char <= 0xFF
+
+    def test_keystrokes_follow_script(self):
+        machine, kernel = self._kernel_with_processes(count=1)
+        rte = RemoteTerminalEmulator(kernel, users=1, script_name="commercial", seed=5)
+        script = CANNED_SCRIPTS["commercial"]
+        first = rte.keystroke(kernel)
+        assert chr(first[1]) in script
+
+    def test_rte_drives_blocking_workload(self):
+        machine, kernel = self._kernel_with_processes(count=2)
+        RemoteTerminalEmulator(kernel, users=6, script_name="timesharing")
+        kernel.boot()
+        kernel.start_measurement()
+        executed = kernel.run(max_instructions=20_000)
+        # Both processes repeatedly block on QIO and are woken by RTE
+        # keystrokes; the system keeps making progress throughout.
+        assert executed == 20_000
+        assert machine.events.opcode_counts["CHMK"] > 4
+        assert machine.events.context_switches > 4
+
+    def test_no_users_suppresses_interrupt(self):
+        machine, kernel = self._kernel_with_processes()
+        rte = RemoteTerminalEmulator(kernel, users=0, script_name="timesharing")
+        assert rte.keystroke(kernel) is None

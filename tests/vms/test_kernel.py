@@ -1,0 +1,189 @@
+"""Integration tests for the miniature VMS kernel."""
+
+import pytest
+
+from repro.asm import Assembler
+from repro.core.monitor import UPCMonitor
+from repro.cpu import VAX780
+from repro.vms import VMSKernel
+from repro.vms.process import ProcessState
+
+
+def counting_program(increment=1):
+    """An infinite loop that accumulates into R0."""
+    asm = Assembler(origin=0x1000)
+    asm.instr("MOVL", "#0", "R0")
+    asm.label("loop")
+    asm.instr("ADDL2", "#{}".format(increment), "R0")
+    asm.instr("BRB", "loop")
+    return asm.assemble()
+
+
+def syscall_program(code=2):
+    """A loop that makes a CHMK system service call each iteration."""
+    asm = Assembler(origin=0x1000)
+    asm.label("loop")
+    asm.instr("MOVL", "#1", "R2")
+    asm.instr("CHMK", "#{}".format(code))
+    asm.instr("BRB", "loop")
+    return asm.assemble()
+
+
+def booted_kernel(programs, **kernel_args):
+    monitor = UPCMonitor.build()
+    machine = VAX780(monitor=monitor)
+    kernel = VMSKernel(machine, **kernel_args)
+    for index, image in enumerate(programs):
+        kernel.create_process("p{}".format(index), image, 0x1000)
+    kernel.boot()
+    return machine, kernel
+
+
+class TestBootAndRun:
+    def test_single_process_runs_in_user_mode(self):
+        machine, kernel = booted_kernel([counting_program()])
+        kernel.run(max_instructions=500)
+        assert kernel.current is not None and kernel.current.name == "p0"
+        # Event counters always run; the *monitor* is what never started.
+        assert machine.monitor.board.total_cycles() == 0
+        assert machine.events.instructions > 0
+
+    def test_measurement_gating(self):
+        machine, kernel = booted_kernel([counting_program()])
+        kernel.run(max_instructions=200)
+        kernel.start_measurement()
+        kernel.run(max_instructions=500)
+        kernel.stop_measurement()
+        assert machine.events.instructions > 0
+        assert machine.monitor.board.total_cycles() > 0
+
+    def test_two_processes_share_the_cpu(self):
+        machine, kernel = booted_kernel(
+            [counting_program(1), counting_program(1)],
+            quantum_ticks=1,
+            clock_period_cycles=4_000,
+        )
+        kernel.start_measurement()
+        kernel.run(max_instructions=30_000)
+        assert machine.events.context_switches >= 2
+
+
+class TestInterrupts:
+    def test_clock_interrupts_delivered(self):
+        machine, kernel = booted_kernel([counting_program()], clock_period_cycles=3_000)
+        kernel.start_measurement()
+        kernel.run(max_instructions=10_000)
+        assert machine.events.interrupts_delivered > 0
+        assert kernel.ticks > 0
+
+    def test_terminal_isr_stores_characters(self):
+        machine, kernel = booted_kernel(
+            [counting_program()], terminal_period_cycles=2_000
+        )
+        kernel.start_measurement()
+        kernel.run(max_instructions=15_000)
+        index = kernel._read_kernel_longword(kernel.tt_ring_idx_va)
+        assert index > 0  # ISR ran and advanced the ring
+
+    def test_interrupts_preserve_user_registers(self):
+        machine, kernel = booted_kernel(
+            [counting_program(3)], clock_period_cycles=2_000
+        )
+        kernel.start_measurement()
+        kernel.run(max_instructions=9_001)
+        # R0 accumulates threes in user code only; ISRs (which also
+        # execute ADDL2s of their own, in process context, as on real
+        # VMS) must save and restore every register they touch, so R0
+        # stays an exact multiple of three.
+        assert machine.events.interrupts_delivered > 0
+        value = machine.ebox.regs.read(0)
+        assert value > 0 and value % 3 == 0
+
+
+class TestSystemServices:
+    def test_gettim_service_round_trip(self):
+        machine, kernel = booted_kernel([syscall_program(code=2)])
+        kernel.start_measurement()
+        kernel.run(max_instructions=2_000)
+        assert machine.events.opcode_counts["CHMK"] > 0
+        assert machine.events.opcode_counts["REI"] > 0
+
+    def test_qio_blocks_until_terminal_input(self):
+        machine, kernel = booted_kernel(
+            [syscall_program(code=1)], terminal_period_cycles=3_000
+        )
+        kernel.start_measurement()
+        kernel.run(max_instructions=20_000)
+        # The process blocked at least once and was woken again.
+        assert machine.events.opcode_counts["CHMK"] >= 2
+        assert machine.events.context_switches >= 2
+
+    def test_null_process_runs_while_everyone_blocked(self):
+        machine, kernel = booted_kernel(
+            [syscall_program(code=1)], terminal_period_cycles=30_000
+        )
+        kernel.start_measurement()
+        kernel.run(max_instructions=10_000)
+        # Null cycles exist but land in the separate null-event counters.
+        assert kernel.null_events.instructions > 0
+        assert kernel.null_events.opcode_counts["BRB"] > 0
+
+
+class TestContextSwitching:
+    def test_svpctx_ldpctx_round_trip_preserves_state(self):
+        machine, kernel = booted_kernel(
+            [counting_program(1), counting_program(1)],
+            quantum_ticks=1,
+            clock_period_cycles=3_000,
+        )
+        kernel.start_measurement()
+        kernel.run(max_instructions=40_000)
+        events = machine.events
+        assert events.context_switches >= 4
+        # Both processes keep making progress: their private R0 counters
+        # are coherent (checked indirectly: the machine never faulted and
+        # instruction flow continued).
+        assert events.instructions > 30_000
+
+    def test_tb_flushed_on_context_switch(self):
+        machine, kernel = booted_kernel(
+            [counting_program(), counting_program()],
+            quantum_ticks=1,
+            clock_period_cycles=3_000,
+        )
+        kernel.start_measurement()
+        kernel.run(max_instructions=30_000)
+        assert machine.memory.tb.stats.process_flushes >= machine.events.context_switches
+
+    def test_address_spaces_are_private(self):
+        # Both processes run the same VA layout with different code; no
+        # cross-talk means separate page tables work.
+        machine, kernel = booted_kernel(
+            [counting_program(1), counting_program(5)],
+            quantum_ticks=1,
+            clock_period_cycles=3_000,
+        )
+        kernel.start_measurement()
+        kernel.run(max_instructions=20_000)
+        table_a = kernel.processes[0].page_table
+        table_b = kernel.processes[1].page_table
+        assert table_a.base_pa != table_b.base_pa
+        # Code page 8 (VA 0x1000) maps to different frames.
+        assert table_a.lookup(8).pfn != table_b.lookup(8).pfn
+
+
+class TestHeadways:
+    def test_interrupt_and_switch_headways_are_finite(self):
+        machine, kernel = booted_kernel(
+            [counting_program(), counting_program(), counting_program()],
+            clock_period_cycles=5_000,
+            terminal_period_cycles=4_000,
+            quantum_ticks=2,
+        )
+        kernel.start_measurement()
+        kernel.run(max_instructions=40_000)
+        events = machine.events
+        assert events.interrupts_delivered > 10
+        assert events.context_switches > 2
+        headway = events.instructions / events.interrupts_delivered
+        assert 50 < headway < 5_000

@@ -1,0 +1,127 @@
+"""Tests for workload profiles and the code generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import Assembler
+from repro.core.monitor import UPCMonitor
+from repro.cpu import VAX780
+from repro.vms import VMSKernel
+from repro.workloads import (
+    COMPOSITE_WORKLOAD_NAMES,
+    PROFILES,
+    GeneratedProgram,
+    generate_program,
+    profile_by_name,
+)
+from repro.workloads.codegen import CODE_ORIGIN, DATA_ORIGIN
+
+
+class TestProfiles:
+    def test_five_composite_workloads(self):
+        assert len(COMPOSITE_WORKLOAD_NAMES) == 5
+        for name in COMPOSITE_WORKLOAD_NAMES:
+            assert name in PROFILES
+
+    def test_profiles_match_paper_populations(self):
+        assert PROFILES["timesharing_light"].users == 15
+        assert PROFILES["timesharing_heavy"].users == 30
+        assert PROFILES["educational"].users == 40
+        assert PROFILES["scientific"].users == 40
+        assert PROFILES["commercial"].users == 32
+
+    def test_string_lengths_match_paper_inference(self):
+        # "the average size of a character string is 36-44 characters"
+        for profile in PROFILES.values():
+            low, high = profile.string_length
+            assert 36 <= low <= high <= 44
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            profile_by_name("mainframe")
+
+    def test_mix_weights_positive(self):
+        for profile in PROFILES.values():
+            assert all(weight >= 0 for weight in profile.mix.values())
+            assert sum(profile.mix.values()) > 0
+
+    def test_scientific_is_float_heavy(self):
+        assert PROFILES["scientific"].mix["floatop"] > PROFILES["educational"].mix["floatop"]
+
+    def test_commercial_is_decimal_heavy(self):
+        assert PROFILES["commercial"].mix["decop"] > PROFILES["scientific"].mix["decop"]
+
+
+class TestGeneration:
+    def test_generation_is_deterministic(self):
+        profile = profile_by_name("educational")
+        first = generate_program(profile, variant=1)
+        second = generate_program(profile, variant=1)
+        assert first.code == second.code
+        assert first.data == second.data
+
+    def test_variants_differ(self):
+        profile = profile_by_name("educational")
+        assert generate_program(profile, 0).code != generate_program(profile, 1).code
+
+    def test_profiles_differ(self):
+        a = generate_program(profile_by_name("scientific"), 0)
+        b = generate_program(profile_by_name("commercial"), 0)
+        assert a.code != b.code
+
+    def test_code_is_nontrivial(self):
+        program = generate_program(profile_by_name("timesharing_light"), 0)
+        assert len(program.code) > 4_000  # a real ring, not a stub
+        assert program.code_origin == CODE_ORIGIN
+        assert program.data_origin == DATA_ORIGIN
+
+    def test_slot_counts_cover_major_categories(self):
+        program = generate_program(profile_by_name("commercial"), 0)
+        for category in ("data", "branch", "call", "fieldop"):
+            assert program.slot_counts.get(category, 0) > 0
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=50))
+    def test_any_variant_assembles(self, variant):
+        program = generate_program(profile_by_name("timesharing_heavy"), variant)
+        assert isinstance(program, GeneratedProgram)
+        assert len(program.code) > 0
+
+
+class TestGeneratedProgramsExecute:
+    @pytest.mark.parametrize("name", COMPOSITE_WORKLOAD_NAMES)
+    def test_program_runs_thousands_of_instructions(self, name):
+        """Every profile's generated code must run indefinitely without
+        faulting under the kernel."""
+        monitor = UPCMonitor.build()
+        machine = VAX780(monitor=monitor)
+        kernel = VMSKernel(machine)
+        profile = profile_by_name(name)
+        program = generate_program(profile, variant=0)
+        process = kernel.create_process(name, program.code, program.code_origin)
+        kernel.load_into_process(process, program.data_origin, program.data)
+        kernel.boot()
+        executed = kernel.run(max_instructions=5_000)
+        assert executed == 5_000
+        assert not machine.ebox.halted
+
+    def test_program_exercises_all_groups_eventually(self):
+        monitor = UPCMonitor.build()
+        machine = VAX780(monitor=monitor)
+        kernel = VMSKernel(machine)
+        profile = profile_by_name("commercial")
+        program = generate_program(profile, variant=0)
+        process = kernel.create_process("c", program.code, program.code_origin)
+        kernel.load_into_process(process, program.data_origin, program.data)
+        kernel.boot()
+        kernel.start_measurement()
+        kernel.run(max_instructions=25_000)
+        from repro.isa.opcodes import OpcodeGroup, opcode_by_mnemonic
+
+        groups = set()
+        for mnemonic in machine.events.opcode_counts:
+            groups.add(opcode_by_mnemonic(mnemonic).group)
+        assert OpcodeGroup.CHARACTER in groups
+        assert OpcodeGroup.FLOAT in groups
+        assert OpcodeGroup.FIELD in groups
+        assert OpcodeGroup.CALLRET in groups

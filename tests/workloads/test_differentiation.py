@@ -1,0 +1,53 @@
+"""The five workloads must differ the way the paper describes them."""
+
+import pytest
+
+from repro.core import tables
+from repro.core.experiment import run_workload
+
+
+@pytest.fixture(scope="module")
+def per_workload():
+    budget = 4_000
+    return {
+        name: run_workload(name, instructions=budget, warmup_instructions=1_000)
+        for name in ("scientific", "commercial", "educational")
+    }
+
+
+class TestWorkloadCharacter:
+    def test_scientific_is_float_heaviest(self, per_workload):
+        floats = {
+            name: tables.table1(result)["float"]
+            for name, result in per_workload.items()
+        }
+        assert floats["scientific"] == max(floats.values())
+        assert floats["scientific"] > 1.2 * floats["commercial"]
+
+    def test_commercial_runs_decimal_and_strings(self, per_workload):
+        table = tables.table1(per_workload["commercial"])
+        assert table["decimal"] > 0
+        assert (
+            table["character"]
+            >= tables.table1(per_workload["scientific"])["character"]
+        )
+
+    def test_educational_is_call_heavy(self, per_workload):
+        calls = {
+            name: tables.table1(result)["callret"]
+            for name, result in per_workload.items()
+        }
+        assert calls["educational"] >= calls["scientific"] * 0.8
+
+    def test_all_workloads_have_sane_cpi(self, per_workload):
+        for name, result in per_workload.items():
+            assert 6.0 < result.cpi < 16.0, name
+
+    def test_every_workload_reaches_the_kernel(self, per_workload):
+        for name, result in per_workload.items():
+            assert result.events.interrupts_delivered > 0, name
+            assert result.events.opcode_counts["REI"] > 0, name
+
+    def test_simple_group_dominates_everywhere(self, per_workload):
+        for name, result in per_workload.items():
+            assert tables.table1(result)["simple"] > 70.0, name
