@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Engine throughput benchmark: the composite, sequential vs parallel.
+
+Times a fixed five-workload composite (the paper's headline experiment)
+three ways and writes ``BENCH_engine.json`` at the repository root:
+
+* **cold** — one sequential composite in a fresh interpreter, paying
+  one-time costs (workload program assembly, layout build) exactly as a
+  user's first run does;
+* **warm** — the same composite re-run in-process, the steady-state
+  single-thread throughput an ablation sweep sees;
+* **parallel** — the composite fanned out over a process pool
+  (``--jobs``, default ``os.cpu_count()``), verified bit-identical to
+  the sequential run before its timing is reported.
+
+The fixed configuration (4000 measured instructions per workload, 1000
+warmup) matches the measurement this repository's seed commit clocked
+at 6766 instructions/second single-thread, recorded below as the
+baseline the ≥1.25× target is judged against.
+
+Run:  PYTHONPATH=src python benchmarks/perf/bench_engine.py [--jobs N]
+      [--smoke]   (tiny run, equality check only — the CI perf gate)
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+#: The benchmark's fixed measurement configuration.
+INSTRUCTIONS_PER_WORKLOAD = 4_000
+WARMUP_INSTRUCTIONS = 1_000
+
+#: Single-thread instructions/second of the seed commit on this fixed
+#: configuration (cold, fresh interpreter), measured on the reference
+#: container.  The optimization target is >= 1.25x this figure.
+SEED_BASELINE_INSTRUCTIONS_PER_SECOND = 6_766
+
+
+def _measure_composite(instructions, warmup, jobs):
+    from repro.core.experiment import run_composite_experiment
+
+    started = time.perf_counter()
+    result = run_composite_experiment(
+        instructions_per_workload=instructions,
+        warmup_instructions=warmup,
+        jobs=jobs,
+    )
+    wall = time.perf_counter() - started
+    return result, wall
+
+
+def _equal(result_a, result_b) -> bool:
+    from repro.core.histogram_io import result_to_json
+
+    return result_to_json(result_a) == result_to_json(result_b)
+
+
+def smoke(jobs: int) -> int:
+    """CI gate: tiny composite, sequential vs parallel must be identical."""
+    sequential, seq_wall = _measure_composite(600, 150, jobs=1)
+    parallel, par_wall = _measure_composite(600, 150, jobs=jobs)
+    if not _equal(sequential, parallel):
+        print("FAIL: parallel composite differs from sequential", file=sys.stderr)
+        return 1
+    print(
+        "smoke OK: jobs={} bit-identical to sequential "
+        "(seq {:.2f}s, par {:.2f}s, {} instructions)".format(
+            jobs, seq_wall, par_wall, sequential.instructions
+        )
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    parser.add_argument(
+        "--smoke", action="store_true", help="fast equality-only check (CI)"
+    )
+    parser.add_argument(
+        "--output", default=os.path.join(REPO_ROOT, "BENCH_engine.json")
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        return smoke(max(2, args.jobs))
+
+    cold_result, cold_wall = _measure_composite(
+        INSTRUCTIONS_PER_WORKLOAD, WARMUP_INSTRUCTIONS, jobs=1
+    )
+    warm_result, warm_wall = _measure_composite(
+        INSTRUCTIONS_PER_WORKLOAD, WARMUP_INSTRUCTIONS, jobs=1
+    )
+    parallel_result, parallel_wall = _measure_composite(
+        INSTRUCTIONS_PER_WORKLOAD, WARMUP_INSTRUCTIONS, jobs=args.jobs
+    )
+    if not _equal(cold_result, parallel_result):
+        print("FAIL: parallel composite differs from sequential", file=sys.stderr)
+        return 1
+
+    instructions = cold_result.instructions
+    report = {
+        "config": {
+            "instructions_per_workload": INSTRUCTIONS_PER_WORKLOAD,
+            "warmup_instructions": WARMUP_INSTRUCTIONS,
+            "workloads": 5,
+            "jobs": args.jobs,
+            "cpu_count": os.cpu_count(),
+        },
+        "measured_instructions": instructions,
+        "sequential": {
+            "cold_wall_seconds": round(cold_wall, 3),
+            "cold_instructions_per_second": round(instructions / cold_wall, 1),
+            "warm_wall_seconds": round(warm_wall, 3),
+            "warm_instructions_per_second": round(instructions / warm_wall, 1),
+        },
+        "parallel": {
+            "wall_seconds": round(parallel_wall, 3),
+            "instructions_per_second": round(instructions / parallel_wall, 1),
+            "speedup_vs_cold_sequential": round(cold_wall / parallel_wall, 2),
+            "bit_identical_to_sequential": True,
+        },
+        "seed_baseline": {
+            "instructions_per_second": SEED_BASELINE_INSTRUCTIONS_PER_SECOND,
+            "cold_speedup": round(
+                (instructions / cold_wall) / SEED_BASELINE_INSTRUCTIONS_PER_SECOND, 2
+            ),
+            "warm_speedup": round(
+                (instructions / warm_wall) / SEED_BASELINE_INSTRUCTIONS_PER_SECOND, 2
+            ),
+        },
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+    print("\nwrote {}".format(args.output))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,28 +10,35 @@ across those design points and prints the resulting CPI decompositions
 side by side — the kind of what-if the authors built the monitor to
 inform.
 
-Run:  python examples/cache_tb_sensitivity.py [instructions]
+The design points are declarative :class:`MachineConfig` specs executed
+by the parallel experiment engine: with ``jobs > 1`` the seven runs fan
+out over a process pool and come back in the same order with
+bit-identical histograms.
+
+Run:  python examples/cache_tb_sensitivity.py [instructions] [jobs]
 """
 
 import sys
 
-from repro.core.experiment import run_workload
-from repro.memory.cache import Cache
-from repro.memory.tb import TranslationBuffer
-from repro.memory.write_buffer import WriteBuffer
+from repro.core.engine import MachineConfig, RunSpec, run_specs
+
+#: (label, config) — the real machine first, then each what-if.
+DESIGN_POINTS = [
+    ("11/780 baseline (8KB cache, 64+64 TB, 1-lw WB)", None),
+    ("cache 2 KB", MachineConfig(cache_size_bytes=2 * 1024)),
+    ("cache 32 KB", MachineConfig(cache_size_bytes=32 * 1024)),
+    ("TB 16+16 entries", MachineConfig(tb_half_entries=16)),
+    ("TB 256+256 entries", MachineConfig(tb_half_entries=256)),
+    ("write buffer: instant drain", MachineConfig(wb_drain_cycles=0)),
+    ("write buffer: 12-cycle drain", MachineConfig(wb_drain_cycles=12)),
+]
 
 
-def measure(label, configure=None, budget=6_000):
-    result = run_workload(
-        "timesharing_light",
-        instructions=budget,
-        warmup_instructions=1_500,
-        configure=configure,
-    )
+def summarize(result):
     columns = result.reduction.column_totals()
     instructions = result.instructions
     return {
-        "label": label,
+        "label": result.name,
         "cpi": result.cpi,
         "rstall": columns["rstall"] / instructions,
         "wstall": columns["wstall"] / instructions,
@@ -44,34 +51,20 @@ def measure(label, configure=None, budget=6_000):
 
 def main():
     budget = int(sys.argv[1]) if len(sys.argv) > 1 else 6_000
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
 
-    def cache_config(size_kb):
-        def configure(machine):
-            machine.memory.cache = Cache(size_bytes=size_kb * 1024)
-
-        return configure
-
-    def wb_config(drain):
-        def configure(machine):
-            machine.memory.write_buffer = WriteBuffer(drain_cycles=drain)
-
-        return configure
-
-    def tb_config(half):
-        def configure(machine):
-            machine.memory.tb = TranslationBuffer(half_entries=half)
-
-        return configure
-
-    rows = [
-        measure("11/780 baseline (8KB cache, 64+64 TB, 1-lw WB)", budget=budget),
-        measure("cache 2 KB", cache_config(2), budget),
-        measure("cache 32 KB", cache_config(32), budget),
-        measure("TB 16+16 entries", tb_config(16), budget),
-        measure("TB 256+256 entries", tb_config(256), budget),
-        measure("write buffer: instant drain", wb_config(0), budget),
-        measure("write buffer: 12-cycle drain", wb_config(12), budget),
+    specs = [
+        RunSpec(
+            workload="timesharing_light",
+            instructions=budget,
+            warmup_instructions=1_500,
+            config=config,
+            label=label,
+        )
+        for label, config in DESIGN_POINTS
     ]
+    runs = run_specs(specs, jobs=jobs)
+    rows = [summarize(run.result) for run in runs]
 
     header = "{:<44} {:>6} {:>7} {:>7} {:>8} {:>8} {:>7} {:>8}".format(
         "configuration", "CPI", "rstall", "wstall", "ibstall", "memmgmt", "miss/i", "tbmiss/i"

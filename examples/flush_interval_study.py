@@ -11,11 +11,17 @@ companion Clark & Emer TB paper).  This example performs that study:
    synthetic flush intervals and TB sizes;
 3. show where the measured context-switch headway sits on the curve.
 
-Run:  python examples/flush_interval_study.py [instructions]
+The replay sweeps are independent trace simulations, so they go through
+the experiment engine's :func:`parallel_map` — ``jobs > 1`` replays the
+sweep points on a process pool with identical results in identical
+order.
+
+Run:  python examples/flush_interval_study.py [instructions] [jobs]
 """
 
 import sys
 
+from repro.core.engine import parallel_map
 from repro.core.monitor import UPCMonitor
 from repro.cpu import VAX780
 from repro.memory.tracesim import (
@@ -45,8 +51,21 @@ def capture_trace(budget):
     return recorder.stop(), machine.events
 
 
+def _tb_size_point(args):
+    """Pool worker: one TB-size replay -> (half_entries, miss_rate)."""
+    trace, half = args
+    return half, simulate_tb(trace, half_entries=half).miss_rate
+
+
+def _cache_size_point(args):
+    """Pool worker: one cache-size replay -> (size_kb, result)."""
+    trace, size_kb = args
+    return size_kb, simulate_cache(trace, size_bytes=size_kb * 1024)
+
+
 def main():
     budget = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     trace, events = capture_trace(budget)
 
     refs_per_instr = len(trace) / max(1, events.instructions)
@@ -69,13 +88,17 @@ def main():
         natural, measured_headway_refs))
 
     print("\nTB miss rate vs. TB size (flushing at real switch points)")
-    for half in (16, 32, 64, 128, 256):
-        rate = simulate_tb(trace, half_entries=half).miss_rate
+    tb_points = parallel_map(
+        _tb_size_point, [(trace, half) for half in (16, 32, 64, 128, 256)], jobs=jobs
+    )
+    for half, rate in tb_points:
         print("  {:>3}+{:<3} entries: {:.4f}".format(half, half, rate))
 
     print("\nCache read-miss rate vs. size (trace replay, 2-way, 8-byte blocks)")
-    for size_kb in (2, 4, 8, 16, 32):
-        result = simulate_cache(trace, size_bytes=size_kb * 1024)
+    cache_points = parallel_map(
+        _cache_size_point, [(trace, kb) for kb in (2, 4, 8, 16, 32)], jobs=jobs
+    )
+    for size_kb, result in cache_points:
         print(
             "  {:>2} KB: {:.4f}  (I {:.4f} / D {:.4f} per reference)".format(
                 size_kb,

@@ -10,7 +10,12 @@ Commands
     Measure one workload and print the paper's tables.
 ``composite``
     The headline experiment: measure all five workloads and print every
-    table from the summed histograms.
+    table from the summed histograms.  ``--jobs N`` fans the five runs
+    out over a process pool with bit-identical results.
+``sweep WORKLOAD PARAM VALUES...``
+    Design-space sweep of one machine parameter (``cache_kb`` /
+    ``tb_half`` / ``wb_drain``) against the baseline, optionally
+    parallel with ``--jobs``.
 ``opcodes WORKLOAD``
     The Clark & Levy-style per-opcode frequency report.
 ``listing``
@@ -136,16 +141,76 @@ def cmd_run(args) -> int:
 
 
 def cmd_composite(args) -> int:
-    from repro.core.experiment import composite, run_workload
+    from repro.core.experiment import run_composite_experiment
     from repro.workloads import COMPOSITE_WORKLOAD_NAMES
 
-    results = []
-    for name in COMPOSITE_WORKLOAD_NAMES:
-        print("measuring {} ...".format(name), file=sys.stderr)
-        results.append(
-            run_workload(name, instructions=args.instructions, warmup_instructions=args.warmup)
+    print(
+        "measuring {} workloads ({})...".format(
+            len(COMPOSITE_WORKLOAD_NAMES),
+            "sequentially" if args.jobs <= 1 else "{} jobs".format(args.jobs),
+        ),
+        file=sys.stderr,
+    )
+    result = run_composite_experiment(
+        instructions_per_workload=args.instructions,
+        warmup_instructions=args.warmup,
+        jobs=args.jobs,
+    )
+    _print_all_tables(result)
+    return 0
+
+
+#: ``sweep`` parameter name -> MachineConfig field constructor
+_SWEEP_PARAMS = {
+    "cache_kb": lambda v: {"cache_size_bytes": int(v) * 1024},
+    "tb_half": lambda v: {"tb_half_entries": int(v)},
+    "wb_drain": lambda v: {"wb_drain_cycles": int(v)},
+}
+
+
+def cmd_sweep(args) -> int:
+    from repro.core.engine import MachineConfig, RunSpec, run_specs
+
+    make_fields = _SWEEP_PARAMS[args.param]
+    configs = [None] + [MachineConfig(**make_fields(value)) for value in args.values]
+    specs = [
+        RunSpec(
+            workload=args.workload,
+            instructions=args.instructions,
+            warmup_instructions=args.warmup,
+            config=config,
         )
-    _print_all_tables(composite(results))
+        for config in configs  # baseline first, then the sweep points
+    ]
+    print(
+        "sweeping {} over {}={} ({})...".format(
+            args.workload,
+            args.param,
+            ",".join(str(v) for v in args.values),
+            "sequentially" if args.jobs <= 1 else "{} jobs".format(args.jobs),
+        ),
+        file=sys.stderr,
+    )
+    runs = run_specs(specs, jobs=args.jobs)
+    header = "{:<40} {:>7} {:>8} {:>8} {:>9} {:>9}".format(
+        "configuration", "CPI", "rstall/i", "wstall/i", "ibstall/i", "memmgmt/i"
+    )
+    print(header)
+    print("-" * len(header))
+    for run in runs:
+        result = run.result
+        columns = result.reduction.column_totals()
+        instructions = max(1, result.instructions)
+        print(
+            "{:<40} {:7.3f} {:8.3f} {:8.3f} {:9.3f} {:9.3f}".format(
+                result.name,
+                result.cpi,
+                columns["rstall"] / instructions,
+                columns["wstall"] / instructions,
+                columns["ibstall"] / instructions,
+                result.reduction.row_totals()["memmgmt"] / instructions,
+            )
+        )
     return 0
 
 
@@ -192,7 +257,25 @@ def build_parser() -> argparse.ArgumentParser:
     composite_parser = sub.add_parser("composite", help="the five-workload composite")
     composite_parser.add_argument("--instructions", type=int, default=10_000)
     composite_parser.add_argument("--warmup", type=int, default=2_000)
+    composite_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan the workload runs out over N processes (results are "
+        "bit-identical to --jobs 1)",
+    )
     composite_parser.set_defaults(func=cmd_composite)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="design-space sweep of one machine parameter"
+    )
+    sweep_parser.add_argument("workload")
+    sweep_parser.add_argument("param", choices=sorted(_SWEEP_PARAMS))
+    sweep_parser.add_argument("values", type=int, nargs="+")
+    sweep_parser.add_argument("--instructions", type=int, default=6_000)
+    sweep_parser.add_argument("--warmup", type=int, default=1_500)
+    sweep_parser.add_argument("--jobs", type=int, default=1)
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     opcode_parser = sub.add_parser("opcodes", help="per-opcode frequency report")
     opcode_parser.add_argument("workload")

@@ -1,0 +1,202 @@
+"""The parallel experiment engine.
+
+The paper's measurements were embarrassingly parallel: five workloads,
+each measured independently on its own machine, summed afterwards into
+the composite histogram.  This module reproduces that shape for the
+simulator — each :class:`RunSpec` describes one monitored run, a process
+pool executes the specs on separate interpreters, and the payloads come
+back to the coordinating process to be merged by
+:func:`repro.core.experiment.composite`.
+
+Two properties the engine guarantees:
+
+* **Determinism.**  A spec fully seeds its run (profile seed +
+  ``seed_offset``); every RNG in the simulator is an instance-seeded
+  ``random.Random`` and nothing depends on interpreter-level state such
+  as string-hash randomization.  ``jobs=4`` therefore produces
+  bit-identical histograms, event counters and Table 8 matrices to
+  ``jobs=1`` — the regression tests assert this.
+* **Picklability.**  Specs cross the process boundary, so ablations are
+  expressed declaratively with :class:`MachineConfig` rather than with
+  closures (a module-level ``configure`` function also works; a lambda
+  does not).  Results come back as :class:`EngineRun` payloads carrying
+  the reduced :class:`~repro.core.experiment.ExperimentResult` plus the
+  raw sparse histogram dump, so the coordinator can both merge and
+  verify byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.experiment import ExperimentResult, run_workload
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A declarative, picklable machine configuration for ablation runs.
+
+    Each field is an optional override of the 11/780 baseline; ``None``
+    means "leave the baseline alone".  This is the process-pool-safe
+    replacement for the ``configure(machine)`` closures the examples
+    used to build inline.
+    """
+
+    #: cache data size (the real machine: 8 KB, 2-way, write-through)
+    cache_size_bytes: Optional[int] = None
+    #: translation-buffer entries per half (the real machine: 64+64)
+    tb_half_entries: Optional[int] = None
+    #: write-buffer drain latency in cycles (the real machine: 6)
+    wb_drain_cycles: Optional[int] = None
+    #: overlap I-Decode with the previous instruction (the 11/750 trick)
+    decode_overlap: Optional[bool] = None
+    #: float-execute slowdown applied when no FPA is fitted
+    float_slowdown: Optional[int] = None
+
+    def apply(self, machine) -> None:
+        """Apply the overrides to a freshly built machine (pre-boot)."""
+        from repro.memory.cache import Cache
+        from repro.memory.tb import TranslationBuffer
+        from repro.memory.write_buffer import WriteBuffer
+
+        memory = machine.memory
+        if self.cache_size_bytes is not None:
+            memory.cache = Cache(size_bytes=self.cache_size_bytes)
+        if self.tb_half_entries is not None:
+            memory.tb = TranslationBuffer(half_entries=self.tb_half_entries)
+        if self.wb_drain_cycles is not None:
+            memory.write_buffer = WriteBuffer(drain_cycles=self.wb_drain_cycles)
+        if self.decode_overlap is not None:
+            machine.ebox.decode_overlap = self.decode_overlap
+        if self.float_slowdown is not None:
+            machine.ebox.float_slowdown = self.float_slowdown
+
+    def describe(self) -> str:
+        """A short human-readable tag for sweep tables."""
+        parts = []
+        if self.cache_size_bytes is not None:
+            parts.append("cache={}KB".format(self.cache_size_bytes // 1024))
+        if self.tb_half_entries is not None:
+            parts.append("tb={0}+{0}".format(self.tb_half_entries))
+        if self.wb_drain_cycles is not None:
+            parts.append("wb_drain={}".format(self.wb_drain_cycles))
+        if self.decode_overlap is not None:
+            parts.append("decode_overlap={}".format(self.decode_overlap))
+        if self.float_slowdown is not None:
+            parts.append("float_slowdown={}".format(self.float_slowdown))
+        return ",".join(parts) or "baseline"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One monitored measurement run, fully described by value.
+
+    A spec must pickle: keep ``configure`` a module-level function (or
+    ``None``) and express ablations with :class:`MachineConfig`.  When
+    both are given, ``config`` applies first.
+    """
+
+    workload: str
+    instructions: int = 30_000
+    warmup_instructions: int = 3_000
+    process_count: Optional[int] = None
+    seed_offset: int = 0
+    config: Optional[MachineConfig] = None
+    configure: Optional[Callable] = None
+    label: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        if self.label is not None:
+            return self.label
+        if self.config is not None:
+            return "{}[{}]".format(self.workload, self.config.describe())
+        return self.workload
+
+
+@dataclass
+class EngineRun:
+    """What one executed spec ships back to the coordinator."""
+
+    spec: RunSpec
+    result: ExperimentResult
+    #: raw sparse dump of the histogram board, (counts, stalled_counts)
+    #: as {bucket: count} dicts — the wire format used to verify that
+    #: parallel and sequential runs agree byte for byte.
+    histogram: Tuple[Dict[int, int], Dict[int, int]]
+    wall_seconds: float
+
+
+def _spec_configure(spec: RunSpec):
+    """Build the effective configure callable (inside the worker)."""
+    config, configure = spec.config, spec.configure
+    if config is None and configure is None:
+        return None
+
+    def apply(machine):
+        if config is not None:
+            config.apply(machine)
+        if configure is not None:
+            configure(machine)
+
+    return apply
+
+
+def execute_spec(spec: RunSpec) -> EngineRun:
+    """Run one spec to completion (this is the pool worker)."""
+    started = time.perf_counter()
+    result, board = run_workload(
+        spec.workload,
+        instructions=spec.instructions,
+        warmup_instructions=spec.warmup_instructions,
+        process_count=spec.process_count,
+        seed_offset=spec.seed_offset,
+        configure=_spec_configure(spec),
+        return_board=True,
+    )
+    if spec.label is not None or spec.config is not None:
+        result.name = spec.name
+    return EngineRun(
+        spec=spec,
+        result=result,
+        histogram=board.dump_sparse(),
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def _pool_context():
+    """Prefer fork (cheap, shares the warmed program cache); fall back
+    to the platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_specs(specs: Sequence[RunSpec], jobs: int = 1) -> List[EngineRun]:
+    """Execute ``specs``, ``jobs`` at a time; results keep spec order.
+
+    ``jobs <= 1`` runs sequentially in-process (no pool, no pickling
+    requirement) and is the reference behaviour: parallel execution
+    produces bit-identical payloads, just faster.
+    """
+    specs = list(specs)
+    if jobs <= 1 or len(specs) <= 1:
+        return [execute_spec(spec) for spec in specs]
+    workers = min(jobs, len(specs))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
+        return list(pool.map(execute_spec, specs))
+
+
+def parallel_map(func: Callable, items: Sequence, jobs: int = 1) -> List:
+    """Generic deterministic fan-out: ``[func(x) for x in items]``,
+    optionally across a process pool.  ``func`` must be a module-level
+    function when ``jobs > 1``.  Order is preserved either way."""
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    workers = min(jobs, len(items))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
+        return list(pool.map(func, items))

@@ -140,7 +140,8 @@ def run_workload(
     process_count: Optional[int] = None,
     seed_offset: int = 0,
     configure=None,
-) -> ExperimentResult:
+    return_board: bool = False,
+):
     """Run one of the paper's five workloads and collect its histogram.
 
     Builds a monitored machine, boots the mini-VMS kernel, creates a
@@ -148,6 +149,10 @@ def run_workload(
     as the terminal source, warms up unmeasured, then measures
     ``instructions`` instructions (the stand-in for the paper's one-hour
     runs).  ``configure(machine)`` runs before boot, for ablations.
+
+    With ``return_board=True`` the return value is ``(result, board)``,
+    exposing the stopped histogram board so callers (the parallel
+    engine, equality tests) can dump the raw banks as well.
     """
     from repro.vms import VMSKernel
     from repro.workloads import (
@@ -187,30 +192,51 @@ def run_workload(
     kernel.start_measurement()
     kernel.run(max_instructions=instructions)
     kernel.stop_measurement()
-    return result_from_machine(
+    result = result_from_machine(
         machine, monitor, name=profile.name, stats_baseline=baseline
     )
+    if return_board:
+        return result, monitor.board
+    return result
 
 
 def run_composite_experiment(
     instructions_per_workload: int = 30_000,
     warmup_instructions: int = 3_000,
     workloads: Optional[List[str]] = None,
+    jobs: int = 1,
+    seed_offset: int = 0,
+    process_count: Optional[int] = None,
+    overrides: Optional[dict] = None,
 ) -> ExperimentResult:
     """The paper's headline measurement: the composite of all five
-    workloads (the sum of the five UPC histograms)."""
+    workloads (the sum of the five UPC histograms).
+
+    ``jobs`` fans the five independent workload runs out over a process
+    pool (``jobs=1`` is the in-process reference path; both produce
+    bit-identical composites).  ``seed_offset`` and ``process_count``
+    apply to every workload; ``overrides`` maps a workload name to a
+    dict of per-workload :class:`~repro.core.engine.RunSpec` field
+    overrides, e.g. ``{"scientific": {"seed_offset": 3}}``.
+    """
+    from repro.core.engine import RunSpec, run_specs  # lazy: engine imports us
     from repro.workloads import COMPOSITE_WORKLOAD_NAMES
 
     names = workloads if workloads is not None else COMPOSITE_WORKLOAD_NAMES
-    results = [
-        run_workload(
-            name,
-            instructions=instructions_per_workload,
-            warmup_instructions=warmup_instructions,
-        )
-        for name in names
-    ]
-    return composite(results)
+    overrides = overrides or {}
+    specs = []
+    for name in names:
+        fields = {
+            "workload": name,
+            "instructions": instructions_per_workload,
+            "warmup_instructions": warmup_instructions,
+            "seed_offset": seed_offset,
+            "process_count": process_count,
+        }
+        fields.update(overrides.get(name, {}))
+        specs.append(RunSpec(**fields))
+    runs = run_specs(specs, jobs=jobs)
+    return composite([run.result for run in runs])
 
 
 def composite(results: List[ExperimentResult], name: str = "composite") -> ExperimentResult:

@@ -15,11 +15,21 @@ While collecting, the monitor is totally passive: it never perturbs the
 machine it measures.  The simulator enforces this structurally — the
 monitor object only ever receives notifications; it has no reference to
 the machine at all.
+
+Because the strobe path runs once per simulated microcycle it is the
+hottest code in the repository.  The banks are ``array('Q')`` (machine
+words, like the real board's count RAM), the interface precomputes its
+micro-PC → bucket map once, and :meth:`UPCMonitor.observe` performs the
+whole interface-plus-board path in a single flattened function.  The
+Unibus command surface (``start`` / ``stop`` / ``clear`` /
+``read_bucket``) is unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from array import array
+from dataclasses import dataclass, field
+from operator import add
 from typing import Optional
 
 from repro.ucode.control_store import CONTROL_STORE_SIZE
@@ -29,6 +39,10 @@ HISTOGRAM_BUCKETS = 16_000
 
 class MonitorCommandError(Exception):
     """An ill-formed Unibus command (bad bucket address, etc.)."""
+
+
+def _zero_bank(buckets: int) -> array:
+    return array("Q", bytes(8 * buckets))
 
 
 class HistogramBoard:
@@ -41,8 +55,8 @@ class HistogramBoard:
 
     def __init__(self, buckets: int = HISTOGRAM_BUCKETS):
         self.buckets = buckets
-        self._counts = [0] * buckets
-        self._stalled_counts = [0] * buckets
+        self._counts = _zero_bank(buckets)
+        self._stalled_counts = _zero_bank(buckets)
         self._collecting = False
 
     # -- Unibus commands -------------------------------------------------
@@ -56,8 +70,8 @@ class HistogramBoard:
     def clear(self) -> None:
         if self._collecting:
             raise MonitorCommandError("cannot clear while collecting")
-        self._counts = [0] * self.buckets
-        self._stalled_counts = [0] * self.buckets
+        self._counts = _zero_bank(self.buckets)
+        self._stalled_counts = _zero_bank(self.buckets)
 
     def read_bucket(self, bucket: int):
         """Read one bucket's (non-stalled, stalled) counts."""
@@ -93,6 +107,18 @@ class HistogramBoard:
         """
         return list(self._counts), list(self._stalled_counts)
 
+    def dump_sparse(self):
+        """Both banks as sparse ``{bucket: count}`` dicts (zeros omitted).
+
+        The compact wire format: what a parallel experiment worker ships
+        back to the coordinating process, and what
+        :mod:`repro.core.histogram_io` persists.
+        """
+        return (
+            {i: c for i, c in enumerate(self._counts) if c},
+            {i: c for i, c in enumerate(self._stalled_counts) if c},
+        )
+
     def total_cycles(self) -> int:
         """All cycles counted so far, both banks."""
         return sum(self._counts) + sum(self._stalled_counts)
@@ -101,13 +127,19 @@ class HistogramBoard:
         """Accumulate another board's counts into this one.
 
         The paper reports "the composite of all five [experiments], that
-        is, the sum of the five UPC histograms" — this is that sum.
+        is, the sum of the five UPC histograms" — this is that sum.  It
+        is a readout-side operation: merging while either board is still
+        collecting is an error (the real merge happened on the host after
+        the boards were stopped and dumped).
         """
         if other.buckets != self.buckets:
             raise MonitorCommandError("bucket-count mismatch")
-        for bucket in range(self.buckets):
-            self._counts[bucket] += other._counts[bucket]
-            self._stalled_counts[bucket] += other._stalled_counts[bucket]
+        if self._collecting or other._collecting:
+            raise MonitorCommandError("cannot merge while collecting")
+        self._counts = array("Q", map(add, self._counts, other._counts))
+        self._stalled_counts = array(
+            "Q", map(add, self._stalled_counts, other._stalled_counts)
+        )
 
 
 class MonitorInterface:
@@ -118,15 +150,23 @@ class MonitorInterface:
     16,000-bucket board one-to-one; the interface folds the few overflow
     addresses onto the top bucket, which the layout never allocates, so
     in practice the mapping is injective for every used address.
+
+    The fold is precomputed into a lookup table at construction — the
+    real board's address-mapping PROM — so the per-microcycle path does a
+    single indexed load instead of a range check plus ``min``.
     """
 
     def __init__(self, board: HistogramBoard):
         self.board = board
+        top = board.buckets - 1
+        self.bucket_map = array(
+            "l", (upc if upc < top else top for upc in range(CONTROL_STORE_SIZE))
+        )
 
     def bucket_for(self, upc: int) -> int:
         if not 0 <= upc < CONTROL_STORE_SIZE:
             raise MonitorCommandError("micro-PC {:#x} out of range".format(upc))
-        return min(upc, self.board.buckets - 1)
+        return self.bucket_map[upc]
 
     def microcycle(self, upc: int, stalled: bool = False, repeat: int = 1) -> None:
         """One (or ``repeat``) microcycles observed at ``upc``."""
@@ -142,6 +182,9 @@ class UPCMonitor:
 
     board: HistogramBoard
     interface: MonitorInterface
+
+    def __post_init__(self):
+        self._bucket_map = self.interface.bucket_map
 
     @classmethod
     def build(cls) -> "UPCMonitor":
@@ -162,4 +205,18 @@ class UPCMonitor:
         return self.board.collecting
 
     def observe(self, upc: int, stalled: bool = False, repeat: int = 1) -> None:
-        self.interface.microcycle(upc, stalled=stalled, repeat=repeat)
+        """One (or ``repeat``) microcycles observed at ``upc``.
+
+        The interface-board and count-board steps, flattened into one
+        call: this runs once per simulated EBOX cycle.
+        """
+        if not 0 <= upc < CONTROL_STORE_SIZE:
+            raise MonitorCommandError("micro-PC {:#x} out of range".format(upc))
+        board = self.board
+        if not board._collecting:
+            return
+        bucket = self._bucket_map[upc]
+        if stalled:
+            board._stalled_counts[bucket] += repeat
+        else:
+            board._counts[bucket] += repeat

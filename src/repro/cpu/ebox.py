@@ -57,6 +57,14 @@ from repro.ucode.routines import MicrocodeLayout, build_layout
 #: bug, not a slow memory.
 _STALL_WATCHDOG_CYCLES = 100_000
 
+# Slot indices into Routine.slot_addrs.  The cycle-charging path runs
+# once per simulated microcycle; plain ints avoid enum hashing there.
+_COMPUTE_A = MicroSlot.COMPUTE_A.value
+_COMPUTE_B = MicroSlot.COMPUTE_B.value
+_READ = MicroSlot.READ.value
+_WRITE = MicroSlot.WRITE.value
+_IB_WAIT = MicroSlot.IB_WAIT.value
+
 
 class HaltExecution(Exception):
     """Raised when the processor halts (HALT opcode or fatal fault)."""
@@ -127,6 +135,15 @@ class EBox:
         self._last_source_routine = None
         self._instruction_start_cycle = 0
         self._last_instruction_redirected = True
+        # Hot-path bindings: _tick runs once per microinstruction, so the
+        # monitor strobe and IB background-cycle entry points are bound
+        # once here instead of being re-resolved every cycle.
+        self._observe = monitor.observe if monitor is not None else None
+        self._ib_run = self.ib.run
+        self._abort_entry = self.layout.abort.address(MicroSlot.COMPUTE_A)
+        from repro.cpu.semantics import dispatch  # deferred import breaks the cycle
+
+        self._dispatch = dispatch
 
     # ------------------------------------------------------------------
     # cycle accounting
@@ -140,26 +157,38 @@ class EBox:
         """
         if count <= 0:
             return
-        if self.monitor is not None:
-            self.monitor.observe(address, stalled=stalled, repeat=count)
+        observe = self._observe
+        if observe is not None:
+            observe(address, stalled, count)
         self.cycle_count += count
-        self.ib.run(count)
+        self._ib_run(count)
 
-    def _tick_slot(self, routine, slot: MicroSlot, count: int = 1, stalled: bool = False) -> None:
-        if slot is MicroSlot.COMPUTE_A and routine.patched:
+    def _tick_slot(self, routine, slot: int, count: int = 1, stalled: bool = False) -> None:
+        """Spend ``count`` cycles at slot index ``slot`` of ``routine``.
+
+        This is :meth:`_tick` inlined over ``routine.slot_addrs`` — the
+        per-microcycle fast path.
+        """
+        if count <= 0:
+            return
+        if routine.patched and slot == _COMPUTE_A:
             # A patched entry microinstruction costs one abort cycle per
             # execution (the microsequencer detours through the patch
             # area), in addition to its normal cycle.
-            self._tick(self.layout.abort.address(MicroSlot.COMPUTE_A))
-        self._tick(routine.address(slot), count=count, stalled=stalled)
+            self._tick(self._abort_entry)
+        observe = self._observe
+        if observe is not None:
+            observe(routine.slot_addrs[slot], stalled, count)
+        self.cycle_count += count
+        self._ib_run(count)
 
     def _charge_compute(self, routine, cycles: int) -> None:
         """Spend compute cycles: first at COMPUTE_A, the rest at COMPUTE_B."""
         if cycles <= 0:
             return
-        self._tick_slot(routine, MicroSlot.COMPUTE_A)
+        self._tick_slot(routine, _COMPUTE_A)
         if cycles > 1:
-            self._tick_slot(routine, MicroSlot.COMPUTE_B, count=cycles - 1)
+            self._tick_slot(routine, _COMPUTE_B, count=cycles - 1)
 
     # ------------------------------------------------------------------
     # memory references with microtrap handling
@@ -175,9 +204,9 @@ class EBox:
                 self._service_tb_miss(miss.va, write=False)
             except PageFault as fault:
                 self._deliver_page_fault(fault)
-        self._tick_slot(routine, MicroSlot.READ)
+        self._tick_slot(routine, _READ)
         if outcome.stall_cycles:
-            self._tick_slot(routine, MicroSlot.READ, count=outcome.stall_cycles, stalled=True)
+            self._tick_slot(routine, _READ, count=outcome.stall_cycles, stalled=True)
         if outcome.unaligned:
             self._charge_unaligned(read=True)
         self.events.reads_by_source[source] += 1
@@ -193,9 +222,9 @@ class EBox:
                 self._service_tb_miss(miss.va, write=True)
             except PageFault as fault:
                 self._deliver_page_fault(fault)
-        self._tick_slot(routine, MicroSlot.WRITE)
+        self._tick_slot(routine, _WRITE)
         if outcome.stall_cycles:
-            self._tick_slot(routine, MicroSlot.WRITE, count=outcome.stall_cycles, stalled=True)
+            self._tick_slot(routine, _WRITE, count=outcome.stall_cycles, stalled=True)
         if outcome.unaligned:
             self._charge_unaligned(read=False)
         self.events.writes_by_source[source] += 1
@@ -204,7 +233,7 @@ class EBox:
         """The alignment microcode's extra work for a straddling reference."""
         alignment = self.layout.alignment
         self._charge_compute(alignment, UNALIGNED_EXTRA_CYCLES)
-        slot = MicroSlot.READ if read else MicroSlot.WRITE
+        slot = _READ if read else _WRITE
         self._tick_slot(alignment, slot)
 
     def _service_tb_miss(self, va: int, write: bool) -> None:
@@ -215,7 +244,7 @@ class EBox:
         stall inside memory management — the paper's 21.6-cycle average
         with 3.5 stall cycles.
         """
-        self._tick_slot(self.layout.abort, MicroSlot.COMPUTE_A)
+        self._tick_slot(self.layout.abort, _COMPUTE_A)
         routine = self.layout.tb_miss
         self._charge_compute(routine, TB_MISS_COMPUTE_CYCLES)
         while True:
@@ -224,10 +253,10 @@ class EBox:
                 break
             except PageFault as fault:
                 self._deliver_page_fault(fault)
-        self._tick_slot(routine, MicroSlot.READ)
+        self._tick_slot(routine, _READ)
         if fill.pte_read_stall_cycles:
             self._tick_slot(
-                routine, MicroSlot.READ, count=fill.pte_read_stall_cycles, stalled=True
+                routine, _READ, count=fill.pte_read_stall_cycles, stalled=True
             )
 
     def _deliver_page_fault(self, fault: PageFault) -> None:
@@ -241,7 +270,7 @@ class EBox:
         self.events.page_faults += 1
         routine = self.layout.exception
         self._charge_compute(routine, EXCEPTION_ENTRY_COMPUTE_CYCLES)
-        self._tick_slot(routine, MicroSlot.WRITE, count=EXCEPTION_ENTRY_WRITES)
+        self._tick_slot(routine, _WRITE, count=EXCEPTION_ENTRY_WRITES)
         for _ in range(EXCEPTION_ENTRY_WRITES):
             self.events.writes_by_source["other"] += 1
         if self.machine is None or not self.machine.handle_page_fault(fault.va, fault.write):
@@ -263,7 +292,7 @@ class EBox:
             if self.ib.tb_miss_pending:
                 self._service_istream_tb_miss()
                 continue
-            self._tick_slot(wait_routine, MicroSlot.IB_WAIT)
+            self._tick_slot(wait_routine, _IB_WAIT)
             waited += 1
             if waited > _STALL_WATCHDOG_CYCLES:
                 raise HaltExecution(
@@ -441,16 +470,16 @@ class EBox:
                 return
         routine = self._exec_routine
         if not self._exec_a_used:
-            self._tick_slot(routine, MicroSlot.COMPUTE_A)
+            self._tick_slot(routine, _COMPUTE_A)
             self._exec_a_used = True
             cycles -= 1
         if cycles > 0:
-            self._tick_slot(routine, MicroSlot.COMPUTE_B, count=cycles)
+            self._tick_slot(routine, _COMPUTE_B, count=cycles)
 
     def exec_loop(self, cycles: int) -> None:
         """Loop-body compute cycles (always the COMPUTE_B slot)."""
         if cycles > 0:
-            self._tick_slot(self._exec_routine, MicroSlot.COMPUTE_B, count=cycles)
+            self._tick_slot(self._exec_routine, _COMPUTE_B, count=cycles)
 
     def exec_read(self, va: int, size: int) -> int:
         """An execute-phase memory read (stack pops, string loops ...)."""
@@ -465,10 +494,10 @@ class EBox:
     def exec_read_physical(self, pa: int, size: int) -> int:
         """A physically-addressed execute-phase read (PCB traffic)."""
         outcome = self.memory.read_physical(pa, size, now=self.cycle_count)
-        self._tick_slot(self._exec_routine, MicroSlot.READ)
+        self._tick_slot(self._exec_routine, _READ)
         if outcome.stall_cycles:
             self._tick_slot(
-                self._exec_routine, MicroSlot.READ, count=outcome.stall_cycles, stalled=True
+                self._exec_routine, _READ, count=outcome.stall_cycles, stalled=True
             )
         source = _TABLE5_GROUP_ROW[self.current_opcode.group]
         self.events.reads_by_source[source] += 1
@@ -477,10 +506,10 @@ class EBox:
     def exec_write_physical(self, pa: int, size: int, value: int) -> None:
         """A physically-addressed execute-phase write (PCB traffic)."""
         outcome = self.memory.write_physical(pa, size, value, now=self.cycle_count)
-        self._tick_slot(self._exec_routine, MicroSlot.WRITE)
+        self._tick_slot(self._exec_routine, _WRITE)
         if outcome.stall_cycles:
             self._tick_slot(
-                self._exec_routine, MicroSlot.WRITE, count=outcome.stall_cycles, stalled=True
+                self._exec_routine, _WRITE, count=outcome.stall_cycles, stalled=True
             )
         source = _TABLE5_GROUP_ROW[self.current_opcode.group]
         self.events.writes_by_source[source] += 1
@@ -533,7 +562,7 @@ class EBox:
         opcode = self.current_opcode
         if not taken:
             return
-        self._tick_slot(self.layout.bdisp, MicroSlot.COMPUTE_A)
+        self._tick_slot(self.layout.bdisp, _COMPUTE_A)
         target = (self.ib.decode_va + self.branch_displacement) & 0xFFFFFFFF
         self._redirect(target)
 
@@ -601,7 +630,7 @@ class EBox:
         # cycle each.  With decode_overlap (the 11/750's improvement) the
         # cycle is hidden except after a taken branch.
         if not self.decode_overlap or self._last_instruction_redirected:
-            self._tick_slot(self.layout.decode, MicroSlot.COMPUTE_A)
+            self._tick_slot(self.layout.decode, _COMPUTE_A)
         opcode = OPCODES.get(opcode_byte)
         if opcode is None:
             raise IllegalInstruction(
@@ -639,9 +668,7 @@ class EBox:
         self.events.instruction_bytes += self.ib.decode_va - start_va
         self.events.opcode_counts[opcode.mnemonic] += 1
 
-        from repro.cpu.semantics import dispatch  # local import breaks the cycle
-
-        dispatch(self, opcode, operands)
+        self._dispatch(self, opcode, operands)
 
         self.events.instructions += 1
         self.regs.pc = self.ib.decode_va

@@ -92,44 +92,55 @@ class InstructionBuffer:
     # -- background fetching -------------------------------------------------
 
     def run(self, cycles: int = 1) -> None:
-        """Advance the prefetcher by ``cycles`` EBOX cycles."""
-        for _ in range(cycles):
-            self._one_cycle()
+        """Advance the prefetcher by ``cycles`` EBOX cycles.
 
-    def _one_cycle(self) -> None:
-        self._now += 1
-        if self._fill_wait > 0:
-            self._fill_wait -= 1
-            if self._fill_wait == 0 and self._pending_value is not None:
-                self._accept(self._pending_va, self._pending_value)
-                self._pending_value = None
-            return
-        if self.tb_miss_pending:
-            return
-        if len(self._bytes) >= IB_CAPACITY:
-            return
-        if self._port_cooldown > 0:
-            # The IB shares the cache port with EBOX data references; it
-            # wins at most every other cycle, which also keeps it from
-            # racing arbitrarily far past branch points.
-            self._port_cooldown -= 1
-            return
-        self._port_cooldown = 1
-        outcome = self.memory.istream_fetch(self._fetch_va, now=self._now)
-        if outcome.tb_miss:
-            self.tb_miss_pending = True
-            self.stats.tb_miss_flags += 1
-            return
-        self.stats.references += 1
-        if outcome.cache_hit:
-            self._accept(self._fetch_va, outcome.value)
-        else:
-            # Data arrives later — after the SBI transaction (plus any
-            # queueing behind concurrent traffic) completes; the IB then
-            # accepts as many bytes as it has room for.
-            self._pending_va = self._fetch_va
-            self._pending_value = outcome.value
-            self._fill_wait = outcome.fill_cycles
+        Cycle-exact but batched: runs of cycles in which the prefetcher
+        provably does nothing (waiting out a fill, TB-miss paused, or
+        buffer full — the overwhelmingly common states) are skipped in
+        one arithmetic step instead of being iterated one by one.  Only
+        cycles that can issue a cache reference take the per-cycle path,
+        so ``_now`` is identical to the unbatched clock at every fetch.
+        """
+        while cycles > 0:
+            if self._fill_wait > 0:
+                # Wait out the outstanding miss (or as much as fits).
+                step = self._fill_wait if self._fill_wait <= cycles else cycles
+                self._now += step
+                self._fill_wait -= step
+                cycles -= step
+                if self._fill_wait == 0 and self._pending_value is not None:
+                    self._accept(self._pending_va, self._pending_value)
+                    self._pending_value = None
+                continue
+            if self.tb_miss_pending or len(self._bytes) >= IB_CAPACITY:
+                # Paused until the EBOX refills the TB / consumes bytes:
+                # nothing can happen for the rest of this batch.
+                self._now += cycles
+                return
+            self._now += 1
+            cycles -= 1
+            if self._port_cooldown > 0:
+                # The IB shares the cache port with EBOX data references;
+                # it wins at most every other cycle, which also keeps it
+                # from racing arbitrarily far past branch points.
+                self._port_cooldown -= 1
+                continue
+            self._port_cooldown = 1
+            outcome = self.memory.istream_fetch(self._fetch_va, now=self._now)
+            if outcome.tb_miss:
+                self.tb_miss_pending = True
+                self.stats.tb_miss_flags += 1
+                continue
+            self.stats.references += 1
+            if outcome.cache_hit:
+                self._accept(self._fetch_va, outcome.value)
+            else:
+                # Data arrives later — after the SBI transaction (plus
+                # any queueing behind concurrent traffic) completes; the
+                # IB then accepts as many bytes as it has room for.
+                self._pending_va = self._fetch_va
+                self._pending_value = outcome.value
+                self._fill_wait = outcome.fill_cycles
 
     def _accept(self, va: int, longword: int) -> None:
         """Accept bytes from the longword containing ``va`` into the IB."""

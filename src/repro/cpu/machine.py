@@ -42,6 +42,8 @@ class InterruptController:
         self._pending.append(request)
 
     def highest_above(self, current_ipl: int) -> Optional[InterruptRequest]:
+        if not self._pending:  # checked once per instruction; usually empty
+            return None
         deliverable = [r for r in self._pending if r.ipl > current_ipl]
         if not deliverable:
             return None

@@ -63,6 +63,15 @@ class Routine:
     slots: Dict[MicroSlot, int]
     patched: bool = False
 
+    def __post_init__(self):
+        #: Dense per-slot address table, indexed by ``MicroSlot.value``.
+        #: The EBOX charges cycles once per microinstruction; indexing
+        #: this list avoids hashing an enum key on every cycle.
+        addrs = [None] * len(MicroSlot)
+        for slot, address in self.slots.items():
+            addrs[slot.value] = address
+        self.slot_addrs = addrs
+
     def address(self, slot: MicroSlot) -> int:
         """The micro-PC of one slot of this routine."""
         return self.slots[slot]

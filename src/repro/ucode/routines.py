@@ -16,6 +16,7 @@ One routine per activity, addressed so that:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -74,7 +75,27 @@ class MicrocodeLayout:
         return self.execute[opcode.mnemonic]
 
 
-def build_layout() -> MicrocodeLayout:
+def build_layout(fresh: bool = False) -> MicrocodeLayout:
+    """The control-store layout (cached — it is fully deterministic).
+
+    Building the layout allocates ~450 routines; every machine used to
+    rebuild it from scratch.  Since the allocation is a pure function of
+    the opcode/addressing-mode tables, one shared instance serves every
+    machine (routines are read-only during execution).  Pass
+    ``fresh=True`` to bypass the cache — the escape hatch for tests that
+    mutate routines (patch flags, etc.) and must not poison other users.
+    """
+    if fresh:
+        return _build_layout()
+    return _cached_layout()
+
+
+@functools.lru_cache(maxsize=1)
+def _cached_layout() -> MicrocodeLayout:
+    return _build_layout()
+
+
+def _build_layout() -> MicrocodeLayout:
     """Allocate every routine and return the layout handles."""
     store = ControlStore()
 
@@ -137,3 +158,7 @@ def build_layout() -> MicrocodeLayout:
         alignment=alignment,
         abort=abort,
     )
+
+
+#: Tests that must invalidate the shared layout can call this.
+build_layout.cache_clear = _cached_layout.cache_clear

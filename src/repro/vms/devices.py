@@ -10,6 +10,7 @@ delivers between instructions, exactly like the real request lines.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -55,6 +56,10 @@ class DeviceBoard:
     def __init__(self, seed: int = 0):
         self.timers: List[DeviceTimer] = []
         self._seed = seed
+        #: earliest next_fire over all timers; the kernel polls once per
+        #: instruction and device periods are thousands of cycles, so
+        #: almost every poll returns on this one comparison.
+        self._next_fire = 0
 
     def add(self, name: str, ipl: int, period_cycles: int, callback, jitter: float = 0.3) -> DeviceTimer:
         timer = DeviceTimer(
@@ -63,15 +68,29 @@ class DeviceBoard:
             period_cycles=period_cycles,
             callback=callback,
             jitter=jitter,
-            _random=random.Random(hash((self._seed, name)) & 0xFFFFFFFF),
+            # crc32, not hash(): str hashing is randomized per interpreter
+            # process (PYTHONHASHSEED), and per-device jitter streams must
+            # be identical whether a run executes in-process or in a
+            # parallel experiment worker.
+            _random=random.Random((self._seed ^ zlib.crc32(name.encode())) & 0xFFFFFFFF),
         )
         self.timers.append(timer)
+        self._next_fire = min(self._next_fire, timer.next_fire)
         return timer
 
     def start(self, now: int) -> None:
         for timer in self.timers:
             timer.schedule_first(now)
+        self._refresh_next_fire()
+
+    def _refresh_next_fire(self) -> None:
+        self._next_fire = min(
+            (timer.next_fire for timer in self.timers), default=1 << 62
+        )
 
     def poll(self, now: int) -> None:
+        if now < self._next_fire:
+            return
         for timer in self.timers:
             timer.poll(now)
+        self._refresh_next_fire()

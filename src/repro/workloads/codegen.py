@@ -526,12 +526,31 @@ def _build_data_image(profile: WorkloadProfile, rng: random.Random) -> bytes:
     return bytes(image)
 
 
+#: (id(profile), variant) -> (profile, program).  Generation is fully
+#: deterministic in (profile, variant), and a GeneratedProgram is
+#: immutable once built (the machine copies its bytes into memory), so
+#: experiments that construct many machines over the same workloads skip
+#: re-running the assembler.  The profile reference is kept in the value
+#: so its id() cannot be recycled while the entry is live.
+_PROGRAM_CACHE: Dict = {}
+
+
 def generate_program(profile: WorkloadProfile, variant: int = 0) -> GeneratedProgram:
     """Generate one process image for ``profile``.
 
     ``variant`` differentiates the processes of a multi-user workload
     (different code layout and data, same statistical mix).
     """
+    key = (id(profile), variant)
+    cached = _PROGRAM_CACHE.get(key)
+    if cached is not None:
+        return cached[1]
+    program = _generate_program(profile, variant)
+    _PROGRAM_CACHE[key] = (profile, program)
+    return program
+
+
+def _generate_program(profile: WorkloadProfile, variant: int) -> GeneratedProgram:
     emitter = _Emitter(profile, variant)
     code, slot_counts = emitter.build()
     data_rng = random.Random((profile.seed << 16) ^ (variant * 7919))

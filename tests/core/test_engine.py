@@ -1,0 +1,145 @@
+"""The parallel experiment engine: specs, configs, fan-out, determinism."""
+
+import pickle
+
+import pytest
+
+from repro.core.engine import (
+    EngineRun,
+    MachineConfig,
+    RunSpec,
+    execute_spec,
+    parallel_map,
+    run_specs,
+)
+from repro.core.histogram_io import result_to_json
+from repro.core.monitor import UPCMonitor
+from repro.cpu import VAX780
+
+SMALL = dict(instructions=600, warmup_instructions=150)
+
+
+class TestMachineConfig:
+    def test_baseline_config_changes_nothing(self):
+        machine = VAX780(monitor=UPCMonitor.build())
+        cache, tb, wb = machine.memory.cache, machine.memory.tb, machine.memory.write_buffer
+        MachineConfig().apply(machine)
+        assert machine.memory.cache is cache
+        assert machine.memory.tb is tb
+        assert machine.memory.write_buffer is wb
+
+    def test_overrides_replace_components(self):
+        machine = VAX780(monitor=UPCMonitor.build())
+        config = MachineConfig(
+            cache_size_bytes=2 * 1024,
+            tb_half_entries=16,
+            wb_drain_cycles=12,
+            decode_overlap=True,
+            float_slowdown=3,
+        )
+        config.apply(machine)
+        cache = machine.memory.cache
+        assert cache.sets * cache.ways * cache.block_size == 2 * 1024
+        assert machine.memory.tb.half_entries == 16
+        assert machine.memory.write_buffer.drain_cycles == 12
+        assert machine.ebox.decode_overlap is True
+        assert machine.ebox.float_slowdown == 3
+
+    def test_describe(self):
+        assert MachineConfig().describe() == "baseline"
+        assert "cache=2KB" in MachineConfig(cache_size_bytes=2048).describe()
+        assert "tb=16+16" in MachineConfig(tb_half_entries=16).describe()
+
+    def test_config_and_spec_pickle(self):
+        # Specs cross the process-pool boundary; this is the contract.
+        spec = RunSpec(
+            workload="scientific", config=MachineConfig(tb_half_entries=32)
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+
+class TestRunSpec:
+    def test_name_defaults_to_workload(self):
+        assert RunSpec(workload="scientific").name == "scientific"
+
+    def test_name_reflects_config_and_label(self):
+        spec = RunSpec(workload="scientific", config=MachineConfig(tb_half_entries=16))
+        assert spec.name == "scientific[tb=16+16]"
+        assert RunSpec(workload="scientific", label="mine").name == "mine"
+
+
+class TestExecuteSpec:
+    def test_payload_shape(self):
+        run = execute_spec(RunSpec(workload="timesharing_light", **SMALL))
+        assert isinstance(run, EngineRun)
+        assert run.result.instructions >= SMALL["instructions"]
+        assert run.wall_seconds > 0
+        counts, stalled = run.histogram
+        # The sparse dump carries the same cycle mass the reduction saw.
+        assert sum(counts.values()) + sum(stalled.values()) == int(
+            run.result.reduction.total_cycles
+        )
+
+    def test_config_changes_the_measurement(self):
+        base = execute_spec(RunSpec(workload="timesharing_light", **SMALL))
+        tiny_tb = execute_spec(
+            RunSpec(
+                workload="timesharing_light",
+                config=MachineConfig(tb_half_entries=8),
+                **SMALL
+            )
+        )
+        assert tiny_tb.result.stats.tb_misses > base.result.stats.tb_misses
+
+
+class TestRunSpecs:
+    def test_sequential_matches_parallel_bit_for_bit(self):
+        specs = [
+            RunSpec(workload="timesharing_light", **SMALL),
+            RunSpec(workload="scientific", **SMALL),
+        ]
+        sequential = run_specs(specs, jobs=1)
+        parallel = run_specs(specs, jobs=2)
+        for seq, par in zip(sequential, parallel):
+            assert seq.histogram == par.histogram
+            assert result_to_json(seq.result) == result_to_json(par.result)
+
+    def test_order_is_preserved(self):
+        specs = [
+            RunSpec(workload=name, **SMALL)
+            for name in ("scientific", "timesharing_light")
+        ]
+        runs = run_specs(specs, jobs=2)
+        assert [run.spec.workload for run in runs] == [
+            "scientific",
+            "timesharing_light",
+        ]
+
+    def test_seed_offset_perturbs_the_run(self):
+        # seed_offset reseeds the kernel's device-jitter streams, so the
+        # run must be long enough for device timers to actually fire.
+        long = dict(instructions=2_500, warmup_instructions=500)
+        base, shifted = run_specs(
+            [
+                RunSpec(workload="timesharing_light", **long),
+                RunSpec(workload="timesharing_light", seed_offset=17, **long),
+            ],
+            jobs=1,
+        )
+        assert base.histogram != shifted.histogram
+
+
+def _square(value):
+    return value * value
+
+
+class TestParallelMap:
+    def test_sequential_and_parallel_agree(self):
+        items = list(range(8))
+        assert parallel_map(_square, items, jobs=1) == [v * v for v in items]
+        assert parallel_map(_square, items, jobs=3) == [v * v for v in items]
+
+    def test_empty_and_single(self):
+        assert parallel_map(_square, [], jobs=4) == []
+        assert parallel_map(_square, [5], jobs=4) == [25]

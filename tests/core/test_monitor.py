@@ -76,6 +76,32 @@ class TestHistogramBoard:
         with pytest.raises(MonitorCommandError):
             a.merge_from(b)
 
+    def test_merge_while_collecting_rejected(self):
+        # The real merge happened on the measurement host after both
+        # boards were stopped and dumped; merging a live board is a
+        # command error on either side.
+        a, b = HistogramBoard(), HistogramBoard()
+        a.start()
+        with pytest.raises(MonitorCommandError):
+            a.merge_from(b)
+        a.stop()
+        b.start()
+        with pytest.raises(MonitorCommandError):
+            a.merge_from(b)
+
+    def test_dump_sparse_matches_dense_dump(self):
+        board = HistogramBoard()
+        board.start()
+        board.strobe(3, repeat=4)
+        board.strobe(9_999, stalled=True, repeat=2)
+        counts, stalled = board.dump_sparse()
+        assert counts == {3: 4}
+        assert stalled == {9_999: 2}
+        dense_counts, dense_stalled = board.dump()
+        assert all(dense_counts[b] == c for b, c in counts.items())
+        assert all(dense_stalled[b] == c for b, c in stalled.items())
+        assert sum(dense_counts) == sum(counts.values())
+
     def test_dump_returns_both_banks(self):
         board = HistogramBoard()
         board.start()

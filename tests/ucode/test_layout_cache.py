@@ -1,0 +1,48 @@
+"""The memoized microcode layout: identity, freshness, isolation.
+
+Building the layout allocates every routine in the 16K control store;
+machines share one immutable cached instance unless a caller asks for a
+private copy with ``build_layout(fresh=True)`` (e.g. to mark routines
+patched in an ablation).
+"""
+
+import pytest
+
+from repro.ucode.microword import MicroSlot
+from repro.ucode.routines import build_layout
+
+
+class TestLayoutCache:
+    def test_repeat_calls_share_one_instance(self):
+        assert build_layout() is build_layout()
+
+    def test_fresh_returns_private_instances(self):
+        cached = build_layout()
+        fresh = build_layout(fresh=True)
+        assert fresh is not cached
+        assert build_layout(fresh=True) is not fresh
+
+    def test_fresh_layout_is_equivalent(self):
+        cached = build_layout()
+        fresh = build_layout(fresh=True)
+        assert cached.store.used_addresses() == fresh.store.used_addresses()
+        assert cached.abort.address(MicroSlot.COMPUTE_A) == fresh.abort.address(
+            MicroSlot.COMPUTE_A
+        )
+        assert set(cached.execute) == set(fresh.execute)
+
+    def test_mutating_a_fresh_layout_does_not_leak_into_the_cache(self):
+        # Ablations that flip routine flags must take a private copy;
+        # this guards the cached instance against aliasing bugs.
+        fresh = build_layout(fresh=True)
+        victim = fresh.execute["MOVL"]
+        assert victim.patched is False
+        victim.patched = True
+        assert build_layout().execute["MOVL"].patched is False
+
+    def test_cache_clear_rebuilds(self):
+        before = build_layout()
+        build_layout.cache_clear()
+        after = build_layout()
+        assert after is not before
+        assert after is build_layout()
