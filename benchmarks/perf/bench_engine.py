@@ -18,8 +18,16 @@ warmup) matches the measurement this repository's seed commit clocked
 at 6766 instructions/second single-thread, recorded below as the
 baseline the ≥1.25× target is judged against.
 
+The full run also gates the telemetry layer: with tracing off (the
+default — no tracer attached) warm throughput must stay within 2% of
+the pre-telemetry figure recorded in
+``PRE_OBS_WARM_INSTRUCTIONS_PER_SECOND``, and the report gains a
+structured ``metrics`` block (simulated counters + wall-clock
+self-profiling) plus a ``telemetry`` overhead block.
+
 Run:  PYTHONPATH=src python benchmarks/perf/bench_engine.py [--jobs N]
-      [--smoke]   (tiny run, equality check only — the CI perf gate)
+      [--smoke]   (tiny run: sequential/parallel and traced/untraced
+                   bit-identity plus trace-export validity — the CI gate)
 """
 
 import argparse
@@ -39,18 +47,30 @@ WARMUP_INSTRUCTIONS = 1_000
 #: container.  The optimization target is >= 1.25x this figure.
 SEED_BASELINE_INSTRUCTIONS_PER_SECOND = 6_766
 
+#: Warm single-thread instructions/second recorded on the reference
+#: container immediately *before* the telemetry layer landed.  The
+#: tracing-off gate: with no tracer attached the warm throughput must
+#: stay within TRACING_OFF_BUDGET_PERCENT of this figure.
+PRE_OBS_WARM_INSTRUCTIONS_PER_SECOND = 13_952
+TRACING_OFF_BUDGET_PERCENT = 2.0
+
 
 def _measure_composite(instructions, warmup, jobs):
-    from repro.core.experiment import run_composite_experiment
+    from repro.core.engine import RunSpec, run_specs
+    from repro.core.experiment import composite
+    from repro.workloads import COMPOSITE_WORKLOAD_NAMES
 
+    specs = [
+        RunSpec(
+            workload=name, instructions=instructions, warmup_instructions=warmup
+        )
+        for name in COMPOSITE_WORKLOAD_NAMES
+    ]
     started = time.perf_counter()
-    result = run_composite_experiment(
-        instructions_per_workload=instructions,
-        warmup_instructions=warmup,
-        jobs=jobs,
-    )
+    runs = run_specs(specs, jobs=jobs)
+    result = composite([run.result for run in runs])
     wall = time.perf_counter() - started
-    return result, wall
+    return result, wall, runs
 
 
 def _equal(result_a, result_b) -> bool:
@@ -60,16 +80,47 @@ def _equal(result_a, result_b) -> bool:
 
 
 def smoke(jobs: int) -> int:
-    """CI gate: tiny composite, sequential vs parallel must be identical."""
-    sequential, seq_wall = _measure_composite(600, 150, jobs=1)
-    parallel, par_wall = _measure_composite(600, 150, jobs=jobs)
+    """CI gate: tiny composite, sequential vs parallel must be
+    identical, and a traced run must be bit-identical to an untraced
+    one (the tracer is passive) with a valid Chrome export."""
+    from repro.core.experiment import run_workload
+    from repro.obs.trace import Tracer, validate_chrome
+
+    sequential, seq_wall, _ = _measure_composite(600, 150, jobs=1)
+    parallel, par_wall, _ = _measure_composite(600, 150, jobs=jobs)
     if not _equal(sequential, parallel):
         print("FAIL: parallel composite differs from sequential", file=sys.stderr)
         return 1
+
+    tracer = Tracer()
+    traced, traced_board = run_workload(
+        "educational",
+        instructions=600,
+        warmup_instructions=150,
+        tracer=tracer,
+        return_board=True,
+    )
+    plain, plain_board = run_workload(
+        "educational", instructions=600, warmup_instructions=150, return_board=True
+    )
+    if traced_board.dump_sparse() != plain_board.dump_sparse() or not _equal(
+        traced, plain
+    ):
+        print("FAIL: tracing perturbed the measurement", file=sys.stderr)
+        return 1
+    problems = validate_chrome(tracer.to_chrome())
+    if problems:
+        print(
+            "FAIL: trace export invalid: {}".format("; ".join(problems[:5])),
+            file=sys.stderr,
+        )
+        return 1
+
     print(
         "smoke OK: jobs={} bit-identical to sequential "
-        "(seq {:.2f}s, par {:.2f}s, {} instructions)".format(
-            jobs, seq_wall, par_wall, sequential.instructions
+        "(seq {:.2f}s, par {:.2f}s, {} instructions); "
+        "tracing passive ({} events, valid Chrome export)".format(
+            jobs, seq_wall, par_wall, sequential.instructions, len(tracer)
         )
     )
     return 0
@@ -89,13 +140,23 @@ def main() -> int:
     if args.smoke:
         return smoke(max(2, args.jobs))
 
-    cold_result, cold_wall = _measure_composite(
+    from repro.obs.metrics import registry_from_result
+
+    cold_result, cold_wall, _ = _measure_composite(
         INSTRUCTIONS_PER_WORKLOAD, WARMUP_INSTRUCTIONS, jobs=1
     )
-    warm_result, warm_wall = _measure_composite(
+    # Warm throughput gates the telemetry overhead budget, so it is the
+    # best of three trials: scheduler noise only ever slows a run down.
+    warm_result, warm_wall, warm_runs = _measure_composite(
         INSTRUCTIONS_PER_WORKLOAD, WARMUP_INSTRUCTIONS, jobs=1
     )
-    parallel_result, parallel_wall = _measure_composite(
+    for _ in range(2):
+        retry = _measure_composite(
+            INSTRUCTIONS_PER_WORKLOAD, WARMUP_INSTRUCTIONS, jobs=1
+        )
+        if retry[1] < warm_wall:
+            warm_result, warm_wall, warm_runs = retry
+    parallel_result, parallel_wall, _ = _measure_composite(
         INSTRUCTIONS_PER_WORKLOAD, WARMUP_INSTRUCTIONS, jobs=args.jobs
     )
     if not _equal(cold_result, parallel_result):
@@ -103,6 +164,19 @@ def main() -> int:
         return 1
 
     instructions = cold_result.instructions
+    warm_ips = instructions / warm_wall
+    tracing_off_overhead_percent = (
+        (PRE_OBS_WARM_INSTRUCTIONS_PER_SECOND - warm_ips)
+        / PRE_OBS_WARM_INSTRUCTIONS_PER_SECOND
+        * 100.0
+    )
+
+    # The typed metrics surface: the composite's simulated counters plus
+    # the per-run wall-clock self-profiling folded in from the workers.
+    registry = registry_from_result(warm_result)
+    for run in warm_runs:
+        if run.metrics:
+            registry.merge_snapshot(run.metrics)
     report = {
         "config": {
             "instructions_per_workload": INSTRUCTIONS_PER_WORKLOAD,
@@ -133,12 +207,33 @@ def main() -> int:
                 (instructions / warm_wall) / SEED_BASELINE_INSTRUCTIONS_PER_SECOND, 2
             ),
         },
+        "telemetry": {
+            "pre_obs_warm_instructions_per_second": PRE_OBS_WARM_INSTRUCTIONS_PER_SECOND,
+            "warm_instructions_per_second": round(warm_ips, 1),
+            "tracing_off_overhead_percent": round(tracing_off_overhead_percent, 2),
+            "budget_percent": TRACING_OFF_BUDGET_PERCENT,
+            "within_budget": tracing_off_overhead_percent
+            <= TRACING_OFF_BUDGET_PERCENT,
+        },
+        "metrics": registry.snapshot(),
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(json.dumps(report, indent=2))
     print("\nwrote {}".format(args.output))
+    if tracing_off_overhead_percent > TRACING_OFF_BUDGET_PERCENT:
+        print(
+            "FAIL: tracing-off overhead {:.2f}% exceeds the {:.1f}% budget "
+            "(warm {:.0f} ips vs pre-telemetry {} ips)".format(
+                tracing_off_overhead_percent,
+                TRACING_OFF_BUDGET_PERCENT,
+                warm_ips,
+                PRE_OBS_WARM_INSTRUCTIONS_PER_SECOND,
+            ),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

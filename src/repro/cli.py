@@ -11,7 +11,8 @@ Commands
 ``composite``
     The headline experiment: measure all five workloads and print every
     table from the summed histograms.  ``--jobs N`` fans the five runs
-    out over a process pool with bit-identical results.
+    out over a process pool with bit-identical results; each run's
+    progress renders live on stderr.
 ``sweep WORKLOAD PARAM VALUES...``
     Design-space sweep of one machine parameter (``cache_kb`` /
     ``tb_half`` / ``wb_drain``) against the baseline, optionally
@@ -20,42 +21,55 @@ Commands
     The Clark & Levy-style per-opcode frequency report.
 ``listing``
     Dump the control-store layout (the analyst's address map).
+``trace WORKLOAD``
+    Run one workload with cycle-level tracing attached and export the
+    capture as Chrome trace-event JSON (loadable in Perfetto or
+    ``about://tracing``) and/or the compact binary dump.
+``stats [WORKLOAD]``
+    Run one workload (or the composite) and report the typed metrics
+    surface: simulated counters, derived gauges, wall-clock
+    self-profiling, and per-run provenance manifests.
+
+Diagnostics go to stderr through :mod:`repro.obs.log`; the threshold is
+``-v``/``--verbose`` (debug), ``-q``/``--quiet`` (warnings only), or the
+``REPRO_LOG`` environment variable.  Command output (the tables) stays
+on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 
 from repro.core import tables
 from repro.core.reduction import COLUMNS, ROWS
 from repro.core.report import matrix_to_text
+from repro.obs.log import DEBUG, WARN, emit, get_logger, set_level
 
 
 def _print_all_tables(result) -> None:
-    print(
+    emit(
         "\n{}: {} instructions, CPI {:.3f}\n".format(
             result.name, result.instructions, result.cpi
         )
     )
 
     table1 = tables.table1(result)
-    print("Table 1: opcode group frequency (percent)")
+    emit("Table 1: opcode group frequency (percent)")
     for group, percent in sorted(table1.items(), key=lambda kv: -kv[1]):
-        print("  {:<12} {:6.2f}".format(group, percent))
+        emit("  {:<12} {:6.2f}".format(group, percent))
 
     table2 = tables.table2(result)
-    print("\nTable 2: PC-changing instructions (% of instr / % taken)")
+    emit("\nTable 2: PC-changing instructions (% of instr / % taken)")
     for row, cells in table2.items():
         if cells["percent_of_instructions"] > 0:
-            print(
+            emit(
                 "  {:<14} {:6.1f} {:6.1f}".format(
                     row, cells["percent_of_instructions"], cells["percent_taken"]
                 )
             )
 
     table3 = tables.table3(result)
-    print(
+    emit(
         "\nTable 3: {:.3f} first + {:.3f} other specifiers, "
         "{:.3f} branch displacements per instruction".format(
             table3["spec1"], table3["spec26"], table3["branch_displacements"]
@@ -63,25 +77,25 @@ def _print_all_tables(result) -> None:
     )
 
     table4 = tables.table4(result)
-    print("\nTable 4: specifier modes (percent of all specifiers)")
+    emit("\nTable 4: specifier modes (percent of all specifiers)")
     for row, cells in table4.items():
-        print("  {:<22} {:6.2f}".format(row, cells["total"]))
+        emit("  {:<22} {:6.2f}".format(row, cells["total"]))
 
     table5 = tables.table5(result)
-    print("\nTable 5: reads {:.3f} / writes {:.3f} per instruction".format(
+    emit("\nTable 5: reads {:.3f} / writes {:.3f} per instruction".format(
         table5["total"]["reads"], table5["total"]["writes"]))
 
     table6 = tables.table6(result)
-    print("Table 6: average instruction {:.2f} bytes".format(table6["total_bytes"]))
+    emit("Table 6: average instruction {:.2f} bytes".format(table6["total_bytes"]))
 
     table7 = tables.table7(result)
-    print("\nTable 7: headways (instructions between events)")
+    emit("\nTable 7: headways (instructions between events)")
     for event, headway in table7.items():
-        print("  {:<28} {:8.0f}".format(event, headway))
+        emit("  {:<28} {:8.0f}".format(event, headway))
 
-    print()
+    emit()
     table8 = tables.table8(result)
-    print(
+    emit(
         matrix_to_text(
             {row: table8[row] for row in ROWS + ["total"]},
             COLUMNS + ["total"],
@@ -90,18 +104,18 @@ def _print_all_tables(result) -> None:
     )
 
     table9 = tables.table9(result)
-    print("\nTable 9: execute cycles within each group")
+    emit("\nTable 9: execute cycles within each group")
     for row, cells in table9.items():
-        print("  {:<12} {:8.2f}".format(row, cells["total"]))
+        emit("  {:<12} {:8.2f}".format(row, cells["total"]))
 
     sec41 = tables.sec41_istream(result)
     sec42 = tables.sec42_cache_tb(result)
-    print(
+    emit(
         "\nSec 4.1: {:.2f} IB refs/instr at {:.2f} bytes/ref".format(
             sec41["ib_references_per_instruction"], sec41["bytes_per_reference"]
         )
     )
-    print(
+    emit(
         "Sec 4.2: {:.3f} cache read misses/instr; {:.4f} TB misses/instr "
         "at {:.1f} cycles each".format(
             sec42["cache_read_misses_per_instruction"],
@@ -111,12 +125,32 @@ def _print_all_tables(result) -> None:
     )
 
 
+def _progress_printer(log):
+    """A run_specs progress callback rendering per-workload status."""
+
+    def notify(event) -> None:
+        position = "[{}/{}]".format(event.index + 1, event.total)
+        if event.kind == "start":
+            log.info("{} {} started".format(position, event.name))
+        elif event.kind == "done":
+            log.info(
+                "{} {} done".format(position, event.name),
+                seconds=event.wall_seconds,
+            )
+        else:
+            log.error(
+                "{} {} failed".format(position, event.name), error=event.error
+            )
+
+    return notify
+
+
 def cmd_list_workloads(_args) -> int:
     from repro.workloads import COMPOSITE_WORKLOAD_NAMES, PROFILES
 
     for name in COMPOSITE_WORKLOAD_NAMES:
         profile = PROFILES[name]
-        print("{:<20} {:>3} users  {}".format(name, profile.users, profile.description))
+        emit("{:<20} {:>3} users  {}".format(name, profile.users, profile.description))
     return 0
 
 
@@ -124,7 +158,7 @@ def cmd_diagram(_args) -> int:
     from repro.core.monitor import UPCMonitor
     from repro.cpu import VAX780
 
-    print(VAX780(monitor=UPCMonitor.build()).block_diagram())
+    emit(VAX780(monitor=UPCMonitor.build()).block_diagram())
     return 0
 
 
@@ -144,17 +178,16 @@ def cmd_composite(args) -> int:
     from repro.core.experiment import run_composite_experiment
     from repro.workloads import COMPOSITE_WORKLOAD_NAMES
 
-    print(
-        "measuring {} workloads ({})...".format(
-            len(COMPOSITE_WORKLOAD_NAMES),
-            "sequentially" if args.jobs <= 1 else "{} jobs".format(args.jobs),
-        ),
-        file=sys.stderr,
+    log = get_logger("repro.composite")
+    log.info(
+        "measuring {} workloads".format(len(COMPOSITE_WORKLOAD_NAMES)),
+        jobs=args.jobs,
     )
     result = run_composite_experiment(
         instructions_per_workload=args.instructions,
         warmup_instructions=args.warmup,
         jobs=args.jobs,
+        progress=_progress_printer(log),
     )
     _print_all_tables(result)
     return 0
@@ -171,6 +204,7 @@ _SWEEP_PARAMS = {
 def cmd_sweep(args) -> int:
     from repro.core.engine import MachineConfig, RunSpec, run_specs
 
+    log = get_logger("repro.sweep")
     make_fields = _SWEEP_PARAMS[args.param]
     configs = [None] + [MachineConfig(**make_fields(value)) for value in args.values]
     specs = [
@@ -182,26 +216,23 @@ def cmd_sweep(args) -> int:
         )
         for config in configs  # baseline first, then the sweep points
     ]
-    print(
-        "sweeping {} over {}={} ({})...".format(
-            args.workload,
-            args.param,
-            ",".join(str(v) for v in args.values),
-            "sequentially" if args.jobs <= 1 else "{} jobs".format(args.jobs),
+    log.info(
+        "sweeping {} over {}={}".format(
+            args.workload, args.param, ",".join(str(v) for v in args.values)
         ),
-        file=sys.stderr,
+        jobs=args.jobs,
     )
-    runs = run_specs(specs, jobs=args.jobs)
+    runs = run_specs(specs, jobs=args.jobs, progress=_progress_printer(log))
     header = "{:<40} {:>7} {:>8} {:>8} {:>9} {:>9}".format(
         "configuration", "CPI", "rstall/i", "wstall/i", "ibstall/i", "memmgmt/i"
     )
-    print(header)
-    print("-" * len(header))
+    emit(header)
+    emit("-" * len(header))
     for run in runs:
         result = run.result
         columns = result.reduction.column_totals()
         instructions = max(1, result.instructions)
-        print(
+        emit(
             "{:<40} {:7.3f} {:8.3f} {:8.3f} {:9.3f} {:9.3f}".format(
                 result.name,
                 result.cpi,
@@ -221,9 +252,9 @@ def cmd_opcodes(args) -> int:
     result = run_workload(
         args.workload, instructions=args.instructions, warmup_instructions=args.warmup
     )
-    print(frequency_cost_contrast(result, top=args.top))
-    print()
-    print(
+    emit(frequency_cost_contrast(result, top=args.top))
+    emit()
+    emit(
         "{} distinct opcodes cover 90% of dynamic execution".format(
             coverage_count(result, 90.0)
         )
@@ -234,7 +265,127 @@ def cmd_opcodes(args) -> int:
 def cmd_listing(_args) -> int:
     from repro.ucode.routines import build_layout
 
-    print(build_layout().store.listing())
+    emit(build_layout().store.listing())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    from repro.core.experiment import run_workload
+    from repro.obs.trace import Tracer, validate_chrome, write_binary
+
+    log = get_logger("repro.trace")
+    tracer = Tracer(capacity=args.capacity)
+    log.info(
+        "tracing workload",
+        workload=args.workload,
+        instructions=args.instructions,
+        capacity=args.capacity,
+    )
+    result = run_workload(
+        args.workload,
+        instructions=args.instructions,
+        warmup_instructions=args.warmup,
+        tracer=tracer,
+    )
+    stem = args.output or "trace_{}".format(args.workload)
+    if stem.endswith(".json"):
+        stem = stem[: -len(".json")]
+    written = []
+    if args.format in ("json", "both"):
+        payload = tracer.to_chrome()
+        for problem in validate_chrome(payload):
+            log.warn("trace validation", problem=problem)
+        path = stem + ".json"
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        written.append(path)
+    if args.format in ("binary", "both"):
+        path = stem + ".bin"
+        write_binary(tracer, path)
+        written.append(path)
+    emit(
+        "{}: {} instructions, CPI {:.3f}".format(
+            result.name, result.instructions, result.cpi
+        )
+    )
+    emit(
+        "captured {} events ({} emitted, {} dropped by the ring)".format(
+            len(tracer), tracer.emitted, tracer.dropped
+        )
+    )
+    for path in written:
+        emit("wrote {}".format(path))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    import json
+
+    from repro.core.engine import RunSpec, run_specs
+    from repro.core.experiment import composite
+    from repro.obs.metrics import registry_from_result
+    from repro.workloads import COMPOSITE_WORKLOAD_NAMES
+
+    log = get_logger("repro.stats")
+    names = [args.workload] if args.workload else list(COMPOSITE_WORKLOAD_NAMES)
+    specs = [
+        RunSpec(
+            workload=name,
+            instructions=args.instructions,
+            warmup_instructions=args.warmup,
+        )
+        for name in names
+    ]
+    runs = run_specs(specs, jobs=args.jobs, progress=_progress_printer(log))
+    result = (
+        runs[0].result if len(runs) == 1 else composite([run.result for run in runs])
+    )
+    registry = registry_from_result(result)
+    for run in runs:
+        if run.metrics:
+            registry.merge_snapshot(run.metrics)
+    snapshot = registry.snapshot()
+    manifests = [run.manifest.to_dict() for run in runs if run.manifest is not None]
+    if args.json:
+        emit(
+            json.dumps(
+                {"name": result.name, "metrics": snapshot, "manifests": manifests},
+                indent=2,
+            )
+        )
+        return 0
+    emit(
+        "{}: {} instructions, CPI {:.3f}\n".format(
+            result.name, result.instructions, result.cpi
+        )
+    )
+    emit("counters:")
+    for name, value in snapshot["counters"].items():
+        emit("  {:<44} {:>14}".format(name, value))
+    emit("\ngauges:")
+    for name, value in snapshot["gauges"].items():
+        emit("  {:<44} {:>14.4f}".format(name, value))
+    if snapshot["histograms"]:
+        emit("\nself-profiling (count / mean / min / max seconds):")
+        for name, h in snapshot["histograms"].items():
+            emit(
+                "  {:<44} {:>4} {:>9.4f} {:>9.4f} {:>9.4f}".format(
+                    name, h["count"], h["mean"], h["min"], h["max"]
+                )
+            )
+    emit("\nprovenance:")
+    for manifest in manifests:
+        emit(
+            "  {:<24} config={} seed={}+{} wall={:.2f}s".format(
+                manifest["spec_name"],
+                manifest["config_hash"][:12],
+                manifest["profile_seed"],
+                manifest["seed_offset"],
+                manifest["wall_seconds"],
+            )
+        )
     return 0
 
 
@@ -242,6 +393,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="VAX-11/780 micro-PC histogram study, reproduced",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="debug-level diagnostics on stderr",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="warnings and errors only on stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -286,13 +449,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("listing", help="control-store layout").set_defaults(func=cmd_listing)
 
+    trace_parser = sub.add_parser(
+        "trace", help="run one workload with cycle-level tracing and export it"
+    )
+    trace_parser.add_argument("workload")
+    trace_parser.add_argument("--instructions", type=int, default=2_000)
+    trace_parser.add_argument("--warmup", type=int, default=500)
+    trace_parser.add_argument(
+        "--output", default=None, help="output path stem (default trace_<workload>)"
+    )
+    trace_parser.add_argument(
+        "--format",
+        choices=("json", "binary", "both"),
+        default="json",
+        help="Chrome trace-event JSON, compact binary dump, or both",
+    )
+    trace_parser.add_argument(
+        "--capacity",
+        type=int,
+        default=262_144,
+        help="ring-buffer size; older events beyond it are dropped",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
+
+    stats_parser = sub.add_parser(
+        "stats", help="metrics + provenance for one workload (or the composite)"
+    )
+    stats_parser.add_argument("workload", nargs="?", default=None)
+    stats_parser.add_argument("--instructions", type=int, default=5_000)
+    stats_parser.add_argument("--warmup", type=int, default=1_000)
+    stats_parser.add_argument("--jobs", type=int, default=1)
+    stats_parser.add_argument(
+        "--json", action="store_true", help="emit the snapshot as JSON"
+    )
+    stats_parser.set_defaults(func=cmd_stats)
+
     return parser
 
 
 def main(argv=None) -> int:
+    from repro.core.engine import EngineError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if args.quiet:
+        set_level(WARN)
+    elif args.verbose:
+        set_level(DEBUG)
+    try:
+        return args.func(args)
+    except EngineError as error:
+        get_logger("repro").error(
+            "engine run failed", spec=error.spec_name
+        )
+        get_logger("repro").error(error.worker_traceback.rstrip())
+        return 1
 
 
 if __name__ == "__main__":

@@ -29,11 +29,50 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.experiment import ExperimentResult, run_workload
+
+
+class EngineError(RuntimeError):
+    """A spec failed inside a pool worker.
+
+    Carries *which* spec died and the worker-side traceback — a bare
+    ``BrokenProcessPool`` or a re-raised exception with a coordinator
+    stack tells you neither.
+    """
+
+    def __init__(self, spec_name: str, worker_traceback: str):
+        super().__init__(
+            "spec {!r} failed in worker:\n{}".format(spec_name, worker_traceback)
+        )
+        self.spec_name = spec_name
+        self.worker_traceback = worker_traceback
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One engine progress notification (see :func:`run_specs`).
+
+    ``kind`` is ``"start"`` (the spec was dispatched), ``"done"``
+    (finished, ``wall_seconds`` filled in) or ``"error"`` (failed,
+    ``error`` holds the summary line; the full traceback rides the
+    :class:`EngineError` raised right after).
+    """
+
+    kind: str
+    index: int
+    total: int
+    name: str
+    wall_seconds: float = 0.0
+    error: Optional[str] = None
+
+
+#: The shape run_specs notifies: callback(event) -> None.
+ProgressCallback = Callable[[ProgressEvent], None]
 
 
 @dataclass(frozen=True)
@@ -129,6 +168,10 @@ class EngineRun:
     #: parallel and sequential runs agree byte for byte.
     histogram: Tuple[Dict[int, int], Dict[int, int]]
     wall_seconds: float
+    #: provenance manifest (repro.obs.provenance.RunManifest)
+    manifest: Optional[object] = None
+    #: worker-side self-profiling, a MetricsRegistry.snapshot() dict
+    metrics: Optional[Dict] = None
 
 
 def _spec_configure(spec: RunSpec):
@@ -146,8 +189,20 @@ def _spec_configure(spec: RunSpec):
     return apply
 
 
-def execute_spec(spec: RunSpec) -> EngineRun:
-    """Run one spec to completion (this is the pool worker)."""
+def execute_spec(spec: RunSpec, tracer=None) -> EngineRun:
+    """Run one spec to completion (this is the pool worker).
+
+    Every run ships back a :class:`~repro.obs.provenance.RunManifest`
+    (config hash, seeds, code version, timings) and a metrics snapshot
+    (per-phase wall-clock self-profiling from the worker).
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.provenance import RunManifest
+    from repro.workloads import profile_by_name
+
+    profile = profile_by_name(spec.workload)
+    manifest = RunManifest.for_spec(spec, profile_seed=profile.seed)
+    metrics = MetricsRegistry()
     started = time.perf_counter()
     result, board = run_workload(
         spec.workload,
@@ -157,15 +212,37 @@ def execute_spec(spec: RunSpec) -> EngineRun:
         seed_offset=spec.seed_offset,
         configure=_spec_configure(spec),
         return_board=True,
+        tracer=tracer,
+        metrics=metrics,
     )
     if spec.label is not None or spec.config is not None:
         result.name = spec.name
+    wall = time.perf_counter() - started
+    manifest.wall_seconds = wall
+    manifest.instructions_measured = result.instructions
+    manifest.cycles_measured = result.stats.cycles
     return EngineRun(
         spec=spec,
         result=result,
         histogram=board.dump_sparse(),
-        wall_seconds=time.perf_counter() - started,
+        wall_seconds=wall,
+        manifest=manifest,
+        metrics=metrics.snapshot(),
     )
+
+
+def _execute_spec_guarded(spec: RunSpec) -> Tuple:
+    """Pool-worker wrapper: never raises across the pickle boundary.
+
+    Exceptions re-raised by a future lose their worker stack; shipping
+    ``("error", name, traceback_text)`` instead lets the coordinator
+    raise an :class:`EngineError` that says exactly which spec died and
+    where.
+    """
+    try:
+        return ("ok", execute_spec(spec))
+    except Exception:
+        return ("error", spec.name, traceback.format_exc())
 
 
 def _pool_context():
@@ -175,19 +252,72 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
-def run_specs(specs: Sequence[RunSpec], jobs: int = 1) -> List[EngineRun]:
+def run_specs(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> List[EngineRun]:
     """Execute ``specs``, ``jobs`` at a time; results keep spec order.
 
     ``jobs <= 1`` runs sequentially in-process (no pool, no pickling
     requirement) and is the reference behaviour: parallel execution
     produces bit-identical payloads, just faster.
+
+    ``progress`` receives a :class:`ProgressEvent` when each spec is
+    dispatched and when it completes or fails — the CLI renders these as
+    live per-workload status lines.  A failing spec raises
+    :class:`EngineError` naming the spec and carrying the worker-side
+    traceback.
     """
     specs = list(specs)
-    if jobs <= 1 or len(specs) <= 1:
-        return [execute_spec(spec) for spec in specs]
-    workers = min(jobs, len(specs))
+    total = len(specs)
+    notify = progress if progress is not None else _ignore_progress
+    if jobs <= 1 or total <= 1:
+        runs = []
+        for index, spec in enumerate(specs):
+            notify(ProgressEvent("start", index, total, spec.name))
+            try:
+                run = execute_spec(spec)
+            except Exception as exc:
+                notify(
+                    ProgressEvent("error", index, total, spec.name, error=str(exc))
+                )
+                raise EngineError(spec.name, traceback.format_exc()) from exc
+            notify(
+                ProgressEvent(
+                    "done", index, total, spec.name, wall_seconds=run.wall_seconds
+                )
+            )
+            runs.append(run)
+        return runs
+    workers = min(jobs, total)
+    results: List[Optional[EngineRun]] = [None] * total
     with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
-        return list(pool.map(execute_spec, specs))
+        futures = {}
+        for index, spec in enumerate(specs):
+            notify(ProgressEvent("start", index, total, spec.name))
+            futures[pool.submit(_execute_spec_guarded, spec)] = index
+        for future in as_completed(futures):
+            index = futures[future]
+            spec = specs[index]
+            payload = future.result()
+            if payload[0] == "error":
+                _, name, worker_tb = payload
+                summary = worker_tb.strip().splitlines()[-1] if worker_tb else ""
+                notify(ProgressEvent("error", index, total, name, error=summary))
+                raise EngineError(name, worker_tb)
+            run = payload[1]
+            results[index] = run
+            notify(
+                ProgressEvent(
+                    "done", index, total, spec.name, wall_seconds=run.wall_seconds
+                )
+            )
+    return results
+
+
+def _ignore_progress(event: ProgressEvent) -> None:
+    """The default progress sink: drop the event."""
 
 
 def parallel_map(func: Callable, items: Sequence, jobs: int = 1) -> List:

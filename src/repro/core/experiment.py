@@ -141,6 +141,8 @@ def run_workload(
     seed_offset: int = 0,
     configure=None,
     return_board: bool = False,
+    tracer=None,
+    metrics=None,
 ):
     """Run one of the paper's five workloads and collect its histogram.
 
@@ -153,7 +155,15 @@ def run_workload(
     With ``return_board=True`` the return value is ``(result, board)``,
     exposing the stopped histogram board so callers (the parallel
     engine, equality tests) can dump the raw banks as well.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) attaches cycle-level
+    event tracing to the machine; the tracer is strictly passive, so a
+    traced run produces bit-identical results to an untraced one.
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) collects
+    wall-clock self-profiling: per-phase timings and simulation speed.
     """
+    import time as _time
+
     from repro.vms import VMSKernel
     from repro.workloads import (
         RemoteTerminalEmulator,
@@ -161,9 +171,11 @@ def run_workload(
         profile_by_name,
     )
 
+    phase_started = _time.perf_counter()
+
     profile = profile_by_name(profile_name)
     monitor = UPCMonitor.build()
-    machine = VAX780(monitor=monitor)
+    machine = VAX780(monitor=monitor, tracer=tracer)
     if configure is not None:
         # Ablation hook: swap cache/TB/write-buffer geometry or set EBOX
         # options before any code runs.
@@ -187,14 +199,36 @@ def run_workload(
     RemoteTerminalEmulator(kernel, users=profile.users, script_name=script, seed=profile.seed)
 
     kernel.boot()
+    if metrics is not None:
+        metrics.histogram(
+            "phase.build.seconds", "machine + kernel + workload construction"
+        ).observe(_time.perf_counter() - phase_started)
+        phase_started = _time.perf_counter()
     kernel.run(max_instructions=warmup_instructions)
+    if metrics is not None:
+        metrics.histogram(
+            "phase.warmup.seconds", "unmeasured warmup instructions"
+        ).observe(_time.perf_counter() - phase_started)
+        phase_started = _time.perf_counter()
     baseline = MachineStats.from_machine(machine)
     kernel.start_measurement()
     kernel.run(max_instructions=instructions)
     kernel.stop_measurement()
+    measure_seconds = _time.perf_counter() - phase_started
     result = result_from_machine(
         machine, monitor, name=profile.name, stats_baseline=baseline
     )
+    if metrics is not None:
+        metrics.histogram(
+            "phase.measure.seconds", "measured instructions"
+        ).observe(measure_seconds)
+        if measure_seconds > 0:
+            metrics.gauge(
+                "speed.instructions_per_second", "simulated instructions / wall second"
+            ).set(result.instructions / measure_seconds)
+            metrics.gauge(
+                "speed.cycles_per_second", "simulated cycles / wall second"
+            ).set(result.stats.cycles / measure_seconds)
     if return_board:
         return result, monitor.board
     return result
@@ -208,6 +242,7 @@ def run_composite_experiment(
     seed_offset: int = 0,
     process_count: Optional[int] = None,
     overrides: Optional[dict] = None,
+    progress=None,
 ) -> ExperimentResult:
     """The paper's headline measurement: the composite of all five
     workloads (the sum of the five UPC histograms).
@@ -217,7 +252,8 @@ def run_composite_experiment(
     bit-identical composites).  ``seed_offset`` and ``process_count``
     apply to every workload; ``overrides`` maps a workload name to a
     dict of per-workload :class:`~repro.core.engine.RunSpec` field
-    overrides, e.g. ``{"scientific": {"seed_offset": 3}}``.
+    overrides, e.g. ``{"scientific": {"seed_offset": 3}}``.  ``progress``
+    is forwarded to :func:`~repro.core.engine.run_specs`.
     """
     from repro.core.engine import RunSpec, run_specs  # lazy: engine imports us
     from repro.workloads import COMPOSITE_WORKLOAD_NAMES
@@ -235,7 +271,7 @@ def run_composite_experiment(
         }
         fields.update(overrides.get(name, {}))
         specs.append(RunSpec(**fields))
-    runs = run_specs(specs, jobs=jobs)
+    runs = run_specs(specs, jobs=jobs, progress=progress)
     return composite([run.result for run in runs])
 
 

@@ -96,7 +96,11 @@ class HistogramBoard:
 
     def _check_bucket(self, bucket: int) -> None:
         if not 0 <= bucket < self.buckets:
-            raise MonitorCommandError("bucket {} out of range".format(bucket))
+            raise MonitorCommandError(
+                "bucket {} out of range (board has {} buckets, 0..{})".format(
+                    bucket, self.buckets, self.buckets - 1
+                )
+            )
 
     # -- bulk readout ------------------------------------------------------
 
@@ -133,9 +137,21 @@ class HistogramBoard:
         the boards were stopped and dumped).
         """
         if other.buckets != self.buckets:
-            raise MonitorCommandError("bucket-count mismatch")
+            raise MonitorCommandError(
+                "bucket-count mismatch: this board has {} buckets, "
+                "the other has {}".format(self.buckets, other.buckets)
+            )
         if self._collecting or other._collecting:
-            raise MonitorCommandError("cannot merge while collecting")
+            sides = []
+            if self._collecting:
+                sides.append("this board")
+            if other._collecting:
+                sides.append("the other board")
+            raise MonitorCommandError(
+                "cannot merge while collecting ({} still collecting)".format(
+                    " and ".join(sides)
+                )
+            )
         self._counts = array("Q", map(add, self._counts, other._counts))
         self._stalled_counts = array(
             "Q", map(add, self._stalled_counts, other._stalled_counts)

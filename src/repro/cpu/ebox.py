@@ -105,6 +105,7 @@ class EBox:
         monitor=None,
         events: Optional[EventCounters] = None,
         machine=None,
+        tracer=None,
     ):
         self.memory = memory
         self.layout = layout if layout is not None else build_layout()
@@ -139,6 +140,16 @@ class EBox:
         # monitor strobe and IB background-cycle entry points are bound
         # once here instead of being re-resolved every cycle.
         self._observe = monitor.observe if monitor is not None else None
+        # Observability: a passive event tracer (repro.obs.trace.Tracer)
+        # or None.  Guards sit on per-instruction / per-episode paths
+        # only — never inside the per-microcycle tick itself.
+        self._tracer = tracer
+        self.ib.tracer = tracer
+        if tracer is None:
+            # Tracing off: bind the hottest traced site (one call per
+            # specifier) straight to the implementation so it pays no
+            # wrapper call.
+            self._process_specifier = self._process_specifier_impl
         self._ib_run = self.ib.run
         self._abort_entry = self.layout.abort.address(MicroSlot.COMPUTE_A)
         from repro.cpu.semantics import dispatch  # deferred import breaks the cycle
@@ -206,7 +217,17 @@ class EBox:
                 self._deliver_page_fault(fault)
         self._tick_slot(routine, _READ)
         if outcome.stall_cycles:
+            stall_start = self.cycle_count
             self._tick_slot(routine, _READ, count=outcome.stall_cycles, stalled=True)
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.complete(
+                    "MEM",
+                    stall_start,
+                    "read stall",
+                    outcome.stall_cycles,
+                    {"va": va, "routine": routine.name},
+                )
         if outcome.unaligned:
             self._charge_unaligned(read=True)
         self.events.reads_by_source[source] += 1
@@ -224,7 +245,17 @@ class EBox:
                 self._deliver_page_fault(fault)
         self._tick_slot(routine, _WRITE)
         if outcome.stall_cycles:
+            stall_start = self.cycle_count
             self._tick_slot(routine, _WRITE, count=outcome.stall_cycles, stalled=True)
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.complete(
+                    "MEM",
+                    stall_start,
+                    "write stall",
+                    outcome.stall_cycles,
+                    {"va": va, "routine": routine.name},
+                )
         if outcome.unaligned:
             self._charge_unaligned(read=False)
         self.events.writes_by_source[source] += 1
@@ -244,6 +275,9 @@ class EBox:
         stall inside memory management — the paper's 21.6-cycle average
         with 3.5 stall cycles.
         """
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.begin("UCODE", self.cycle_count, "tb miss service", {"va": va, "write": write})
         self._tick_slot(self.layout.abort, _COMPUTE_A)
         routine = self.layout.tb_miss
         self._charge_compute(routine, TB_MISS_COMPUTE_CYCLES)
@@ -258,6 +292,8 @@ class EBox:
             self._tick_slot(
                 routine, _READ, count=fill.pte_read_stall_cycles, stalled=True
             )
+        if tracer is not None:
+            tracer.end("UCODE", self.cycle_count)
 
     def _deliver_page_fault(self, fault: PageFault) -> None:
         """Exception entry plus the pager's work.
@@ -268,6 +304,13 @@ class EBox:
         simplification — frequencies and cycle accounting are preserved.
         """
         self.events.page_faults += 1
+        if self._tracer is not None:
+            self._tracer.instant(
+                "VMS",
+                self.cycle_count,
+                "page fault",
+                {"va": fault.va, "write": fault.write},
+            )
         routine = self.layout.exception
         self._charge_compute(routine, EXCEPTION_ENTRY_COMPUTE_CYCLES)
         self._tick_slot(routine, _WRITE, count=EXCEPTION_ENTRY_WRITES)
@@ -288,6 +331,13 @@ class EBox:
         while True:
             data = self.ib.try_consume(count)
             if data is not None:
+                if waited and self._tracer is not None:
+                    self._tracer.instant(
+                        "IFETCH",
+                        self.cycle_count,
+                        "ib stall",
+                        {"cycles": waited, "routine": wait_routine.name},
+                    )
                 return data
             if self.ib.tb_miss_pending:
                 self._service_istream_tb_miss()
@@ -309,6 +359,18 @@ class EBox:
     # ------------------------------------------------------------------
 
     def _process_specifier(self, position: int, spec: OperandSpec) -> OperandRef:
+        tracer = self._tracer
+        if tracer is None:
+            return self._process_specifier_impl(position, spec)
+        # The span opens before any bytes are consumed (nested IB-stall /
+        # TB-miss events must fall inside it); the addressing mode is
+        # only known at the close, so it rides on the end event's args.
+        tracer.begin("UCODE", self.cycle_count, "spec1" if position == 0 else "spec26")
+        operand = self._process_specifier_impl(position, spec)
+        tracer.end("UCODE", self.cycle_count, {"mode": operand.mode.name})
+        return operand
+
+    def _process_specifier_impl(self, position: int, spec: OperandSpec) -> OperandRef:
         is_first = position == 0
         wait_routine = self.layout.spec1_wait if is_first else self.layout.spec26_wait
         decoded = decode_specifier(
@@ -496,9 +558,14 @@ class EBox:
         outcome = self.memory.read_physical(pa, size, now=self.cycle_count)
         self._tick_slot(self._exec_routine, _READ)
         if outcome.stall_cycles:
+            stall_start = self.cycle_count
             self._tick_slot(
                 self._exec_routine, _READ, count=outcome.stall_cycles, stalled=True
             )
+            if self._tracer is not None:
+                self._tracer.complete(
+                    "MEM", stall_start, "read stall", outcome.stall_cycles, {"pa": pa}
+                )
         source = _TABLE5_GROUP_ROW[self.current_opcode.group]
         self.events.reads_by_source[source] += 1
         return outcome.value
@@ -508,9 +575,14 @@ class EBox:
         outcome = self.memory.write_physical(pa, size, value, now=self.cycle_count)
         self._tick_slot(self._exec_routine, _WRITE)
         if outcome.stall_cycles:
+            stall_start = self.cycle_count
             self._tick_slot(
                 self._exec_routine, _WRITE, count=outcome.stall_cycles, stalled=True
             )
+            if self._tracer is not None:
+                self._tracer.complete(
+                    "MEM", stall_start, "write stall", outcome.stall_cycles, {"pa": pa}
+                )
         source = _TABLE5_GROUP_ROW[self.current_opcode.group]
         self.events.writes_by_source[source] += 1
 
@@ -643,6 +715,17 @@ class EBox:
         self._last_source_routine = None
         self.branch_displacement = None
 
+        tracer = self._tracer
+        if tracer is not None:
+            # ts is the instruction's first cycle; emitted only now
+            # because the span is named after the decoded opcode.
+            tracer.begin(
+                "EBOX",
+                self._instruction_start_cycle,
+                opcode.mnemonic,
+                {"va": start_va},
+            )
+
         operands: List[OperandRef] = []
         for position, spec in enumerate(opcode.operands):
             if spec.access is AccessType.BRANCH:
@@ -668,7 +751,15 @@ class EBox:
         self.events.instruction_bytes += self.ib.decode_va - start_va
         self.events.opcode_counts[opcode.mnemonic] += 1
 
-        self._dispatch(self, opcode, operands)
+        if tracer is not None:
+            tracer.begin(
+                "UCODE", self.cycle_count, self._exec_routine.name
+            )
+            self._dispatch(self, opcode, operands)
+            tracer.end("UCODE", self.cycle_count)
+            tracer.end("EBOX", self.cycle_count)
+        else:
+            self._dispatch(self, opcode, operands)
 
         self.events.instructions += 1
         self.regs.pc = self.ib.decode_va
@@ -695,6 +786,11 @@ class EBox:
 
     def _deliver_interrupt(self, ipl: int, vector_va: int) -> None:
         """Interrupt delivery microcode: save state, raise IPL, vector."""
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.begin(
+                "VMS", self.cycle_count, "interrupt", {"ipl": ipl, "vector": vector_va}
+            )
         routine = self.layout.interrupt
         self._charge_compute(routine, INTERRUPT_ENTRY_COMPUTE_CYCLES)
         return_pc = self.ib.decode_va
@@ -708,5 +804,7 @@ class EBox:
         self.ib.redirect(vector_va)
         self.regs.pc = vector_va
         self.events.interrupts_delivered += 1
+        if tracer is not None:
+            tracer.end("VMS", self.cycle_count)
         if self.machine is not None:
             self.machine.acknowledge_interrupt()

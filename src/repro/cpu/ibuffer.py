@@ -49,6 +49,9 @@ class InstructionBuffer:
     def __init__(self, memory):
         self.memory = memory  # MemorySubsystem
         self.stats = IBStats()
+        #: optional repro.obs.trace.Tracer (the EBOX wires this);
+        #: consulted only on miss / TB-miss / redirect branches.
+        self.tracer = None
         self._bytes = bytearray()
         self._fetch_va = 0
         self._decode_va = 0
@@ -70,6 +73,8 @@ class InstructionBuffer:
         self._pending_value = None
         self.tb_miss_pending = False
         self.stats.redirects += 1
+        if self.tracer is not None:
+            self.tracer.instant("IFETCH", self._now, "redirect", {"va": va})
 
     def clear_tb_miss(self) -> None:
         """The EBOX refilled the TB; resume fetching."""
@@ -130,6 +135,10 @@ class InstructionBuffer:
             if outcome.tb_miss:
                 self.tb_miss_pending = True
                 self.stats.tb_miss_flags += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "IFETCH", self._now, "ifetch tb miss", {"va": self._fetch_va}
+                    )
                 continue
             self.stats.references += 1
             if outcome.cache_hit:
@@ -141,6 +150,13 @@ class InstructionBuffer:
                 self._pending_va = self._fetch_va
                 self._pending_value = outcome.value
                 self._fill_wait = outcome.fill_cycles
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "IFETCH",
+                        self._now,
+                        "ifetch miss",
+                        {"va": self._fetch_va, "fill_cycles": outcome.fill_cycles},
+                    )
 
     def _accept(self, va: int, longword: int) -> None:
         """Accept bytes from the longword containing ``va`` into the IB."""

@@ -94,18 +94,25 @@ class VAX780:
         memory_bytes: int = DEFAULT_MEMORY_BYTES,
         monitor=None,
         layout: Optional[MicrocodeLayout] = None,
+        tracer=None,
     ):
         self.physical = PhysicalMemory(memory_bytes)
         self.memory = MemorySubsystem(physical=self.physical)
         self.layout = layout if layout is not None else build_layout()
         self.events = EventCounters()
         self.monitor = monitor
+        #: Optional repro.obs.trace.Tracer.  Like the monitor it is
+        #: strictly passive; None (the default) leaves only is-not-None
+        #: guards on event paths.
+        self.tracer = tracer
+        self.memory.tracer = tracer
         self.ebox = EBox(
             memory=self.memory,
             layout=self.layout,
             monitor=monitor,
             events=self.events,
             machine=self,
+            tracer=tracer,
         )
         self.interrupts = InterruptController()
         self.frames = FrameAllocator(memory_bytes, self.RESERVED_PHYSICAL)

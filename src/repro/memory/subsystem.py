@@ -103,6 +103,9 @@ class MemorySubsystem:
         self.write_buffer = write_buffer if write_buffer is not None else WriteBuffer()
         self.sbi = sbi if sbi is not None else SBI()
         self.alignment = AlignmentStats()
+        #: Optional repro.obs.trace.Tracer (wired by VAX780); consulted
+        #: only on miss paths, never on the hit fast path.
+        self.tracer = None
         #: Optional reference-trace hook: called as hook(kind, va) with
         #: kind in {"iread", "dread", "write"} for every virtual
         #: reference (before translation).  Used by the trace-driven
@@ -163,6 +166,10 @@ class MemorySubsystem:
         if not entry.valid:
             raise PageFault(va, write)
         self.tb.fill(va, entry.pfn, entry.writable)
+        if not hit and self.tracer is not None:
+            self.tracer.instant(
+                "MEM", now, "pte cache miss", {"va": va, "stall_cycles": stall}
+            )
         return TBFillOutcome(pte_read_stall_cycles=stall, pte_cache_miss=not hit)
 
     # -- D-stream references ---------------------------------------------
@@ -218,6 +225,10 @@ class MemorySubsystem:
         unaligned = size <= 4 and len(pieces) > 1
         if unaligned:
             self.alignment.unaligned_reads += 1
+        if misses and self.tracer is not None:
+            self.tracer.instant(
+                "MEM", now, "cache read miss", {"va": va, "misses": misses}
+            )
         return ReadOutcome(
             value=value,
             physical_refs=len(pieces),

@@ -1,0 +1,34 @@
+"""repro.obs — the observability layer.
+
+The paper's whole method was observability: a passive board watching the
+micro-PC without perturbing the machine.  This package turns the same
+discipline on the simulator itself:
+
+* :mod:`repro.obs.trace` — cycle-level event tracing into a bounded ring
+  buffer, exported as Chrome trace-event JSON (Perfetto-loadable) or a
+  compact binary dump.  Off by default; near-zero cost when off.
+* :mod:`repro.obs.metrics` — typed counters / gauges / histograms plus
+  wall-clock self-profiling of the simulator (phase timings,
+  instructions/sec, cycles/sec).
+* :mod:`repro.obs.log` — a small structured logger for the CLI and the
+  engine (level from ``--verbose``/``-q`` or the ``REPRO_LOG`` env var).
+* :mod:`repro.obs.provenance` — run manifests: config hash, seeds, code
+  version and timings attached to every :class:`~repro.core.engine.EngineRun`.
+
+Like the monitor, every collector here only *receives* notifications —
+nothing in this package holds a reference into the machine, and tracing
+on versus off produces bit-identical histograms (asserted by tests).
+"""
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import RunManifest
+from repro.obs.trace import Tracer, tracing_enabled
+
+__all__ = [
+    "MetricsRegistry",
+    "RunManifest",
+    "Tracer",
+    "get_logger",
+    "tracing_enabled",
+]

@@ -1,0 +1,101 @@
+"""A small structured logger for the CLI and the engine.
+
+Two output channels, deliberately separated:
+
+* :func:`emit` — *command output*: the tables and summaries a command
+  exists to produce.  Always printed, always to stdout, never decorated.
+* :class:`Logger` — *diagnostics*: status, progress, debug detail.
+  Written to stderr as ``LEVEL name: message key=value ...`` lines, so
+  scripts piping table output never see them and log lines stay
+  machine-parseable.
+
+The threshold comes from (highest wins): :func:`set_level` (the CLI's
+``--verbose``/``-q`` flags call this), else the ``REPRO_LOG``
+environment variable (``debug`` / ``info`` / ``warn`` / ``error``),
+else ``info``.  No dependency on :mod:`logging` — the simulator needs
+four levels and zero configuration surface, not handler graphs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Optional
+
+DEBUG = 10
+INFO = 20
+WARN = 30
+ERROR = 40
+
+LEVELS = {"debug": DEBUG, "info": INFO, "warn": WARN, "warning": WARN, "error": ERROR}
+_LEVEL_NAMES = {DEBUG: "DEBUG", INFO: "INFO", WARN: "WARN", ERROR: "ERROR"}
+
+#: Explicit override (set_level); None means "consult REPRO_LOG".
+_level_override: Optional[int] = None
+
+
+def level_from_env(default: int = INFO) -> int:
+    """Resolve the threshold the ``REPRO_LOG`` env var asks for."""
+    name = os.environ.get("REPRO_LOG", "").strip().lower()
+    return LEVELS.get(name, default)
+
+
+def set_level(level: Optional[int]) -> None:
+    """Set (or with ``None`` clear) the explicit threshold override."""
+    global _level_override
+    if level is not None and level not in _LEVEL_NAMES:
+        raise ValueError("unknown log level {!r}".format(level))
+    _level_override = level
+
+
+def current_level() -> int:
+    return _level_override if _level_override is not None else level_from_env()
+
+
+def emit(text: str = "") -> None:
+    """Command output (tables, summaries): stdout, unconditional."""
+    print(text)
+
+
+class Logger:
+    """A named logger writing structured lines to stderr."""
+
+    def __init__(self, name: str, stream=None):
+        self.name = name
+        self._stream = stream  # None: resolve sys.stderr at call time
+
+    def _log(self, level: int, message: str, fields: dict) -> None:
+        if level < current_level():
+            return
+        stream = self._stream if self._stream is not None else sys.stderr
+        parts = [
+            "{:.3f}".format(time.time()),
+            _LEVEL_NAMES[level],
+            "{}:".format(self.name),
+            message,
+        ]
+        for key in sorted(fields):
+            value = fields[key]
+            if isinstance(value, float):
+                value = "{:.3f}".format(value)
+            parts.append("{}={}".format(key, value))
+        print(" ".join(parts), file=stream)
+
+    def debug(self, message: str, **fields) -> None:
+        self._log(DEBUG, message, fields)
+
+    def info(self, message: str, **fields) -> None:
+        self._log(INFO, message, fields)
+
+    def warn(self, message: str, **fields) -> None:
+        self._log(WARN, message, fields)
+
+    warning = warn
+
+    def error(self, message: str, **fields) -> None:
+        self._log(ERROR, message, fields)
+
+
+def get_logger(name: str) -> Logger:
+    return Logger(name)

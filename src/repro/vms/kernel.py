@@ -468,6 +468,14 @@ class VMSKernel:
             return
         self.current = process
         self.machine.memory.set_page_table("p0", process.page_table)
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.instant(
+                "VMS",
+                self.ebox.cycle_count,
+                "context switch",
+                {"process": process.name, "pid": process.pid},
+            )
         monitor = self.machine.monitor
         if process.is_null:
             # The Null process is excluded from measurement (Section 2.2).
@@ -515,6 +523,10 @@ class VMSKernel:
         if expired:
             self._quantum_expired = True
         vector = "clock_resched" if expired else "clock_plain"
+        if self.machine.tracer is not None:
+            self.machine.tracer.instant(
+                "VMS", self.ebox.cycle_count, "clock fired", {"resched": expired}
+            )
         self.machine.interrupts.post(
             InterruptRequest(ipl=timer.ipl, vector_va=self.machine.scb[vector])
         )
@@ -538,11 +550,17 @@ class VMSKernel:
             char = 0x20 + self._random.randrange(95)
         self._write_kernel_longword(self.tt_pid_va, pid)
         self._write_kernel_longword(self.tt_char_va, char)
+        if self.machine.tracer is not None:
+            self.machine.tracer.instant(
+                "VMS", self.ebox.cycle_count, "terminal fired", {"pid": pid}
+            )
         self.machine.interrupts.post(
             InterruptRequest(ipl=timer.ipl, vector_va=self.machine.scb["terminal"])
         )
 
     def _disk_fired(self, timer) -> None:
+        if self.machine.tracer is not None:
+            self.machine.tracer.instant("VMS", self.ebox.cycle_count, "disk fired")
         self.machine.interrupts.post(
             InterruptRequest(ipl=timer.ipl, vector_va=self.machine.scb["disk"])
         )
@@ -557,6 +575,8 @@ class VMSKernel:
         self.machine.map_range(boot_stack - PAGE_SIZE, PAGE_SIZE)
         self.ebox.reset(self.symbols["boot"], sp=boot_stack, mode=AccessMode.KERNEL)
         self.devices.start(self.ebox.cycle_count)
+        if self.machine.tracer is not None:
+            self.machine.tracer.instant("VMS", self.ebox.cycle_count, "boot")
 
     def start_measurement(self) -> None:
         """Start the histogram boards (unless the Null process is current).
@@ -575,11 +595,19 @@ class VMSKernel:
         monitor = self.machine.monitor
         if monitor is not None and (self.current is None or not self.current.is_null):
             monitor.start()
+        if self.machine.tracer is not None:
+            self.machine.tracer.instant(
+                "VMS", self.ebox.cycle_count, "measurement start"
+            )
 
     def stop_measurement(self) -> None:
         self._measuring = False
         if self.machine.monitor is not None:
             self.machine.monitor.stop()
+        if self.machine.tracer is not None:
+            self.machine.tracer.instant(
+                "VMS", self.ebox.cycle_count, "measurement stop"
+            )
 
     def run(self, max_instructions: int = 1_000_000, max_cycles: Optional[int] = None) -> int:
         """The main loop: poll devices between instructions, step the CPU."""

@@ -5,8 +5,10 @@ import pickle
 import pytest
 
 from repro.core.engine import (
+    EngineError,
     EngineRun,
     MachineConfig,
+    ProgressEvent,
     RunSpec,
     execute_spec,
     parallel_map,
@@ -81,6 +83,20 @@ class TestExecuteSpec:
             run.result.reduction.total_cycles
         )
 
+    def test_payload_carries_manifest_and_metrics(self):
+        spec = RunSpec(workload="timesharing_light", **SMALL)
+        run = execute_spec(spec)
+        manifest = run.manifest
+        assert manifest is not None
+        assert manifest.spec_name == spec.name
+        assert manifest.workload == "timesharing_light"
+        assert manifest.wall_seconds > 0
+        assert manifest.instructions_measured == run.result.instructions
+        assert manifest.cycles_measured == run.result.stats.cycles
+        metrics = run.metrics
+        assert metrics["histograms"]["phase.measure.seconds"]["count"] == 1
+        assert metrics["gauges"]["speed.instructions_per_second"] > 0
+
     def test_config_changes_the_measurement(self):
         base = execute_spec(RunSpec(workload="timesharing_light", **SMALL))
         tiny_tb = execute_spec(
@@ -128,6 +144,66 @@ class TestRunSpecs:
             jobs=1,
         )
         assert base.histogram != shifted.histogram
+
+
+class TestProgressAndFailures:
+    def test_progress_events_sequential(self):
+        events = []
+        specs = [
+            RunSpec(workload="timesharing_light", **SMALL),
+            RunSpec(workload="scientific", **SMALL),
+        ]
+        run_specs(specs, jobs=1, progress=events.append)
+        assert [(e.kind, e.name) for e in events if e.kind == "start"] == [
+            ("start", "timesharing_light"),
+            ("start", "scientific"),
+        ]
+        done = [e for e in events if e.kind == "done"]
+        assert {e.name for e in done} == {"timesharing_light", "scientific"}
+        assert all(e.wall_seconds > 0 for e in done)
+        assert all(e.total == 2 for e in events)
+
+    def test_progress_events_parallel(self):
+        events = []
+        specs = [
+            RunSpec(workload="timesharing_light", **SMALL),
+            RunSpec(workload="scientific", **SMALL),
+        ]
+        run_specs(specs, jobs=2, progress=events.append)
+        kinds = [e.kind for e in events]
+        assert kinds.count("start") == 2
+        assert kinds.count("done") == 2
+
+    def test_failing_spec_names_itself_sequential(self):
+        specs = [
+            RunSpec(workload="timesharing_light", **SMALL),
+            RunSpec(workload="no_such_workload", label="doomed", **SMALL),
+        ]
+        with pytest.raises(EngineError) as excinfo:
+            run_specs(specs, jobs=1)
+        assert excinfo.value.spec_name == "doomed"
+        assert "no_such_workload" in excinfo.value.worker_traceback
+        assert "doomed" in str(excinfo.value)
+
+    def test_failing_spec_names_itself_parallel(self):
+        events = []
+        specs = [
+            RunSpec(workload="no_such_workload", label="doomed", **SMALL),
+            RunSpec(workload="timesharing_light", **SMALL),
+        ]
+        with pytest.raises(EngineError) as excinfo:
+            run_specs(specs, jobs=2, progress=events.append)
+        assert excinfo.value.spec_name == "doomed"
+        # The worker-side traceback crossed the pickle boundary intact.
+        assert "no_such_workload" in excinfo.value.worker_traceback
+        assert "Traceback" in excinfo.value.worker_traceback
+        errored = [e for e in events if e.kind == "error"]
+        assert len(errored) == 1 and errored[0].name == "doomed"
+
+    def test_progress_event_is_frozen(self):
+        event = ProgressEvent("start", 0, 1, "x")
+        with pytest.raises(Exception):
+            event.kind = "done"
 
 
 def _square(value):

@@ -89,6 +89,42 @@ class TestHistogramBoard:
         with pytest.raises(MonitorCommandError):
             a.merge_from(b)
 
+    def test_read_bucket_error_names_the_offender(self):
+        board = HistogramBoard(buckets=64)
+        with pytest.raises(MonitorCommandError) as excinfo:
+            board.read_bucket(64)
+        message = str(excinfo.value)
+        assert "bucket 64" in message
+        assert "64 buckets" in message
+        assert "0..63" in message
+        with pytest.raises(MonitorCommandError) as excinfo:
+            board.read_bucket(-1)
+        assert "bucket -1" in str(excinfo.value)
+
+    def test_merge_mismatch_error_reports_both_sizes(self):
+        a = HistogramBoard(buckets=16)
+        b = HistogramBoard(buckets=32)
+        with pytest.raises(MonitorCommandError) as excinfo:
+            a.merge_from(b)
+        message = str(excinfo.value)
+        assert "16" in message and "32" in message
+
+    def test_merge_while_collecting_error_names_the_live_side(self):
+        a, b = HistogramBoard(), HistogramBoard()
+        a.start()
+        with pytest.raises(MonitorCommandError) as excinfo:
+            a.merge_from(b)
+        assert "this board" in str(excinfo.value)
+        a.stop()
+        b.start()
+        with pytest.raises(MonitorCommandError) as excinfo:
+            a.merge_from(b)
+        assert "the other board" in str(excinfo.value)
+        a.start()
+        with pytest.raises(MonitorCommandError) as excinfo:
+            a.merge_from(b)
+        assert "this board and the other board" in str(excinfo.value)
+
     def test_dump_sparse_matches_dense_dump(self):
         board = HistogramBoard()
         board.start()

@@ -1,0 +1,68 @@
+"""Tracing is passive and deterministic.
+
+Two contracts from the telemetry layer:
+
+* same seed -> identical event streams (the tracer observes a
+  deterministic machine and adds no nondeterminism of its own);
+* tracing on versus off -> bit-identical histograms and reductions
+  (the tracer only ever *reads* simulator state).
+"""
+
+from repro.core.experiment import run_workload
+from repro.core.histogram_io import result_to_json
+from repro.obs.trace import Tracer, validate_chrome
+
+SMALL = dict(instructions=800, warmup_instructions=200)
+
+
+def _traced_run(**kwargs):
+    tracer = Tracer()
+    result, board = run_workload(
+        "educational", tracer=tracer, return_board=True, **kwargs
+    )
+    return tracer, result, board
+
+
+def test_same_seed_produces_identical_event_streams():
+    first, _, _ = _traced_run(**SMALL)
+    second, _, _ = _traced_run(**SMALL)
+    assert first.events() == second.events()
+    assert first.emitted == second.emitted
+
+
+def test_different_seed_produces_a_different_stream():
+    base, _, _ = _traced_run(**SMALL)
+    shifted, _, _ = _traced_run(seed_offset=17, **SMALL)
+    assert base.events() != shifted.events()
+
+
+def test_tracing_on_and_off_are_bit_identical():
+    _, traced_result, traced_board = _traced_run(**SMALL)
+    untraced_result, untraced_board = run_workload(
+        "educational", return_board=True, **SMALL
+    )
+    assert traced_board.dump_sparse() == untraced_board.dump_sparse()
+    assert result_to_json(traced_result) == result_to_json(untraced_result)
+    assert traced_result.cpi == untraced_result.cpi
+
+
+def test_real_capture_exports_a_valid_chrome_trace():
+    tracer, result, _ = _traced_run(**SMALL)
+    assert len(tracer) > 0
+    payload = tracer.to_chrome()
+    assert validate_chrome(payload) == []
+    # Every track saw traffic during a real workload run.
+    events = [e for e in payload["traceEvents"] if e["ph"] != "M"]
+    assert {e["tid"] for e in events} == {1, 2, 3, 4, 5}
+    # Instruction spans are named by mnemonic and bracket the stream.
+    begins = [e for e in events if e["ph"] == "B" and e["tid"] == 1]
+    assert len(begins) > result.instructions // 2
+    assert all(e["name"] for e in begins)
+
+
+def test_bounded_capture_still_exports_valid_json():
+    tracer = Tracer(capacity=512)
+    run_workload("educational", tracer=tracer, **SMALL)
+    assert tracer.dropped > 0
+    assert len(tracer) == 512
+    assert validate_chrome(tracer.to_chrome()) == []

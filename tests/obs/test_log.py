@@ -1,0 +1,75 @@
+"""The structured logger: levels, env resolution, output format."""
+
+import io
+
+import pytest
+
+from repro.obs import log as obs_log
+from repro.obs.log import DEBUG, ERROR, INFO, WARN, Logger, level_from_env, set_level
+
+
+@pytest.fixture(autouse=True)
+def _reset_level():
+    yield
+    set_level(None)
+
+
+def test_level_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    assert level_from_env() == INFO
+    monkeypatch.setenv("REPRO_LOG", "debug")
+    assert level_from_env() == DEBUG
+    monkeypatch.setenv("REPRO_LOG", "WARNING")
+    assert level_from_env() == WARN
+    monkeypatch.setenv("REPRO_LOG", "nonsense")
+    assert level_from_env() == INFO
+
+
+def test_set_level_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG", "error")
+    set_level(DEBUG)
+    assert obs_log.current_level() == DEBUG
+    set_level(None)
+    assert obs_log.current_level() == ERROR
+
+
+def test_set_level_rejects_unknown():
+    with pytest.raises(ValueError):
+        set_level(17)
+
+
+def test_messages_below_threshold_are_dropped():
+    stream = io.StringIO()
+    logger = Logger("test", stream=stream)
+    set_level(WARN)
+    logger.info("quiet")
+    logger.warn("loud")
+    output = stream.getvalue()
+    assert "quiet" not in output
+    assert "loud" in output
+
+
+def test_line_format_is_structured():
+    stream = io.StringIO()
+    logger = Logger("repro.engine", stream=stream)
+    set_level(INFO)
+    logger.info("spec done", seconds=1.23456, name="educational")
+    line = stream.getvalue().strip()
+    assert "INFO repro.engine: spec done" in line
+    # Fields render sorted, floats truncated to 3 places.
+    assert line.endswith("name=educational seconds=1.235")
+
+
+def test_emit_goes_to_stdout(capsys):
+    obs_log.emit("table row")
+    captured = capsys.readouterr()
+    assert captured.out == "table row\n"
+    assert captured.err == ""
+
+
+def test_logger_diagnostics_go_to_stderr(capsys):
+    set_level(INFO)
+    obs_log.get_logger("repro.test").info("status")
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "status" in captured.err

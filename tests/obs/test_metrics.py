@@ -1,0 +1,94 @@
+"""The typed metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, MetricTypeError, registry_from_result
+
+
+def test_counter_accumulates_and_refuses_to_decrease():
+    registry = MetricsRegistry()
+    counter = registry.counter("events.widgets")
+    counter.inc()
+    counter.inc(4)
+    assert registry.counter("events.widgets").snapshot() == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_holds_the_latest_value():
+    registry = MetricsRegistry()
+    registry.gauge("sim.cpi").set(10.5)
+    registry.gauge("sim.cpi").set(9.25)
+    assert registry.gauge("sim.cpi").snapshot() == 9.25
+
+
+def test_histogram_tracks_moments():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("phase.seconds")
+    for value in (2.0, 4.0, 6.0):
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    assert snap["count"] == 3
+    assert snap["sum"] == 12.0
+    assert snap["min"] == 2.0
+    assert snap["max"] == 6.0
+    assert snap["mean"] == pytest.approx(4.0)
+
+
+def test_type_clash_raises():
+    registry = MetricsRegistry()
+    registry.counter("name")
+    with pytest.raises(MetricTypeError):
+        registry.gauge("name")
+
+
+def test_timer_observes_elapsed_seconds():
+    registry = MetricsRegistry()
+    with registry.timer("phase.test.seconds"):
+        pass
+    snap = registry.histogram("phase.test.seconds").snapshot()
+    assert snap["count"] == 1
+    assert snap["sum"] >= 0
+
+
+def test_snapshot_groups_by_kind_and_sorts_names():
+    registry = MetricsRegistry()
+    registry.gauge("b").set(1)
+    registry.counter("a").inc(2)
+    registry.histogram("c").observe(3)
+    snap = registry.snapshot()
+    assert snap["counters"] == {"a": 2}
+    assert snap["gauges"] == {"b": 1}
+    assert list(snap["histograms"]) == ["c"]
+
+
+def test_merge_snapshot_folds_worker_results():
+    worker = MetricsRegistry()
+    worker.counter("sim.instructions").inc(100)
+    worker.gauge("sim.cpi").set(10.0)
+    worker.histogram("phase.measure.seconds").observe(1.5)
+
+    coordinator = MetricsRegistry()
+    coordinator.counter("sim.instructions").inc(50)
+    coordinator.histogram("phase.measure.seconds").observe(0.5)
+    coordinator.merge_snapshot(worker.snapshot())
+
+    assert coordinator.counter("sim.instructions").snapshot() == 150
+    assert coordinator.gauge("sim.cpi").snapshot() == 10.0
+    merged = coordinator.histogram("phase.measure.seconds").snapshot()
+    assert merged["count"] == 2
+    assert merged["min"] == 0.5
+    assert merged["max"] == 1.5
+
+
+def test_registry_from_result_exposes_the_reporting_surface():
+    from repro.core.experiment import run_workload
+
+    result = run_workload("educational", instructions=400, warmup_instructions=100)
+    registry = registry_from_result(result)
+    snap = registry.snapshot()
+    assert snap["counters"]["sim.instructions"] == result.instructions
+    assert snap["gauges"]["sim.cpi"] == pytest.approx(result.cpi)
+    assert snap["counters"]["machine.tb_misses"] == result.stats.tb_misses
+    # Every paper column shows up as a cycles counter.
+    assert "sim.cycles.compute" in snap["counters"]
