@@ -25,15 +25,25 @@ the pre-telemetry figure recorded in
 structured ``metrics`` block (simulated counters + wall-clock
 self-profiling) plus a ``telemetry`` overhead block.
 
+The full run also times intra-workload sharding: one workload split
+into ``SHARD_COUNT`` resumable shards through the snapshot/run-cache
+machinery, cold (populating a fresh cache) and warm (replaying every
+finished shard from it), both verified bit-identical to the unsharded
+run.  The warm figure is the cache's value proposition: re-running a
+measured experiment costs deserialization, not simulation.
+
 Run:  PYTHONPATH=src python benchmarks/perf/bench_engine.py [--jobs N]
-      [--smoke]   (tiny run: sequential/parallel and traced/untraced
-                   bit-identity plus trace-export validity — the CI gate)
+      [--smoke]   (tiny run: sequential/parallel, traced/untraced and
+                   sharded/unsharded bit-identity plus trace-export
+                   validity — the CI gate)
 """
 
 import argparse
 import json
 import os
+import shutil
 import sys
+import tempfile
 import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
@@ -53,6 +63,10 @@ SEED_BASELINE_INSTRUCTIONS_PER_SECOND = 6_766
 #: stay within TRACING_OFF_BUDGET_PERCENT of this figure.
 PRE_OBS_WARM_INSTRUCTIONS_PER_SECOND = 13_952
 TRACING_OFF_BUDGET_PERCENT = 2.0
+
+#: Shards for the single-workload sharding benchmark.
+SHARD_COUNT = 4
+SHARD_WORKLOAD = "educational"
 
 
 def _measure_composite(instructions, warmup, jobs):
@@ -79,10 +93,26 @@ def _equal(result_a, result_b) -> bool:
     return result_to_json(result_a) == result_to_json(result_b)
 
 
+def _measure_sharded(instructions, warmup, shards, cache):
+    from repro.core.engine import RunSpec, execute_spec_sharded
+
+    spec = RunSpec(
+        workload=SHARD_WORKLOAD,
+        instructions=instructions,
+        warmup_instructions=warmup,
+    )
+    started = time.perf_counter()
+    run = execute_spec_sharded(spec, shards=shards, cache=cache)
+    wall = time.perf_counter() - started
+    return run, wall
+
+
 def smoke(jobs: int) -> int:
     """CI gate: tiny composite, sequential vs parallel must be
-    identical, and a traced run must be bit-identical to an untraced
-    one (the tracer is passive) with a valid Chrome export."""
+    identical; a traced run must be bit-identical to an untraced one
+    (the tracer is passive) with a valid Chrome export; and a K=3
+    sharded run must be bit-identical to the unsharded reference."""
+    from repro.core.engine import RunSpec, execute_spec, execute_spec_sharded
     from repro.core.experiment import run_workload
     from repro.obs.trace import Tracer, validate_chrome
 
@@ -116,10 +146,22 @@ def smoke(jobs: int) -> int:
         )
         return 1
 
+    shard_spec = RunSpec(
+        workload=SHARD_WORKLOAD, instructions=600, warmup_instructions=150
+    )
+    unsharded = execute_spec(shard_spec)
+    sharded = execute_spec_sharded(shard_spec, shards=3)
+    if sharded.histogram != unsharded.histogram or not _equal(
+        sharded.result, unsharded.result
+    ):
+        print("FAIL: sharded run differs from unsharded", file=sys.stderr)
+        return 1
+
     print(
         "smoke OK: jobs={} bit-identical to sequential "
         "(seq {:.2f}s, par {:.2f}s, {} instructions); "
-        "tracing passive ({} events, valid Chrome export)".format(
+        "tracing passive ({} events, valid Chrome export); "
+        "3-shard merge bit-identical".format(
             jobs, seq_wall, par_wall, sequential.instructions, len(tracer)
         )
     )
@@ -161,6 +203,48 @@ def main() -> int:
     )
     if not _equal(cold_result, parallel_result):
         print("FAIL: parallel composite differs from sequential", file=sys.stderr)
+        return 1
+
+    # Intra-workload sharding: one workload, SHARD_COUNT shards, cold
+    # (fresh cache populated) then warm (every shard replayed from it).
+    from repro.core.engine import RunSpec, execute_spec
+    from repro.core.runcache import RunCache
+
+    cache_root = tempfile.mkdtemp(prefix="bench-repro-cache-")
+    try:
+        cache = RunCache(cache_root)
+        unsharded_run = execute_spec(
+            RunSpec(
+                workload=SHARD_WORKLOAD,
+                instructions=INSTRUCTIONS_PER_WORKLOAD,
+                warmup_instructions=WARMUP_INSTRUCTIONS,
+            )
+        )
+        sharded_cold, sharded_cold_wall = _measure_sharded(
+            INSTRUCTIONS_PER_WORKLOAD, WARMUP_INSTRUCTIONS, SHARD_COUNT, cache
+        )
+        sharded_warm, sharded_warm_wall = _measure_sharded(
+            INSTRUCTIONS_PER_WORKLOAD, WARMUP_INSTRUCTIONS, SHARD_COUNT, cache
+        )
+        sharded_identical = (
+            sharded_cold.histogram == unsharded_run.histogram
+            and sharded_warm.histogram == unsharded_run.histogram
+            and _equal(sharded_cold.result, unsharded_run.result)
+            and _equal(sharded_warm.result, unsharded_run.result)
+        )
+        cache_bytes = cache.total_bytes()
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+    if not sharded_identical:
+        print("FAIL: sharded run differs from unsharded", file=sys.stderr)
+        return 1
+    if sharded_warm.shards_from_cache != SHARD_COUNT:
+        print(
+            "FAIL: warm sharded re-run replayed {}/{} shards from cache".format(
+                sharded_warm.shards_from_cache, SHARD_COUNT
+            ),
+            file=sys.stderr,
+        )
         return 1
 
     instructions = cold_result.instructions
@@ -206,6 +290,17 @@ def main() -> int:
             "warm_speedup": round(
                 (instructions / warm_wall) / SEED_BASELINE_INSTRUCTIONS_PER_SECOND, 2
             ),
+        },
+        "sharded": {
+            "workload": SHARD_WORKLOAD,
+            "shards": SHARD_COUNT,
+            "instructions": sharded_cold.result.instructions,
+            "cold_wall_seconds": round(sharded_cold_wall, 3),
+            "warm_wall_seconds": round(sharded_warm_wall, 4),
+            "warm_shards_from_cache": sharded_warm.shards_from_cache,
+            "warm_speedup_vs_cold": round(sharded_cold_wall / sharded_warm_wall, 1),
+            "cache_bytes": cache_bytes,
+            "bit_identical_to_unsharded": True,
         },
         "telemetry": {
             "pre_obs_warm_instructions_per_second": PRE_OBS_WARM_INSTRUCTIONS_PER_SECOND,

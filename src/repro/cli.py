@@ -12,7 +12,16 @@ Commands
     The headline experiment: measure all five workloads and print every
     table from the summed histograms.  ``--jobs N`` fans the five runs
     out over a process pool with bit-identical results; each run's
-    progress renders live on stderr.
+    progress renders live on stderr.  ``--shards K`` splits every
+    workload's measurement into K resumable shards banked in the
+    content-addressed run cache, so re-runs replay finished shards
+    instead of re-simulating (``--no-cache`` opts out).
+``snapshot save|info``
+    Freeze one workload's machine mid-measurement into a versioned,
+    digest-checked snapshot file; ``info`` reads the header (never the
+    pickle) back out.
+``cache info|ls|clear``
+    Inspect or empty the content-addressed run cache.
 ``sweep WORKLOAD PARAM VALUES...``
     Design-space sweep of one machine parameter (``cache_kb`` /
     ``tb_half`` / ``wb_drain``) against the baseline, optionally
@@ -179,17 +188,102 @@ def cmd_composite(args) -> int:
     from repro.workloads import COMPOSITE_WORKLOAD_NAMES
 
     log = get_logger("repro.composite")
+    cache = None
+    if args.shards > 1 and not args.no_cache:
+        from repro.core.runcache import RunCache
+
+        cache = RunCache.default(args.cache_dir)
     log.info(
         "measuring {} workloads".format(len(COMPOSITE_WORKLOAD_NAMES)),
         jobs=args.jobs,
+        shards=args.shards,
     )
     result = run_composite_experiment(
         instructions_per_workload=args.instructions,
         warmup_instructions=args.warmup,
         jobs=args.jobs,
         progress=_progress_printer(log),
+        shards=args.shards,
+        cache=cache,
     )
     _print_all_tables(result)
+    if cache is not None:
+        stats = cache.stats()
+        log.info(
+            "run cache {}".format(cache.root),
+            hits=stats["hits"],
+            misses=stats["misses"],
+            puts=stats["puts"],
+        )
+    return 0
+
+
+def cmd_snapshot(args) -> int:
+    import json
+
+    from repro.core.snapshot import MachineSnapshot
+
+    log = get_logger("repro.snapshot")
+    if args.action == "info":
+        header = MachineSnapshot.read_header(args.path)
+        emit(json.dumps(header, indent=2, sort_keys=True))
+        return 0
+
+    # save: build + warm up + measure into the snapshot point, then freeze.
+    from repro.core.experiment import prepare_workload
+    from repro.core.snapshot import capture
+
+    log.info(
+        "building snapshot",
+        workload=args.workload,
+        instructions=args.instructions,
+        warmup=args.warmup,
+    )
+    kernel, _ = prepare_workload(args.workload)
+    kernel.run(max_instructions=args.warmup)
+    kernel.start_measurement()
+    kernel.run(max_instructions=args.instructions)
+    snapshot = capture(kernel, label=args.workload)
+    path = args.output or "{}_{}.snap".format(args.workload, args.instructions)
+    snapshot.save(path)
+    emit(
+        "wrote {} ({} bytes compressed, digest {})".format(
+            path, snapshot.compressed_bytes, snapshot.digest[:16]
+        )
+    )
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.core.runcache import RunCache
+
+    cache = RunCache.default(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        emit("removed {} cached objects from {}".format(removed, cache.root))
+        return 0
+    entries = list(cache.entries())
+    if args.action == "ls":
+        for entry in entries:
+            meta = entry.meta
+            emit(
+                "{}  {:>10}  {:<8} {}".format(
+                    entry.key[:16],
+                    entry.size_bytes,
+                    meta.get("kind", "?"),
+                    "{} @{}".format(meta.get("spec", "?"), meta.get("instruction", meta.get("start", "?"))),
+                )
+            )
+        return 0
+    by_kind = {}
+    for entry in entries:
+        kind = entry.meta.get("kind", "?")
+        count, size = by_kind.get(kind, (0, 0))
+        by_kind[kind] = (count + 1, size + entry.size_bytes)
+    emit("cache root: {}".format(cache.root))
+    emit("objects:    {} ({} bytes)".format(len(entries), sum(e.size_bytes for e in entries)))
+    for kind, (count, size) in sorted(by_kind.items()):
+        emit("  {:<10} {:>5} objects, {:>10} bytes".format(kind, count, size))
     return 0
 
 
@@ -427,7 +521,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan the workload runs out over N processes (results are "
         "bit-identical to --jobs 1)",
     )
+    composite_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split each workload's measurement into K resumable shards "
+        "(results are bit-identical to --shards 1; finished shards are "
+        "cached and replayed on re-runs)",
+    )
+    composite_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="run cache root (default $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    composite_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="shard without caching (one in-process chain, nothing reused)",
+    )
     composite_parser.set_defaults(func=cmd_composite)
+
+    snapshot_parser = sub.add_parser(
+        "snapshot", help="freeze / inspect a machine snapshot"
+    )
+    snapshot_sub = snapshot_parser.add_subparsers(dest="action", required=True)
+    snapshot_save = snapshot_sub.add_parser(
+        "save", help="run a workload and freeze the machine mid-measurement"
+    )
+    snapshot_save.add_argument("workload")
+    snapshot_save.add_argument("--instructions", type=int, default=2_000,
+                               help="measured instructions to run before freezing")
+    snapshot_save.add_argument("--warmup", type=int, default=500)
+    snapshot_save.add_argument(
+        "--output", default=None, help="snapshot path (default <workload>_<n>.snap)"
+    )
+    snapshot_save.set_defaults(func=cmd_snapshot)
+    snapshot_info = snapshot_sub.add_parser(
+        "info", help="print a snapshot's header (version, digest, machine state)"
+    )
+    snapshot_info.add_argument("path")
+    snapshot_info.set_defaults(func=cmd_snapshot)
+
+    cache_parser = sub.add_parser("cache", help="inspect the run cache")
+    cache_sub = cache_parser.add_subparsers(dest="action", required=True)
+    for action, help_text in (
+        ("info", "summary: object counts and bytes by kind"),
+        ("ls", "list every cached object"),
+        ("clear", "delete every cached object"),
+    ):
+        action_parser = cache_sub.add_parser(action, help=help_text)
+        action_parser.add_argument(
+            "--cache-dir",
+            default=None,
+            help="cache root (default $REPRO_CACHE_DIR or .repro-cache)",
+        )
+        action_parser.set_defaults(func=cmd_cache)
 
     sweep_parser = sub.add_parser(
         "sweep", help="design-space sweep of one machine parameter"

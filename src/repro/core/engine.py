@@ -27,14 +27,22 @@ Two properties the engine guarantees:
 
 from __future__ import annotations
 
+import copy
 import multiprocessing
+import pickle
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.experiment import ExperimentResult, run_workload
+from repro.core.experiment import (
+    ExperimentResult,
+    MachineStats,
+    prepare_workload,
+    run_workload,
+)
+from repro.cpu.events import EventCounters
 
 
 class EngineError(RuntimeError):
@@ -172,6 +180,10 @@ class EngineRun:
     manifest: Optional[object] = None
     #: worker-side self-profiling, a MetricsRegistry.snapshot() dict
     metrics: Optional[Dict] = None
+    #: intra-workload sharding provenance: how many resumable shards the
+    #: measurement was split into, and how many replayed from the cache.
+    shard_count: int = 1
+    shards_from_cache: int = 0
 
 
 def _spec_configure(spec: RunSpec):
@@ -318,6 +330,480 @@ def run_specs(
 
 def _ignore_progress(event: ProgressEvent) -> None:
     """The default progress sink: drop the event."""
+
+
+# ----------------------------------------------------------------------
+# intra-workload sharding
+# ----------------------------------------------------------------------
+#
+# One workload's N-instruction measurement splits into K resumable
+# shards at instruction boundaries i*N//K.  Everything the measurement
+# produces is additive — monitor banks, event counters, hardware stats —
+# so each shard records its *delta* and merging the deltas in order is
+# bit-identical to the uninterrupted run (asserted by the equivalence
+# tests, like the composite case).
+#
+# Simulation is inherently serial (shard i+1 starts from shard i's end
+# state), so a cold sharded run executes as one in-process chain that
+# banks a machine snapshot at every boundary.  The parallelism and the
+# speedup come from the content-addressed cache: finished shards replay
+# instantly on re-runs, and shards whose start-boundary snapshot is
+# already cached fan out across the process pool.  Boundary offsets are
+# absolute instruction counts, so different shard counts share the
+# snapshots they have in common (a 2-way split reuses a 4-way split's
+# midpoint).
+
+
+@dataclass
+class ShardResult:
+    """One shard's measured delta; everything in it is additive."""
+
+    index: int
+    shard_count: int
+    #: measured-instruction offset where this shard began
+    start_instruction: int
+    instructions: int
+    #: sparse (counts, stalled_counts) delta of the histogram banks
+    histogram: Tuple[Dict[int, int], Dict[int, int]]
+    events: EventCounters
+    stats: MachineStats
+    wall_seconds: float = 0.0
+    #: True when this shard was replayed from the run cache
+    from_cache: bool = False
+
+
+def shard_boundaries(instructions: int, shards: int) -> List[int]:
+    """Instruction offsets splitting ``instructions`` into ``shards``.
+
+    ``i*N//K`` spreads any remainder evenly and makes boundaries shared
+    between different shard counts coincide exactly, so their cached
+    snapshots are interchangeable."""
+    if shards < 1:
+        raise ValueError("shard count must be >= 1, got {}".format(shards))
+    return [instructions * i // shards for i in range(shards + 1)]
+
+
+def _sparse_delta(after: Dict[int, int], before: Dict[int, int]) -> Dict[int, int]:
+    """Per-bucket difference of two sparse dumps (counts only grow)."""
+    return {
+        bucket: count - before.get(bucket, 0)
+        for bucket, count in after.items()
+        if count - before.get(bucket, 0)
+    }
+
+
+def _measure_span(kernel, instructions: int):
+    """Run ``instructions`` measured instructions; return the delta.
+
+    The kernel must already be measuring.  Returns ``(histogram_delta,
+    events_delta, stats_delta, wall_seconds)`` — the additive
+    contribution of exactly this span, independent of where in the
+    measurement it sits."""
+    machine = kernel.machine
+    board = machine.monitor.board
+    counts_before, stalled_before = board.dump_sparse()
+    events_before = copy.deepcopy(machine.events)
+    stats_before = MachineStats.from_machine(machine)
+    started = time.perf_counter()
+    kernel.run(max_instructions=instructions)
+    wall = time.perf_counter() - started
+    counts_after, stalled_after = board.dump_sparse()
+    histogram = (
+        _sparse_delta(counts_after, counts_before),
+        _sparse_delta(stalled_after, stalled_before),
+    )
+    return (
+        histogram,
+        machine.events.minus(events_before),
+        MachineStats.from_machine(machine).minus(stats_before),
+        wall,
+    )
+
+
+def _shard_cache_keys(spec: RunSpec, boundaries: List[int]):
+    """(config hash, per-shard result keys, per-boundary snapshot keys)."""
+    from repro.core.runcache import cache_key
+    from repro.obs.provenance import config_hash
+
+    chash = config_hash(spec)
+    shard_keys = [
+        cache_key("shard", config=chash, start=boundaries[i], end=boundaries[i + 1])
+        for i in range(len(boundaries) - 1)
+    ]
+    snapshot_keys = {
+        boundary: cache_key("snapshot", config=chash, instruction=boundary)
+        for boundary in boundaries[:-1]
+    }
+    return chash, shard_keys, snapshot_keys
+
+
+def _store_shard(cache, key: str, shard: ShardResult, spec_name: str, chash: str) -> None:
+    cache.put(
+        key,
+        pickle.dumps(shard, protocol=4),
+        meta={
+            "kind": "shard",
+            "spec": spec_name,
+            "config": chash,
+            "start": shard.start_instruction,
+            "instructions": shard.instructions,
+            "shard": "{}/{}".format(shard.index + 1, shard.shard_count),
+        },
+    )
+
+
+def _store_boundary_snapshot(
+    cache, key: str, kernel, spec_name: str, chash: str, instruction: int
+) -> None:
+    from repro.core.snapshot import capture
+
+    snapshot = capture(kernel, label="{}@{}".format(spec_name, instruction))
+    cache.put(
+        key,
+        snapshot.to_bytes(),
+        meta={
+            "kind": "snapshot",
+            "spec": spec_name,
+            "config": chash,
+            "instruction": instruction,
+            "digest": snapshot.digest,
+        },
+    )
+
+
+def _execute_shard_task(task: Dict) -> ShardResult:
+    """Measure one shard from its cached start-boundary snapshot.
+
+    Runs in a pool worker (or inline with ``jobs=1``): restore the
+    snapshot, measure the span, bank the shard result — and the next
+    boundary's snapshot, if nobody has stored it yet — in the cache."""
+    from repro.core.runcache import RunCache
+    from repro.core.snapshot import MachineSnapshot, restore
+
+    cache = RunCache(task["cache_root"])
+    blob = cache.get(task["snapshot_key"])
+    if blob is None:
+        raise RuntimeError(
+            "boundary snapshot at instruction {} vanished from cache {}".format(
+                task["start"], task["cache_root"]
+            )
+        )
+    kernel = restore(MachineSnapshot.from_bytes(blob))
+    histogram, events, stats, wall = _measure_span(kernel, task["instructions"])
+    shard = ShardResult(
+        index=task["index"],
+        shard_count=task["shard_count"],
+        start_instruction=task["start"],
+        instructions=task["instructions"],
+        histogram=histogram,
+        events=events,
+        stats=stats,
+        wall_seconds=wall,
+    )
+    end_key = task.get("end_snapshot_key")
+    if end_key is not None and not cache.has(end_key):
+        _store_boundary_snapshot(
+            cache,
+            end_key,
+            kernel,
+            task["spec_name"],
+            task["config_hash"],
+            task["start"] + task["instructions"],
+        )
+    _store_shard(cache, task["shard_key"], shard, task["spec_name"], task["config_hash"])
+    return shard
+
+
+def _execute_shard_task_guarded(task: Dict) -> Tuple:
+    """Pool wrapper: ship worker failures back as data (cf. specs)."""
+    try:
+        return ("ok", _execute_shard_task(task))
+    except Exception:
+        return ("error", task.get("spec_name", "?"), traceback.format_exc())
+
+
+def _run_shard_chain(
+    spec: RunSpec,
+    boundaries: List[int],
+    chain_range: range,
+    results: List[Optional[ShardResult]],
+    cache,
+    shard_keys: List[str],
+    snapshot_keys: Dict[int, str],
+    chash: str,
+    notify: ProgressCallback,
+    shards: int,
+) -> Optional[str]:
+    """Execute a contiguous run of shards in-process.
+
+    Starts from the deepest cached boundary snapshot (or a fresh
+    build + warmup when starting at instruction 0), emits every missing
+    shard result and boundary snapshot into the cache as it passes, and
+    returns the digest of the snapshot it resumed from, if any."""
+    from repro.core.snapshot import MachineSnapshot, restore
+
+    resumed_digest = None
+    start_boundary = boundaries[chain_range.start]
+    blob = cache.get(snapshot_keys[start_boundary]) if cache is not None else None
+    if blob is not None:
+        snapshot = MachineSnapshot.from_bytes(blob)
+        kernel = restore(snapshot)
+        resumed_digest = snapshot.digest
+    else:
+        if start_boundary != 0:
+            raise EngineError(
+                spec.name,
+                "boundary snapshot at instruction {} vanished from the cache".format(
+                    start_boundary
+                ),
+            )
+        kernel, _ = prepare_workload(
+            spec.workload,
+            process_count=spec.process_count,
+            seed_offset=spec.seed_offset,
+            configure=_spec_configure(spec),
+        )
+        kernel.run(max_instructions=spec.warmup_instructions)
+        kernel.start_measurement()
+        if cache is not None:
+            _store_boundary_snapshot(
+                cache, snapshot_keys[0], kernel, spec.name, chash, 0
+            )
+    for index in chain_range:
+        span = boundaries[index + 1] - boundaries[index]
+        name = "{}[shard {}/{}]".format(spec.name, index + 1, shards)
+        notify(ProgressEvent("start", index, shards, name))
+        histogram, events, stats, wall = _measure_span(kernel, span)
+        if results[index] is None:
+            shard = ShardResult(
+                index=index,
+                shard_count=shards,
+                start_instruction=boundaries[index],
+                instructions=span,
+                histogram=histogram,
+                events=events,
+                stats=stats,
+                wall_seconds=wall,
+            )
+            results[index] = shard
+            if cache is not None:
+                _store_shard(cache, shard_keys[index], shard, spec.name, chash)
+        notify(ProgressEvent("done", index, shards, name, wall_seconds=wall))
+        next_boundary = boundaries[index + 1]
+        if cache is not None and index + 1 < shards:
+            key = snapshot_keys[next_boundary]
+            if not cache.has(key):
+                _store_boundary_snapshot(
+                    cache, key, kernel, spec.name, chash, next_boundary
+                )
+    return resumed_digest
+
+
+def _merge_shard_results(
+    spec: RunSpec, shard_results: List[ShardResult]
+) -> Tuple[ExperimentResult, Tuple[Dict[int, int], Dict[int, int]]]:
+    """Merge shard deltas into one ExperimentResult + sparse histogram.
+
+    The same readout-side machinery the composite uses:
+    :meth:`HistogramBoard.merge_from` sums the banks,
+    :meth:`EventCounters.merge_from` and :meth:`MachineStats.merge_from`
+    sum the companion channels, and one reduction runs over the summed
+    banks — bit-identical to reducing the uninterrupted run."""
+    from repro.core.monitor import HistogramBoard
+    from repro.core.reduction import reduce_histogram
+    from repro.ucode.routines import build_layout
+    from repro.workloads import profile_by_name
+
+    board = HistogramBoard()
+    merged_events = EventCounters()
+    merged_stats = MachineStats()
+    for shard in shard_results:
+        board.merge_from(HistogramBoard.from_sparse(*shard.histogram))
+        merged_events.merge_from(shard.events)
+        merged_stats.merge_from(shard.stats)
+    counts, stalled = board.dump()
+    reduction = reduce_histogram(counts, stalled, build_layout(), events=merged_events)
+    result = ExperimentResult(
+        name=profile_by_name(spec.workload).name,
+        reduction=reduction,
+        events=merged_events,
+        stats=merged_stats,
+    )
+    if spec.label is not None or spec.config is not None:
+        result.name = spec.name
+    return result, board.dump_sparse()
+
+
+def execute_spec_sharded(
+    spec: RunSpec,
+    shards: int,
+    jobs: int = 1,
+    cache=None,
+    progress: Optional[ProgressCallback] = None,
+) -> EngineRun:
+    """Execute one spec as ``shards`` resumable shards.
+
+    With a ``cache`` (a :class:`~repro.core.runcache.RunCache`):
+    finished shards replay instantly, shards whose start-boundary
+    snapshot is cached run from it — in parallel across the process pool
+    when ``jobs > 1`` — and only the rest execute as an in-process chain
+    from the deepest cached snapshot.  Without a cache the whole
+    measurement runs as one chain.  Either way the merged result is
+    bit-identical to :func:`execute_spec` (the equivalence tests assert
+    it), and the returned :class:`EngineRun` carries shard provenance in
+    its manifest.
+    """
+    from repro.obs.provenance import RunManifest
+    from repro.workloads import profile_by_name
+
+    shards = max(1, min(shards, spec.instructions or 1))
+    if shards <= 1:
+        return execute_spec(spec)
+    notify = progress if progress is not None else _ignore_progress
+    started = time.perf_counter()
+    profile = profile_by_name(spec.workload)
+    manifest = RunManifest.for_spec(spec, profile_seed=profile.seed)
+    boundaries = shard_boundaries(spec.instructions, shards)
+    chash, shard_keys, snapshot_keys = _shard_cache_keys(spec, boundaries)
+
+    results: List[Optional[ShardResult]] = [None] * shards
+    if cache is not None:
+        for index in range(shards):
+            blob = cache.get(shard_keys[index])
+            if blob is not None:
+                shard = pickle.loads(blob)
+                shard.from_cache = True
+                results[index] = shard
+                name = "{}[shard {}/{}]".format(spec.name, index + 1, shards)
+                notify(ProgressEvent("start", index, shards, name))
+                notify(ProgressEvent("done", index, shards, name))
+
+    missing = [index for index in range(shards) if results[index] is None]
+    resumed_digest = None
+    if missing:
+        can_restore = set()
+        if cache is not None:
+            can_restore = {
+                index
+                for index in missing
+                if cache.has(snapshot_keys[boundaries[index]])
+            }
+        chain_needed = [index for index in missing if index not in can_restore]
+        chain_range = range(0)
+        if chain_needed:
+            anchor = None
+            if cache is not None:
+                for candidate in range(chain_needed[0], -1, -1):
+                    if cache.has(snapshot_keys[boundaries[candidate]]):
+                        anchor = candidate
+                        break
+            chain_range = range(
+                anchor if anchor is not None else 0, chain_needed[-1] + 1
+            )
+        # Shards inside the chain interval fall out of the chain's pass
+        # for free; only snapshot-backed shards outside it fan out.
+        worker_indices = sorted(can_restore - set(chain_range))
+        worker_tasks = [
+            {
+                "cache_root": cache.root,
+                "index": index,
+                "shard_count": shards,
+                "start": boundaries[index],
+                "instructions": boundaries[index + 1] - boundaries[index],
+                "snapshot_key": snapshot_keys[boundaries[index]],
+                "shard_key": shard_keys[index],
+                "end_snapshot_key": snapshot_keys.get(boundaries[index + 1])
+                if index + 1 < shards
+                else None,
+                "spec_name": spec.name,
+                "config_hash": chash,
+            }
+            for index in worker_indices
+        ]
+
+        def collect(index: int, payload: Tuple) -> None:
+            if payload[0] == "error":
+                _, name, worker_tb = payload
+                summary = worker_tb.strip().splitlines()[-1] if worker_tb else ""
+                notify(ProgressEvent("error", index, shards, name, error=summary))
+                raise EngineError(name, worker_tb)
+            results[index] = payload[1]
+            notify(
+                ProgressEvent(
+                    "done",
+                    index,
+                    shards,
+                    "{}[shard {}/{}]".format(spec.name, index + 1, shards),
+                    wall_seconds=payload[1].wall_seconds,
+                )
+            )
+
+        if worker_tasks and jobs > 1:
+            workers = min(jobs, len(worker_tasks))
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            ) as pool:
+                futures = {}
+                for task in worker_tasks:
+                    notify(
+                        ProgressEvent(
+                            "start",
+                            task["index"],
+                            shards,
+                            "{}[shard {}/{}]".format(
+                                spec.name, task["index"] + 1, shards
+                            ),
+                        )
+                    )
+                    futures[pool.submit(_execute_shard_task_guarded, task)] = task[
+                        "index"
+                    ]
+                if len(chain_range):
+                    resumed_digest = _run_shard_chain(
+                        spec, boundaries, chain_range, results, cache,
+                        shard_keys, snapshot_keys, chash, notify, shards,
+                    )
+                for future in as_completed(futures):
+                    collect(futures[future], future.result())
+        else:
+            for task in worker_tasks:
+                notify(
+                    ProgressEvent(
+                        "start",
+                        task["index"],
+                        shards,
+                        "{}[shard {}/{}]".format(spec.name, task["index"] + 1, shards),
+                    )
+                )
+                collect(task["index"], _execute_shard_task_guarded(task))
+            if len(chain_range):
+                resumed_digest = _run_shard_chain(
+                    spec, boundaries, chain_range, results, cache,
+                    shard_keys, snapshot_keys, chash, notify, shards,
+                )
+
+    if any(shard is None for shard in results):  # pragma: no cover - invariant
+        raise EngineError(spec.name, "sharded execution left a shard unfilled")
+
+    result, histogram = _merge_shard_results(spec, results)
+    wall = time.perf_counter() - started
+    cached_count = sum(1 for shard in results if shard.from_cache)
+    manifest.wall_seconds = wall
+    manifest.instructions_measured = result.instructions
+    manifest.cycles_measured = result.stats.cycles
+    manifest.shards = shards
+    manifest.shards_from_cache = cached_count
+    manifest.resumed_from = resumed_digest
+    return EngineRun(
+        spec=spec,
+        result=result,
+        histogram=histogram,
+        wall_seconds=wall,
+        manifest=manifest,
+        metrics=None,
+        shard_count=shards,
+        shards_from_cache=cached_count,
+    )
 
 
 def parallel_map(func: Callable, items: Sequence, jobs: int = 1) -> List:

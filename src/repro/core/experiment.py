@@ -133,45 +133,30 @@ def result_from_machine(
     )
 
 
-def run_workload(
+def prepare_workload(
     profile_name: str,
-    instructions: int = 30_000,
-    warmup_instructions: int = 3_000,
     process_count: Optional[int] = None,
     seed_offset: int = 0,
     configure=None,
-    return_board: bool = False,
     tracer=None,
-    metrics=None,
 ):
-    """Run one of the paper's five workloads and collect its histogram.
+    """Build one workload's machine, through boot, ready to run.
 
-    Builds a monitored machine, boots the mini-VMS kernel, creates a
-    population of generated processes for the profile, attaches the RTE
-    as the terminal source, warms up unmeasured, then measures
-    ``instructions`` instructions (the stand-in for the paper's one-hour
-    runs).  ``configure(machine)`` runs before boot, for ablations.
+    Everything :func:`run_workload` does before the first instruction
+    executes: build a monitored machine, apply the ablation hook, boot
+    the mini-VMS kernel, create the profile's process population, attach
+    the RTE as the terminal source.  Returns ``(kernel, monitor)``.
 
-    With ``return_board=True`` the return value is ``(result, board)``,
-    exposing the stopped histogram board so callers (the parallel
-    engine, equality tests) can dump the raw banks as well.
-
-    ``tracer`` (a :class:`repro.obs.trace.Tracer`) attaches cycle-level
-    event tracing to the machine; the tracer is strictly passive, so a
-    traced run produces bit-identical results to an untraced one.
-    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) collects
-    wall-clock self-profiling: per-phase timings and simulation speed.
+    Shared by :func:`run_workload` and the sharded executor in
+    :mod:`repro.core.engine`, which snapshots the machine at shard
+    boundaries instead of running straight through.
     """
-    import time as _time
-
     from repro.vms import VMSKernel
     from repro.workloads import (
         RemoteTerminalEmulator,
         generate_program,
         profile_by_name,
     )
-
-    phase_started = _time.perf_counter()
 
     profile = profile_by_name(profile_name)
     monitor = UPCMonitor.build()
@@ -199,6 +184,54 @@ def run_workload(
     RemoteTerminalEmulator(kernel, users=profile.users, script_name=script, seed=profile.seed)
 
     kernel.boot()
+    return kernel, monitor
+
+
+def run_workload(
+    profile_name: str,
+    instructions: int = 30_000,
+    warmup_instructions: int = 3_000,
+    process_count: Optional[int] = None,
+    seed_offset: int = 0,
+    configure=None,
+    return_board: bool = False,
+    tracer=None,
+    metrics=None,
+):
+    """Run one of the paper's five workloads and collect its histogram.
+
+    Builds a monitored machine, boots the mini-VMS kernel, creates a
+    population of generated processes for the profile, attaches the RTE
+    as the terminal source (see :func:`prepare_workload`), warms up
+    unmeasured, then measures ``instructions`` instructions (the
+    stand-in for the paper's one-hour runs).  ``configure(machine)``
+    runs before boot, for ablations.
+
+    With ``return_board=True`` the return value is ``(result, board)``,
+    exposing the stopped histogram board so callers (the parallel
+    engine, equality tests) can dump the raw banks as well.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) attaches cycle-level
+    event tracing to the machine; the tracer is strictly passive, so a
+    traced run produces bit-identical results to an untraced one.
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) collects
+    wall-clock self-profiling: per-phase timings and simulation speed.
+    """
+    import time as _time
+
+    from repro.workloads import profile_by_name
+
+    phase_started = _time.perf_counter()
+
+    profile = profile_by_name(profile_name)
+    kernel, monitor = prepare_workload(
+        profile_name,
+        process_count=process_count,
+        seed_offset=seed_offset,
+        configure=configure,
+        tracer=tracer,
+    )
+    machine = kernel.machine
     if metrics is not None:
         metrics.histogram(
             "phase.build.seconds", "machine + kernel + workload construction"
@@ -243,6 +276,8 @@ def run_composite_experiment(
     process_count: Optional[int] = None,
     overrides: Optional[dict] = None,
     progress=None,
+    shards: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     """The paper's headline measurement: the composite of all five
     workloads (the sum of the five UPC histograms).
@@ -254,8 +289,18 @@ def run_composite_experiment(
     dict of per-workload :class:`~repro.core.engine.RunSpec` field
     overrides, e.g. ``{"scientific": {"seed_offset": 3}}``.  ``progress``
     is forwarded to :func:`~repro.core.engine.run_specs`.
+
+    ``shards > 1`` splits each workload's measurement into resumable
+    shards (see :func:`~repro.core.engine.execute_spec_sharded`);
+    ``cache`` (a :class:`~repro.core.runcache.RunCache`) lets repeated
+    runs reuse finished shards and boundary snapshots.  The composite
+    stays bit-identical whatever the shard count.
     """
-    from repro.core.engine import RunSpec, run_specs  # lazy: engine imports us
+    from repro.core.engine import (  # lazy: engine imports us
+        RunSpec,
+        execute_spec_sharded,
+        run_specs,
+    )
     from repro.workloads import COMPOSITE_WORKLOAD_NAMES
 
     names = workloads if workloads is not None else COMPOSITE_WORKLOAD_NAMES
@@ -271,7 +316,15 @@ def run_composite_experiment(
         }
         fields.update(overrides.get(name, {}))
         specs.append(RunSpec(**fields))
-    runs = run_specs(specs, jobs=jobs, progress=progress)
+    if shards > 1:
+        runs = [
+            execute_spec_sharded(
+                spec, shards=shards, jobs=jobs, cache=cache, progress=progress
+            )
+            for spec in specs
+        ]
+    else:
+        runs = run_specs(specs, jobs=jobs, progress=progress)
     return composite([run.result for run in runs])
 
 

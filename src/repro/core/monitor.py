@@ -36,6 +36,10 @@ from repro.ucode.control_store import CONTROL_STORE_SIZE
 
 HISTOGRAM_BUCKETS = 16_000
 
+#: The largest count one bank location holds (the boards used 64-bit
+#: count words; ``array('Q')`` enforces the same ceiling).
+BANK_COUNT_MAX = (1 << 64) - 1
+
 
 class MonitorCommandError(Exception):
     """An ill-formed Unibus command (bad bucket address, etc.)."""
@@ -58,6 +62,32 @@ class HistogramBoard:
         self._counts = _zero_bank(buckets)
         self._stalled_counts = _zero_bank(buckets)
         self._collecting = False
+
+    @classmethod
+    def from_sparse(cls, counts, stalled_counts, buckets: int = HISTOGRAM_BUCKETS) -> "HistogramBoard":
+        """Rebuild a stopped board from sparse ``{bucket: count}`` dumps.
+
+        The inverse of :meth:`dump_sparse`: shard workers ship sparse
+        deltas across the process boundary and the coordinator loads them
+        back onto boards to :meth:`merge_from`.  Bad bucket addresses and
+        counts a 64-bit bank word cannot hold are rejected with the
+        offending bucket named."""
+        board = cls(buckets)
+        for bank_name, bank, sparse in (
+            ("non-stalled", board._counts, counts),
+            ("stalled", board._stalled_counts, stalled_counts),
+        ):
+            for bucket, count in sparse.items():
+                board._check_bucket(bucket)
+                if not 0 <= count <= BANK_COUNT_MAX:
+                    raise MonitorCommandError(
+                        "count {} at bucket {} in the {} bank does not fit "
+                        "a 64-bit count word (0..{})".format(
+                            count, bucket, bank_name, BANK_COUNT_MAX
+                        )
+                    )
+                bank[bucket] = count
+        return board
 
     # -- Unibus commands -------------------------------------------------
 
@@ -152,10 +182,29 @@ class HistogramBoard:
                     " and ".join(sides)
                 )
             )
-        self._counts = array("Q", map(add, self._counts, other._counts))
-        self._stalled_counts = array(
-            "Q", map(add, self._stalled_counts, other._stalled_counts)
+        self._counts = self._merge_bank(self._counts, other._counts, "non-stalled")
+        self._stalled_counts = self._merge_bank(
+            self._stalled_counts, other._stalled_counts, "stalled"
         )
+
+    def _merge_bank(self, mine: array, theirs: array, bank_name: str) -> array:
+        """Sum two banks, naming the first overflowing bucket on failure.
+
+        The fast path stays a single C-level ``map(add)``; the per-bucket
+        scan only runs after ``array('Q')`` has rejected an overflowing
+        sum, to say *which* location wrapped."""
+        try:
+            return array("Q", map(add, mine, theirs))
+        except OverflowError:
+            for bucket, (a, b) in enumerate(zip(mine, theirs)):
+                if a + b > BANK_COUNT_MAX:
+                    raise MonitorCommandError(
+                        "merge overflow at bucket {} in the {} bank: "
+                        "{} + {} exceeds the 64-bit count word (max {})".format(
+                            bucket, bank_name, a, b, BANK_COUNT_MAX
+                        )
+                    ) from None
+            raise
 
 
 class MonitorInterface:

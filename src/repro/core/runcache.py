@@ -1,0 +1,200 @@
+"""Content-addressed run cache for shards and snapshots.
+
+The engine's determinism guarantee is what makes caching sound: a
+:func:`~repro.obs.provenance.config_hash` pins down everything that
+determines a spec's result, so an object stored under a key derived
+from it can be replayed into any later run — a sweep re-run, a bench,
+an EXPERIMENTS.md regeneration — and the merged output stays
+bit-identical.  The cache stores two kinds of objects today:
+
+* ``shard`` — one shard's measured delta (a pickled
+  :class:`~repro.core.engine.ShardResult`);
+* ``snapshot`` — the machine state at a shard boundary (a
+  :class:`~repro.core.snapshot.MachineSnapshot` blob), letting a later
+  run resume mid-measurement instead of re-simulating from boot.
+
+Layout is git-like: ``<root>/objects/<first 2 hex>/<rest>`` with an
+optional ``.json`` metadata sidecar per object.  Writes go through a
+temp file + ``os.replace`` so concurrent pool workers never observe a
+torn object; content addressing makes double-writes idempotent.
+
+Cached objects are pickles and deserializing them executes pickle
+machinery — treat a cache directory with the same trust as the working
+tree it sits in (the default root lives inside it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+#: Bump to invalidate every existing cache entry (key derivation
+#: changes, stored-object shape changes).
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment override for the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIRNAME = ".repro-cache"
+
+
+def cache_key(kind: str, **fields) -> str:
+    """Derive the content address for one cached object.
+
+    The key commits to the cache schema version, the package version
+    (determinism across code changes is not guaranteed, so a release
+    bump retires stale objects), the object ``kind`` and every
+    caller-supplied field — for shards that is the spec's config hash
+    plus the instruction span, which by the determinism guarantee fixes
+    the object's content.
+    """
+    from repro.obs.provenance import code_version
+
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "code_version": code_version(),
+        "kind": kind,
+    }
+    for name, value in fields.items():
+        if name in payload:
+            raise ValueError("cache_key field {!r} collides with a reserved field".format(name))
+        payload[name] = value
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One stored object, as listed by :meth:`RunCache.entries`."""
+
+    key: str
+    path: str
+    size_bytes: int
+    meta: Dict = field(default_factory=dict)
+
+
+class RunCache:
+    """A directory of content-addressed objects with hit/miss stats."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self._objects_dir = os.path.join(self.root, "objects")
+        os.makedirs(self._objects_dir, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    @classmethod
+    def default(cls, path: Optional[str] = None) -> "RunCache":
+        """The conventional cache: ``path`` if given, else
+        ``$REPRO_CACHE_DIR``, else ``.repro-cache`` in the cwd."""
+        return cls(path or os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIRNAME)
+
+    # -- object paths ------------------------------------------------------
+
+    def _object_path(self, key: str) -> str:
+        if len(key) < 3 or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError("cache key must be a hex digest, got {!r}".format(key))
+        return os.path.join(self._objects_dir, key[:2], key[2:])
+
+    # -- store / fetch -----------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        """Existence probe; does not count toward hit/miss stats."""
+        return os.path.exists(self._object_path(key))
+
+    def get(self, key: str) -> Optional[bytes]:
+        try:
+            with open(self._object_path(key), "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data
+
+    def put(self, key: str, data: bytes, meta: Optional[Dict] = None) -> str:
+        """Store ``data`` under ``key`` atomically; first write wins.
+
+        Content addressing means a key fully determines its bytes, so a
+        concurrent or repeated put of an existing object is a no-op."""
+        path = self._object_path(key)
+        if os.path.exists(path):
+            return path
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        if meta is not None:
+            self._write_atomic(path + ".json", json.dumps(meta, sort_keys=True, default=repr).encode("utf-8"))
+        self._write_atomic(path, data)
+        self.puts += 1
+        return path
+
+    @staticmethod
+    def _write_atomic(path: str, data: bytes) -> None:
+        handle, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path), prefix=".tmp-")
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                tmp.write(data)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def get_meta(self, key: str) -> Optional[Dict]:
+        try:
+            with open(self._object_path(key) + ".json") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    # -- inspection --------------------------------------------------------
+
+    def entries(self) -> Iterator[CacheEntry]:
+        """All stored objects, sorted by key (stable listings)."""
+        found = []
+        for prefix in sorted(os.listdir(self._objects_dir)):
+            prefix_dir = os.path.join(self._objects_dir, prefix)
+            if not os.path.isdir(prefix_dir):
+                continue
+            for rest in sorted(os.listdir(prefix_dir)):
+                if rest.endswith(".json") or rest.startswith(".tmp-"):
+                    continue
+                key = prefix + rest
+                path = os.path.join(prefix_dir, rest)
+                found.append(
+                    CacheEntry(
+                        key=key,
+                        path=path,
+                        size_bytes=os.path.getsize(path),
+                        meta=self.get_meta(key) or {},
+                    )
+                )
+        return iter(found)
+
+    def total_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.entries())
+
+    def clear(self) -> int:
+        """Delete every object (and sidecar); returns objects removed."""
+        removed = 0
+        for entry in list(self.entries()):
+            try:
+                os.unlink(entry.path)
+                removed += 1
+            except FileNotFoundError:
+                pass
+            try:
+                os.unlink(entry.path + ".json")
+            except FileNotFoundError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}

@@ -156,6 +156,21 @@ class EBox:
 
         self._dispatch = dispatch
 
+    def set_tracer(self, tracer) -> None:
+        """(Re)bind the passive tracer, keeping the fast paths honest.
+
+        Snapshot capture detaches the tracer before pickling and restore
+        attaches the caller's (or none); the specifier fast-path binding
+        must track the tracer, so all tracer swaps go through here."""
+        self._tracer = tracer
+        self.ib.tracer = tracer
+        if tracer is None:
+            self._process_specifier = self._process_specifier_impl
+        else:
+            # Drop the instance binding so the traced class-level wrapper
+            # (which opens spec spans) is reachable again.
+            self.__dict__.pop("_process_specifier", None)
+
     # ------------------------------------------------------------------
     # cycle accounting
     # ------------------------------------------------------------------

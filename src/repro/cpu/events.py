@@ -17,6 +17,20 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 
+def _counter_minus(current: Counter, baseline: Counter) -> Counter:
+    """``current - baseline`` preserving ``current``'s key order.
+
+    Counts only ever grow, so every key of ``baseline`` is present in
+    ``current`` and no delta is negative; keys whose count did not change
+    are omitted (they contribute nothing to a merge)."""
+    delta = Counter()
+    for key, value in current.items():
+        remaining = value - baseline.get(key, 0)
+        if remaining:
+            delta[key] = remaining
+    return delta
+
+
 @dataclass
 class EventCounters:
     """Ground-truth event counts accumulated by the machine."""
@@ -54,6 +68,25 @@ class EventCounters:
     def taken_fraction(self, class_name: str) -> float:
         executed = self.branch_executed[class_name]
         return self.branch_taken[class_name] / executed if executed else 0.0
+
+    def minus(self, baseline: "EventCounters") -> "EventCounters":
+        """Counters accumulated since ``baseline`` was copied off.
+
+        The shard-side companion of :meth:`merge_from`: a resumable
+        measurement records ``current.minus(baseline)`` per shard, and
+        merging the shard deltas in order reconstructs the uninterrupted
+        run bit for bit.  Counter keys keep their first-occurrence order
+        (plain ``Counter`` subtraction would reorder and sort-drop keys),
+        so serialized output is byte-identical too.
+        """
+        delta = EventCounters()
+        for name in self.__dataclass_fields__:
+            current = getattr(self, name)
+            if isinstance(current, Counter):
+                setattr(delta, name, _counter_minus(current, getattr(baseline, name)))
+            else:
+                setattr(delta, name, current - getattr(baseline, name))
+        return delta
 
     def merge_from(self, other: "EventCounters") -> None:
         """Accumulate another run's counters (composite workloads)."""

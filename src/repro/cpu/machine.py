@@ -137,6 +137,17 @@ class VAX780:
     # EBOX hook surface
     # ------------------------------------------------------------------
 
+    def attach_tracer(self, tracer) -> None:
+        """Attach (``None``: detach) the passive event tracer everywhere.
+
+        The tracer is referenced from the machine, the memory subsystem
+        and the EBOX (which also rebinds a fast path on it); snapshot
+        capture/restore uses this to take the tracer out of the pickled
+        graph and to wire a live one onto a restored machine."""
+        self.tracer = tracer
+        self.memory.tracer = tracer
+        self.ebox.set_tracer(tracer)
+
     def pending_interrupt(self, current_ipl: int) -> Optional[Tuple[int, int]]:
         request = self.interrupts.highest_above(current_ipl)
         if request is None:

@@ -106,6 +106,12 @@ class RunManifest:
     wall_seconds: float = 0.0
     instructions_measured: int = 0
     cycles_measured: int = 0
+    #: intra-workload sharding provenance (1 = unsharded, the default)
+    shards: int = 1
+    #: how many of those shards replayed from the content-addressed cache
+    shards_from_cache: int = 0
+    #: sha256 of the boundary snapshot a resumed chain restarted from
+    resumed_from: Optional[str] = None
 
     def to_dict(self) -> Dict:
         return asdict(self)

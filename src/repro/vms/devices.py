@@ -94,3 +94,15 @@ class DeviceBoard:
         for timer in self.timers:
             timer.poll(now)
         self._refresh_next_fire()
+
+    def state_summary(self) -> dict:
+        """Per-timer schedule state, for snapshot metadata and debugging."""
+        return {
+            timer.name: {
+                "ipl": timer.ipl,
+                "period_cycles": timer.period_cycles,
+                "next_fire": timer.next_fire,
+                "firings": timer.firings,
+            }
+            for timer in self.timers
+        }

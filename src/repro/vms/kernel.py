@@ -626,3 +626,25 @@ class VMSKernel:
     @property
     def ticks(self) -> int:
         return self._read_kernel_longword(self.tick_count_va)
+
+    def state_summary(self) -> dict:
+        """A plain-data summary of where the machine stands.
+
+        Stamped into snapshot metadata (``repro snapshot info`` shows it
+        without unpickling anything) and handy when debugging resumed
+        runs."""
+        return {
+            "cycle_count": self.ebox.cycle_count,
+            "measured_instructions": self._main_events.instructions,
+            "measuring": self._measuring,
+            "collecting": bool(
+                self.machine.monitor is not None and self.machine.monitor.collecting
+            ),
+            "current_process": self.current.name if self.current else None,
+            "processes": [
+                {"pid": p.pid, "name": p.name, "state": p.state.name}
+                for p in self.processes
+            ],
+            "ticks": self.ticks,
+            "devices": self.devices.state_summary(),
+        }

@@ -11,8 +11,10 @@ from repro.core.engine import (
     ProgressEvent,
     RunSpec,
     execute_spec,
+    execute_spec_sharded,
     parallel_map,
     run_specs,
+    shard_boundaries,
 )
 from repro.core.histogram_io import result_to_json
 from repro.core.monitor import UPCMonitor
@@ -219,3 +221,129 @@ class TestParallelMap:
     def test_empty_and_single(self):
         assert parallel_map(_square, [], jobs=4) == []
         assert parallel_map(_square, [5], jobs=4) == [25]
+
+
+class TestShardBoundaries:
+    def test_one_shard_is_the_whole_span(self):
+        assert shard_boundaries(600, 1) == [0, 600]
+
+    def test_even_split(self):
+        assert shard_boundaries(600, 4) == [0, 150, 300, 450, 600]
+
+    def test_uneven_split_covers_everything(self):
+        bounds = shard_boundaries(10, 3)
+        assert bounds == [0, 3, 6, 10]
+        assert sum(b - a for a, b in zip(bounds, bounds[1:])) == 10
+
+    def test_aligned_shard_counts_share_boundaries(self):
+        # i*N//K means K=2 boundaries are a subset of K=4's whenever
+        # 2 divides 4 — the property the snapshot cache reuse rests on.
+        assert set(shard_boundaries(600, 2)) <= set(shard_boundaries(600, 4))
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_boundaries(600, 0)
+
+
+@pytest.fixture(scope="module")
+def reference_run():
+    """The uninterrupted single-shard reference every sharded variant
+    must reproduce byte for byte."""
+    return execute_spec(RunSpec(workload="timesharing_light", **SMALL))
+
+
+def _assert_bit_identical(sharded, reference):
+    assert sharded.histogram == reference.histogram
+    assert result_to_json(sharded.result) == result_to_json(reference.result)
+    assert sharded.result.events == reference.result.events
+    assert sharded.result.stats == reference.result.stats
+
+
+class TestExecuteSpecSharded:
+    def test_three_shards_no_cache_bit_identical(self, reference_run):
+        spec = RunSpec(workload="timesharing_light", **SMALL)
+        sharded = execute_spec_sharded(spec, shards=3)
+        _assert_bit_identical(sharded, reference_run)
+        assert sharded.shard_count == 3
+        assert sharded.shards_from_cache == 0
+        assert sharded.manifest.shards == 3
+        assert sharded.manifest.shards_from_cache == 0
+
+    def test_single_shard_is_a_passthrough(self, reference_run):
+        spec = RunSpec(workload="timesharing_light", **SMALL)
+        run = execute_spec_sharded(spec, shards=1)
+        _assert_bit_identical(run, reference_run)
+        assert run.shard_count == 1
+
+    def test_shards_clamped_to_instruction_budget(self):
+        spec = RunSpec(workload="timesharing_light", instructions=3, warmup_instructions=50)
+        run = execute_spec_sharded(spec, shards=100)
+        assert run.shard_count == 3
+
+    def test_cold_then_warm_cache(self, reference_run, tmp_path):
+        from repro.core.runcache import RunCache
+
+        spec = RunSpec(workload="timesharing_light", **SMALL)
+        cache = RunCache(str(tmp_path / "cache"))
+
+        cold = execute_spec_sharded(spec, shards=4, cache=cache)
+        _assert_bit_identical(cold, reference_run)
+        assert cold.shards_from_cache == 0
+        assert cache.puts > 0
+
+        warm = execute_spec_sharded(spec, shards=4, cache=cache)
+        _assert_bit_identical(warm, reference_run)
+        assert warm.shards_from_cache == 4
+        assert warm.manifest.shards_from_cache == 4
+
+    def test_different_shard_count_reuses_boundary_snapshots(
+        self, reference_run, tmp_path, monkeypatch
+    ):
+        # K=4 banks snapshots at 0/150/300/450; a later K=2 run of the
+        # same spec shares the 0 and 300 boundaries, so both of its
+        # shards restore from cache instead of re-simulating from boot —
+        # and the merge is still bit-identical.  Structural proof: with
+        # every start snapshot cached, the engine must never build a
+        # machine from scratch, so prepare_workload is poisoned.
+        import repro.core.engine as engine_module
+        from repro.core.runcache import RunCache
+
+        spec = RunSpec(workload="timesharing_light", **SMALL)
+        cache = RunCache(str(tmp_path / "cache"))
+        execute_spec_sharded(spec, shards=4, cache=cache)
+
+        def _must_not_rebuild(*args, **kwargs):
+            raise AssertionError(
+                "boundary snapshots were cached; rebuilding from boot "
+                "means the cache was bypassed"
+            )
+
+        monkeypatch.setattr(engine_module, "prepare_workload", _must_not_rebuild)
+        halved = execute_spec_sharded(spec, shards=2, cache=cache)
+        _assert_bit_identical(halved, reference_run)
+        assert halved.shard_count == 2
+
+    def test_sharded_progress_events_name_the_shards(self):
+        events = []
+        spec = RunSpec(workload="timesharing_light", **SMALL)
+        execute_spec_sharded(spec, shards=3, progress=events.append)
+        names = [e.name for e in events if e.kind == "start"]
+        assert names == [
+            "timesharing_light[shard 1/3]",
+            "timesharing_light[shard 2/3]",
+            "timesharing_light[shard 3/3]",
+        ]
+        done = [e for e in events if e.kind == "done"]
+        assert len(done) == 3
+
+    def test_cached_manifest_still_reflects_this_run(self, tmp_path):
+        # Replayed shards must not leak the cold run's wall-clock or
+        # identity into the warm manifest.
+        from repro.core.runcache import RunCache
+
+        spec = RunSpec(workload="timesharing_light", **SMALL)
+        cache = RunCache(str(tmp_path / "cache"))
+        cold = execute_spec_sharded(spec, shards=2, cache=cache)
+        warm = execute_spec_sharded(spec, shards=2, cache=cache)
+        assert warm.manifest.config_hash == cold.manifest.config_hash
+        assert warm.manifest.started_at >= cold.manifest.started_at

@@ -1,0 +1,208 @@
+"""Unit tests for the content-addressed run cache.
+
+Key derivation stability, the git-like object layout, atomic writes,
+metadata sidecars and the hit/miss accounting the CLI reports.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.runcache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIRNAME,
+    CacheEntry,
+    RunCache,
+    cache_key,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RunCache(str(tmp_path / "cache"))
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        a = cache_key("shard", config="abc", start=0, end=100)
+        b = cache_key("shard", config="abc", start=0, end=100)
+        assert a == b
+        assert len(a) == 64
+        assert all(c in "0123456789abcdef" for c in a)
+
+    def test_field_order_is_irrelevant(self):
+        assert cache_key("shard", start=0, config="abc") == cache_key(
+            "shard", config="abc", start=0
+        )
+
+    def test_every_field_is_load_bearing(self):
+        base = cache_key("shard", config="abc", start=0, end=100)
+        assert cache_key("snapshot", config="abc", start=0, end=100) != base
+        assert cache_key("shard", config="abd", start=0, end=100) != base
+        assert cache_key("shard", config="abc", start=1, end=100) != base
+        assert cache_key("shard", config="abc", start=0, end=101) != base
+
+    def test_reserved_field_collision_rejected(self):
+        # "kind" is already shielded by the positional signature; the
+        # remaining reserved names must be rejected explicitly.
+        with pytest.raises(ValueError, match="reserved"):
+            cache_key("shard", schema=2)
+        with pytest.raises(ValueError, match="reserved"):
+            cache_key("shard", code_version="0.0.0")
+
+
+class TestStoreFetch:
+    def test_put_get_roundtrip(self, cache):
+        key = cache_key("test", payload=1)
+        cache.put(key, b"hello shards")
+        assert cache.get(key) == b"hello shards"
+
+    def test_get_missing_returns_none(self, cache):
+        assert cache.get(cache_key("test", payload="missing")) is None
+
+    def test_hit_miss_put_accounting(self, cache):
+        key = cache_key("test", payload=2)
+        assert cache.stats() == {"hits": 0, "misses": 0, "puts": 0}
+        cache.get(key)
+        cache.put(key, b"x")
+        cache.get(key)
+        assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1}
+
+    def test_has_does_not_touch_stats(self, cache):
+        key = cache_key("test", payload=3)
+        assert not cache.has(key)
+        cache.put(key, b"x")
+        assert cache.has(key)
+        assert cache.stats() == {"hits": 0, "misses": 0, "puts": 1}
+
+    def test_put_twice_is_idempotent(self, cache):
+        # Content addressing: the first write wins and the second is a
+        # no-op — the store never tears an existing object.
+        key = cache_key("test", payload=4)
+        cache.put(key, b"first")
+        cache.put(key, b"second")
+        assert cache.get(key) == b"first"
+        assert cache.puts == 1
+
+    def test_git_like_fanout_layout(self, cache):
+        key = cache_key("test", payload=5)
+        path = cache.put(key, b"x")
+        assert path.endswith(os.path.join("objects", key[:2], key[2:]))
+        assert os.path.exists(path)
+
+    def test_invalid_keys_rejected(self, cache):
+        for bad in ("", "ab", "UPPERCASE0", "../../etc/passwd", "xyz!"):
+            with pytest.raises(ValueError, match="hex digest"):
+                cache.has(bad)
+
+    def test_no_leftover_temp_files(self, cache, tmp_path):
+        key = cache_key("test", payload=6)
+        cache.put(key, b"x" * 10_000, meta={"kind": "test"})
+        strays = [
+            name
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+            if name.startswith(".tmp-")
+        ]
+        assert strays == []
+
+
+class TestMetadata:
+    def test_meta_sidecar_roundtrip(self, cache):
+        key = cache_key("test", payload=7)
+        cache.put(key, b"x", meta={"kind": "shard", "start": 0})
+        assert cache.get_meta(key) == {"kind": "shard", "start": 0}
+
+    def test_meta_absent_is_none(self, cache):
+        key = cache_key("test", payload=8)
+        cache.put(key, b"x")
+        assert cache.get_meta(key) is None
+
+    def test_sidecar_lands_before_object(self, cache):
+        # entries() must never see an object without its sidecar when
+        # one was requested — the meta write happens first.
+        key = cache_key("test", payload=9)
+        cache.put(key, b"x", meta={"a": 1})
+        (entry,) = list(cache.entries())
+        assert entry.meta == {"a": 1}
+
+
+class TestInspection:
+    def test_entries_sorted_and_complete(self, cache):
+        keys = [cache_key("test", payload=n) for n in range(5)]
+        for n, key in enumerate(keys):
+            cache.put(key, b"v" * (n + 1), meta={"n": n})
+        listed = list(cache.entries())
+        assert [e.key for e in listed] == sorted(keys)
+        assert all(isinstance(e, CacheEntry) for e in listed)
+        assert {e.size_bytes for e in listed} == {1, 2, 3, 4, 5}
+
+    def test_entries_skip_sidecars_and_temps(self, cache):
+        key = cache_key("test", payload=10)
+        cache.put(key, b"x", meta={"a": 1})
+        stray = os.path.join(cache.root, "objects", key[:2], ".tmp-stray")
+        with open(stray, "wb") as handle:
+            handle.write(b"junk")
+        assert [e.key for e in cache.entries()] == [key]
+
+    def test_total_bytes(self, cache):
+        cache.put(cache_key("test", payload=11), b"four")
+        cache.put(cache_key("test", payload=12), b"sixsix")
+        assert cache.total_bytes() == 10
+
+    def test_clear_removes_objects_and_sidecars(self, cache):
+        key = cache_key("test", payload=13)
+        path = cache.put(key, b"x", meta={"a": 1})
+        assert cache.clear() == 1
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + ".json")
+        assert list(cache.entries()) == []
+
+
+class TestDefaultResolution:
+    def test_explicit_path_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "from-env"))
+        cache = RunCache.default(str(tmp_path / "explicit"))
+        assert cache.root == str(tmp_path / "explicit")
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "from-env"))
+        assert RunCache.default().root == str(tmp_path / "from-env")
+
+    def test_conventional_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        monkeypatch.chdir(tmp_path)
+        cache = RunCache.default()
+        assert cache.root == str(tmp_path / DEFAULT_CACHE_DIRNAME)
+
+
+class TestConcurrencySafety:
+    def test_parallel_puts_of_same_object(self, cache):
+        # Simulate the pool-worker race: many writers, one key. Every
+        # writer must exit cleanly and the object must be whole.
+        from repro.core.engine import parallel_map
+
+        key = cache_key("test", payload="race")
+        root = cache.root
+
+        results = parallel_map(
+            _racing_put, [(root, key)] * 4, jobs=4
+        )
+        assert all(results)
+        assert cache.get(key) == b"racy payload"
+
+    def test_meta_survives_json_default_repr(self, cache):
+        # Non-JSON-native meta values fall back to repr() instead of
+        # crashing the put.
+        key = cache_key("test", payload=14)
+        cache.put(key, b"x", meta={"obj": object()})
+        meta = cache.get_meta(key)
+        assert "object object" in meta["obj"]
+
+
+def _racing_put(args):
+    root, key = args
+    local = RunCache(root)
+    local.put(key, b"racy payload")
+    return local.get(key) == b"racy payload"

@@ -1,0 +1,177 @@
+"""Unit tests for the versioned snapshot wire format and capture/restore.
+
+The end-to-end equivalence claims live in
+``tests/integration/test_snapshot_equivalence.py``; here we pin down the
+format itself — framing, versioning, digest checking — and the contract
+details of :func:`capture`/:func:`restore` (tracer handling, header-only
+reads, loud failures on every malformed-blob shape).
+"""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.core.experiment import prepare_workload
+from repro.core.snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    MachineSnapshot,
+    SnapshotError,
+    SnapshotFormatError,
+    capture,
+    restore,
+)
+
+
+@pytest.fixture(scope="module")
+def booted_snapshot():
+    kernel, _ = prepare_workload("educational")
+    kernel.run(max_instructions=200)
+    return capture(kernel, label="unit-test")
+
+
+class TestWireFormat:
+    def test_roundtrip_preserves_everything(self, booted_snapshot):
+        blob = booted_snapshot.to_bytes()
+        parsed = MachineSnapshot.from_bytes(blob)
+        assert parsed.payload == booted_snapshot.payload
+        assert parsed.digest == booted_snapshot.digest
+        assert parsed.meta == booted_snapshot.meta
+        assert parsed.version == SNAPSHOT_VERSION
+
+    def test_blob_starts_with_magic(self, booted_snapshot):
+        assert booted_snapshot.to_bytes().startswith(SNAPSHOT_MAGIC)
+
+    def test_save_load_roundtrip(self, booted_snapshot, tmp_path):
+        path = str(tmp_path / "machine.snap")
+        booted_snapshot.save(path)
+        loaded = MachineSnapshot.load(path)
+        assert loaded == booted_snapshot
+
+    def test_read_header_never_unpickles(self, booted_snapshot, tmp_path):
+        # Corrupt the payload but keep the frame intact: a header read
+        # must still succeed because it never touches the pickle.
+        broken = MachineSnapshot(
+            payload=b"\x00not a pickle",
+            digest=booted_snapshot.digest,
+            meta=booted_snapshot.meta,
+        )
+        path = str(tmp_path / "broken.snap")
+        broken.save(path)
+        header = MachineSnapshot.read_header(path)
+        assert header["version"] == SNAPSHOT_VERSION
+        assert header["digest"] == booted_snapshot.digest
+        assert header["meta"]["label"] == "unit-test"
+        assert header["compressed_bytes"] == len(broken.payload)
+
+    def test_meta_is_json_safe(self, booted_snapshot):
+        # The header must serialize without repr() fallbacks: meta is
+        # the machine-readable face of the snapshot.
+        encoded = json.dumps(booted_snapshot.meta, sort_keys=True)
+        assert json.loads(encoded) == booted_snapshot.meta
+        assert booted_snapshot.meta["cycle_count"] > 0
+        assert booted_snapshot.meta["raw_bytes"] > 0
+
+
+class TestMalformedBlobs:
+    def test_truncated_blob(self):
+        with pytest.raises(SnapshotFormatError, match="truncated"):
+            MachineSnapshot.from_bytes(b"REPRO")
+
+    def test_wrong_magic(self):
+        blob = b"NOTASNAP" + struct.pack(">I", 2) + b"{}"
+        with pytest.raises(SnapshotFormatError, match="not a machine snapshot"):
+            MachineSnapshot.from_bytes(blob)
+
+    def test_implausible_header_length(self):
+        blob = SNAPSHOT_MAGIC + struct.pack(">I", 1 << 30) + b"{}"
+        with pytest.raises(SnapshotFormatError, match="header length"):
+            MachineSnapshot.from_bytes(blob)
+
+    def test_header_not_json(self):
+        header = b"not json!!"
+        blob = SNAPSHOT_MAGIC + struct.pack(">I", len(header)) + header
+        with pytest.raises(SnapshotFormatError, match="not valid JSON"):
+            MachineSnapshot.from_bytes(blob)
+
+    def test_unsupported_version(self, booted_snapshot):
+        blob = MachineSnapshot(
+            payload=booted_snapshot.payload,
+            digest=booted_snapshot.digest,
+            version=SNAPSHOT_VERSION + 1,
+        ).to_bytes()
+        with pytest.raises(SnapshotFormatError, match="version {}".format(SNAPSHOT_VERSION + 1)):
+            MachineSnapshot.from_bytes(blob)
+
+    def test_unsupported_codec(self, booted_snapshot):
+        header = json.dumps(
+            {
+                "version": SNAPSHOT_VERSION,
+                "codec": "marshal+lz4",
+                "digest": booted_snapshot.digest,
+                "meta": {},
+            }
+        ).encode()
+        blob = SNAPSHOT_MAGIC + struct.pack(">I", len(header)) + header
+        with pytest.raises(SnapshotFormatError, match="codec"):
+            MachineSnapshot.from_bytes(blob)
+
+
+class TestRestoreIntegrity:
+    def test_digest_mismatch_refuses_restore(self, booted_snapshot):
+        tampered = MachineSnapshot(
+            payload=zlib.compress(b"attacker-controlled bytes"),
+            digest=booted_snapshot.digest,
+            meta=booted_snapshot.meta,
+        )
+        with pytest.raises(SnapshotError, match="digest mismatch"):
+            restore(tampered)
+
+    def test_garbage_payload_does_not_decompress(self, booted_snapshot):
+        garbage = MachineSnapshot(payload=b"\xff\xfe\xfd", digest=booted_snapshot.digest)
+        with pytest.raises(SnapshotFormatError, match="does not decompress"):
+            restore(garbage)
+
+    def test_restore_reattaches_tracer(self, booted_snapshot):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        kernel = restore(booted_snapshot, tracer=tracer)
+        assert kernel.machine.tracer is tracer
+        assert kernel.machine.memory.tracer is tracer
+        # and the restored machine actually runs
+        before = kernel.ebox.cycle_count
+        kernel.run(max_instructions=50)
+        assert kernel.ebox.cycle_count > before
+
+    def test_restore_without_tracer_detaches(self, booted_snapshot):
+        kernel = restore(booted_snapshot)
+        assert kernel.machine.tracer is None
+
+
+class TestCaptureContract:
+    def test_capture_reattaches_the_live_tracer(self):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        kernel, _ = prepare_workload("educational", tracer=tracer)
+        kernel.run(max_instructions=100)
+        capture(kernel)
+        # the original keeps its tracer wired after the dump
+        assert kernel.machine.tracer is tracer
+        assert kernel.machine.memory.tracer is tracer
+
+    def test_extra_meta_and_state_summary(self, booted_snapshot):
+        kernel = restore(booted_snapshot)
+        snap = capture(kernel, label="with-extras", extra_meta={"shard": 3})
+        assert snap.meta["label"] == "with-extras"
+        assert snap.meta["shard"] == 3
+        assert snap.meta["cycle_count"] == kernel.ebox.cycle_count
+        assert isinstance(snap.meta["processes"], list)
+
+    def test_snapshot_is_compressed(self, booted_snapshot):
+        # 8 MB of mostly-zero physical memory must not dominate the blob.
+        assert booted_snapshot.compressed_bytes < booted_snapshot.meta["raw_bytes"]
+        assert booted_snapshot.compressed_bytes < 4 * 1024 * 1024

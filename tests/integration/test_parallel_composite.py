@@ -76,19 +76,54 @@ class TestCompositePlumbing:
         assert result.instructions >= 2 * SMALL["instructions_per_workload"] * 0.95
 
 
-@pytest.mark.skipif(
-    (os.cpu_count() or 1) < 4,
-    reason="wall-clock speedup needs >= 4 cores; equality is asserted above",
-)
-class TestParallelSpeedup:
-    def test_parallel_composite_is_faster(self):
+def _worker_pid(_index: int) -> int:
+    # A short sleep holds the first worker busy long enough that the
+    # pool hands remaining items to other workers, even on one core.
+    import time
+
+    time.sleep(0.05)
+    return os.getpid()
+
+
+class TestParallelFanOut:
+    """jobs=4 genuinely fans out over worker processes.
+
+    Structural replacement for the old wall-clock speedup assertion,
+    which could only run on >= 4 free cores and therefore skipped
+    everywhere that mattered; process identity is deterministic on any
+    machine, and wall-clock claims live in benchmarks/perf/bench_engine.py
+    (and TestShardedRerunSpeedup below, which does not need spare cores).
+    """
+
+    def test_specs_execute_outside_the_coordinator(self):
+        from repro.core.engine import parallel_map
+
+        pids = parallel_map(_worker_pid, range(4), jobs=4)
+        assert len(pids) == 4
+        assert os.getpid() not in pids
+        assert len(set(pids)) >= 2
+
+
+class TestShardedRerunSpeedup:
+    def test_warm_cache_rerun_is_faster(self, tmp_path):
         import time
 
-        config = dict(instructions_per_workload=4_000, warmup_instructions=1_000)
+        from repro.core.engine import execute_spec_sharded
+        from repro.core.runcache import RunCache
+
+        spec = RunSpec(
+            workload="educational", instructions=1_200, warmup_instructions=300
+        )
+        cache = RunCache(str(tmp_path / "cache"))
         started = time.perf_counter()
-        run_composite_experiment(jobs=1, **config)
-        sequential_wall = time.perf_counter() - started
+        cold = execute_spec_sharded(spec, shards=4, cache=cache)
+        cold_wall = time.perf_counter() - started
         started = time.perf_counter()
-        run_composite_experiment(jobs=4, **config)
-        parallel_wall = time.perf_counter() - started
-        assert sequential_wall / parallel_wall >= 1.8
+        warm = execute_spec_sharded(spec, shards=4, cache=cache)
+        warm_wall = time.perf_counter() - started
+        assert warm.shards_from_cache == 4
+        # Replaying four finished shards is pure deserialization; even a
+        # conservative 2x bound leaves a wide margin (typically > 20x).
+        assert warm_wall < cold_wall / 2
+        assert result_to_json(warm.result) == result_to_json(cold.result)
+        assert warm.histogram == cold.histogram
