@@ -146,6 +146,10 @@ def _progress_printer(log):
                 "{} {} done".format(position, event.name),
                 seconds=event.wall_seconds,
             )
+        elif event.kind == "retry":
+            log.warn(
+                "{} {} retrying".format(position, event.name), error=event.error
+            )
         else:
             log.error(
                 "{} {} failed".format(position, event.name), error=event.error
@@ -185,6 +189,7 @@ def cmd_run(args) -> int:
 
 def cmd_composite(args) -> int:
     from repro.core.experiment import run_composite_experiment
+    from repro.core.resilience import INTERRUPT_EXIT_CODE, ResiliencePolicy
     from repro.workloads import COMPOSITE_WORKLOAD_NAMES
 
     log = get_logger("repro.composite")
@@ -193,20 +198,52 @@ def cmd_composite(args) -> int:
         from repro.core.runcache import RunCache
 
         cache = RunCache.default(args.cache_dir)
+    policy = ResiliencePolicy.from_options(
+        retries=args.retries,
+        spec_timeout=args.spec_timeout,
+        on_error=args.on_error,
+        interrupt_report_path=args.interrupt_report,
+    )
     log.info(
         "measuring {} workloads".format(len(COMPOSITE_WORKLOAD_NAMES)),
         jobs=args.jobs,
         shards=args.shards,
     )
-    result = run_composite_experiment(
-        instructions_per_workload=args.instructions,
-        warmup_instructions=args.warmup,
-        jobs=args.jobs,
-        progress=_progress_printer(log),
-        shards=args.shards,
-        cache=cache,
-    )
-    _print_all_tables(result)
+    try:
+        outcome = run_composite_experiment(
+            instructions_per_workload=args.instructions,
+            warmup_instructions=args.warmup,
+            jobs=args.jobs,
+            progress=_progress_printer(log),
+            shards=args.shards,
+            cache=cache,
+            policy=policy,
+        )
+    except KeyboardInterrupt as interrupt:
+        report = getattr(interrupt, "report", None)
+        if report is not None:
+            log.error("composite interrupted: {}".format(report.summary()))
+            if policy.interrupt_report_path:
+                log.error(
+                    "partial report saved", path=policy.interrupt_report_path
+                )
+        else:
+            log.error("composite interrupted")
+        return INTERRUPT_EXIT_CODE
+    report = None
+    if args.on_error == "collect":
+        result, report = outcome
+    else:
+        result = outcome
+    if report is not None and not report.ok:
+        for failure in report.failures:
+            log.error(
+                "workload failed", name=failure.name, kind=failure.kind,
+                attempts=failure.attempts, error=failure.error,
+            )
+        log.error("composite incomplete: {}".format(report.summary()))
+    if result is not None:
+        _print_all_tables(result)
     if cache is not None:
         stats = cache.stats()
         log.info(
@@ -214,8 +251,9 @@ def cmd_composite(args) -> int:
             hits=stats["hits"],
             misses=stats["misses"],
             puts=stats["puts"],
+            quarantined=cache.quarantined_objects(),
         )
-    return 0
+    return 0 if report is None or report.ok else 1
 
 
 def cmd_snapshot(args) -> int:
@@ -284,6 +322,9 @@ def cmd_cache(args) -> int:
     emit("objects:    {} ({} bytes)".format(len(entries), sum(e.size_bytes for e in entries)))
     for kind, (count, size) in sorted(by_kind.items()):
         emit("  {:<10} {:>5} objects, {:>10} bytes".format(kind, count, size))
+    quarantined = cache.quarantined_objects()
+    if quarantined:
+        emit("quarantined: {} corrupt objects (objects/quarantine/)".format(quarantined))
     return 0
 
 
@@ -538,6 +579,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="shard without caching (one in-process chain, nothing reused)",
+    )
+    composite_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per workload before declaring it failed "
+        "(exponential backoff between attempts)",
+    )
+    composite_parser.add_argument(
+        "--spec-timeout",
+        type=float,
+        default=None,
+        help="per-workload wall-clock budget in seconds; a stuck run "
+        "costs one attempt and its pool is recycled",
+    )
+    composite_parser.add_argument(
+        "--on-error",
+        choices=("raise", "collect"),
+        default="raise",
+        help="'raise' aborts on the first failed workload (the default); "
+        "'collect' finishes the rest and reports what failed (exit 1)",
+    )
+    composite_parser.add_argument(
+        "--interrupt-report",
+        default=".repro-interrupted.json",
+        help="where Ctrl-C persists the partial failure report "
+        "(the sweep resumes by simply re-running: the cache replays "
+        "finished shards)",
     )
     composite_parser.set_defaults(func=cmd_composite)
 

@@ -8,7 +8,7 @@ pool executes the specs on separate interpreters, and the payloads come
 back to the coordinating process to be merged by
 :func:`repro.core.experiment.composite`.
 
-Two properties the engine guarantees:
+Three properties the engine guarantees:
 
 * **Determinism.**  A spec fully seeds its run (profile seed +
   ``seed_offset``); every RNG in the simulator is an instance-seeded
@@ -23,6 +23,19 @@ Two properties the engine guarantees:
   the reduced :class:`~repro.core.experiment.ExperimentResult` plus the
   raw sparse histogram dump, so the coordinator can both merge and
   verify byte-for-byte.
+* **Fault tolerance.**  :func:`run_specs` takes a
+  :class:`~repro.core.resilience.ResiliencePolicy`: per-spec retries
+  with exponential backoff, per-spec wall-clock timeouts, recovery from
+  an abruptly-dead process pool (respawn it, requeue what was in
+  flight, degrade to in-process execution when pools keep dying), and a
+  fail-soft ``on_error="collect"`` mode that returns partial results
+  plus a structured :class:`~repro.core.resilience.FailureReport`
+  instead of aborting the sweep.  The sharded executor self-heals its
+  cache — corrupt or unpicklable objects are quarantined and recomputed
+  — and shards lost to worker failures are re-run by an in-process
+  repair chain.  Because every run is deterministic, a recovered sweep
+  is bit-identical to an undisturbed one; the fault-injection tests
+  (driven by :mod:`repro.testing.faults`) assert exactly that.
 """
 
 from __future__ import annotations
@@ -32,7 +45,14 @@ import multiprocessing
 import pickle
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -43,6 +63,7 @@ from repro.core.experiment import (
     run_workload,
 )
 from repro.cpu.events import EventCounters
+from repro.testing import faults
 
 
 class EngineError(RuntimeError):
@@ -50,7 +71,9 @@ class EngineError(RuntimeError):
 
     Carries *which* spec died and the worker-side traceback — a bare
     ``BrokenProcessPool`` or a re-raised exception with a coordinator
-    stack tells you neither.
+    stack tells you neither.  Sharded failures additionally carry the
+    per-shard status map, so a partial cache/pool failure is diagnosable
+    from the error alone.
     """
 
     def __init__(self, spec_name: str, worker_traceback: str):
@@ -66,9 +89,11 @@ class ProgressEvent:
     """One engine progress notification (see :func:`run_specs`).
 
     ``kind`` is ``"start"`` (the spec was dispatched), ``"done"``
-    (finished, ``wall_seconds`` filled in) or ``"error"`` (failed,
-    ``error`` holds the summary line; the full traceback rides the
-    :class:`EngineError` raised right after).
+    (finished, ``wall_seconds`` filled in), ``"retry"`` (an attempt
+    failed and the resilience policy is retrying; ``error`` holds the
+    summary) or ``"error"`` (failed for good, ``error`` holds the
+    summary line; the full traceback rides the :class:`EngineError` or
+    :class:`~repro.core.resilience.FailureReport` that follows).
     """
 
     kind: str
@@ -212,6 +237,7 @@ def execute_spec(spec: RunSpec, tracer=None) -> EngineRun:
     from repro.obs.provenance import RunManifest
     from repro.workloads import profile_by_name
 
+    faults.fire("worker", key=spec.name)
     profile = profile_by_name(spec.workload)
     manifest = RunManifest.for_spec(spec, profile_seed=profile.seed)
     metrics = MetricsRegistry()
@@ -264,11 +290,222 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
+def _tb_summary(worker_tb: str) -> str:
+    """The last line of a traceback — the one-line progress summary."""
+    return worker_tb.strip().splitlines()[-1] if worker_tb else ""
+
+
+def _run_pool_tasks(
+    fn,
+    tasks: Sequence[Tuple[int, object]],
+    workers: int,
+    policy,
+    describe: Callable[[int], str],
+    on_start=None,
+    on_done=None,
+    on_retry=None,
+):
+    """Run guarded tasks through a process pool under a resilience policy.
+
+    ``tasks`` is ``[(task_id, arg), ...]`` and ``fn(arg)`` must return a
+    guarded payload (``("ok", ...)`` or ``("error", name, traceback)``).
+    Returns ``(payloads, failures, stats)``: ``payloads[task_id]`` is
+    ``(payload, attempts)``, ``failures[task_id]`` a
+    :class:`~repro.core.resilience.SpecFailure`, and ``stats`` the
+    retry/timeout/respawn/degradation counters.
+
+    Three fault classes the bare executor does not survive are handled
+    here:
+
+    * a task *raising* — retried with exponential backoff up to the
+      policy's attempt budget;
+    * a worker *dying abruptly* (``BrokenProcessPool``) — the pool is
+      respawned and everything that was in flight requeued; since the
+      culprit is unknowable from outside, the crash is charged as one
+      attempt against every in-flight task;
+    * a task *exceeding its wall-clock budget* — a stuck worker cannot
+      be reclaimed individually, so the pool is recycled; the slow task
+      is charged an attempt, the innocents requeue for free.
+
+    After ``policy.max_pool_respawns`` recycles the pool is abandoned
+    and the remainder runs in-process (degraded mode: retries still
+    apply, timeouts cannot preempt).
+
+    A ``KeyboardInterrupt`` cancels outstanding futures, shuts the pool
+    down without waiting and re-raises as
+    :class:`~repro.core.resilience.SweepInterrupted` carrying everything
+    that already finished.
+    """
+    from repro.core.resilience import SpecFailure, SweepInterrupted
+
+    pending = deque((tid, arg, 1, 0.0) for tid, arg in tasks)
+    payloads: Dict[int, Tuple] = {}
+    failures: Dict[int, object] = {}
+    stats = {"retries": 0, "timeouts": 0, "pool_respawns": 0, "degraded": False}
+    max_attempts = policy.retry.max_attempts
+    stop_on_failure = policy.on_error == "raise"
+    inflight: Dict = {}
+
+    def notify_start(tid, attempt):
+        if on_start is not None and attempt == 1:
+            on_start(tid)
+
+    def record_success(tid, payload, attempt):
+        payloads[tid] = (payload, attempt)
+        if on_done is not None:
+            on_done(tid, payload)
+
+    def fail_or_retry(tid, arg, attempt, kind, error, tb="") -> bool:
+        """Requeue with backoff, or record the final failure (-> True)."""
+        if attempt < max_attempts:
+            stats["retries"] += 1
+            if on_retry is not None:
+                on_retry(tid, attempt, kind, error)
+            delay = policy.retry.backoff(attempt)
+            pending.append((tid, arg, attempt + 1, time.monotonic() + delay))
+            return False
+        failures[tid] = SpecFailure(
+            name=describe(tid),
+            index=tid,
+            attempts=attempt,
+            kind=kind,
+            error=error,
+            worker_traceback=tb,
+        )
+        return True
+
+    def recycle(reason_futures, kind, error):
+        """The pool is unusable: shut it down, charge ``reason_futures``
+        a failed attempt, requeue the innocents for free."""
+        nonlocal pool
+        stats["pool_respawns"] += 1
+        pool.shutdown(wait=False, cancel_futures=True)
+        victims = list(inflight.items())
+        inflight.clear()
+        for future, (tid, arg, attempt, _) in victims:
+            if future in reason_futures:
+                fail_or_retry(tid, arg, attempt, kind, error)
+            else:
+                pending.appendleft((tid, arg, attempt, 0.0))
+        if stats["pool_respawns"] > policy.max_pool_respawns:
+            stats["degraded"] = True
+            pool = None
+        else:
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context())
+
+    pool = ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context())
+    try:
+        while pending or inflight:
+            if stop_on_failure and failures:
+                break
+            now = time.monotonic()
+            if stats["degraded"]:
+                # In-process fallback: no pool left to trust.  Retries
+                # still apply; timeouts cannot preempt in-process work.
+                tid, arg, attempt, not_before = pending.popleft()
+                if not_before > now:
+                    policy.sleep(not_before - now)
+                notify_start(tid, attempt)
+                payload = fn(arg)
+                if payload[0] == "ok":
+                    record_success(tid, payload, attempt)
+                else:
+                    fail_or_retry(
+                        tid, arg, attempt, "error",
+                        _tb_summary(payload[-1]), payload[-1],
+                    )
+                continue
+            # Dispatch one task per idle worker; a task whose backoff
+            # stamp is still in the future stays queued.
+            if pending and len(inflight) < workers:
+                waiting = []
+                while pending and len(inflight) < workers:
+                    tid, arg, attempt, not_before = pending.popleft()
+                    if not_before > now:
+                        waiting.append((tid, arg, attempt, not_before))
+                        continue
+                    deadline = (
+                        now + policy.spec_timeout if policy.spec_timeout else 0.0
+                    )
+                    future = pool.submit(fn, arg)
+                    inflight[future] = (tid, arg, attempt, deadline)
+                    notify_start(tid, attempt)
+                for entry in reversed(waiting):
+                    pending.appendleft(entry)
+            if not inflight:
+                # Everything left is backing off; sleep to the earliest
+                # stamp instead of spinning.
+                wake = min(entry[3] for entry in pending)
+                policy.sleep(max(0.0, wake - time.monotonic()))
+                continue
+            horizons = [meta[3] for meta in inflight.values() if meta[3]]
+            horizons += [entry[3] for entry in pending if entry[3]]
+            timeout = (
+                max(0.0, min(horizons) - time.monotonic()) + 0.02
+                if horizons
+                else None
+            )
+            done, _ = wait(list(inflight), timeout=timeout, return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                meta = inflight.pop(future)
+                tid, arg, attempt, _ = meta
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    inflight[future] = meta  # recycle() charges it below
+                    broken = True
+                    break
+                except Exception as exc:
+                    fail_or_retry(
+                        tid, arg, attempt, "error", str(exc), traceback.format_exc()
+                    )
+                    continue
+                if payload[0] == "ok":
+                    record_success(tid, payload, attempt)
+                else:
+                    fail_or_retry(
+                        tid, arg, attempt, "error",
+                        _tb_summary(payload[-1]), payload[-1],
+                    )
+            if broken:
+                recycle(
+                    set(inflight),
+                    "pool-crash",
+                    "a process-pool worker died while the task was in flight",
+                )
+                continue
+            if policy.spec_timeout:
+                now = time.monotonic()
+                expired = {
+                    future
+                    for future, meta in inflight.items()
+                    if meta[3] and meta[3] <= now
+                }
+                if expired:
+                    stats["timeouts"] += len(expired)
+                    recycle(
+                        expired,
+                        "timeout",
+                        "task exceeded the {:.3g}s wall-clock budget".format(
+                            policy.spec_timeout
+                        ),
+                    )
+    except KeyboardInterrupt:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        raise SweepInterrupted(payloads=payloads, failures=failures, stats=stats)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return payloads, failures, stats
+
+
 def run_specs(
     specs: Sequence[RunSpec],
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
-) -> List[EngineRun]:
+    policy=None,
+):
     """Execute ``specs``, ``jobs`` at a time; results keep spec order.
 
     ``jobs <= 1`` runs sequentially in-process (no pool, no pickling
@@ -276,56 +513,165 @@ def run_specs(
     produces bit-identical payloads, just faster.
 
     ``progress`` receives a :class:`ProgressEvent` when each spec is
-    dispatched and when it completes or fails — the CLI renders these as
-    live per-workload status lines.  A failing spec raises
-    :class:`EngineError` naming the spec and carrying the worker-side
-    traceback.
+    dispatched, retried, completed or failed — the CLI renders these as
+    live per-workload status lines.
+
+    ``policy`` (a :class:`~repro.core.resilience.ResiliencePolicy`)
+    governs the failure behaviour; the default reproduces the
+    historical engine exactly — one attempt, no timeout, and a failing
+    spec raises :class:`EngineError` naming the spec and carrying the
+    worker-side traceback.  With ``policy.on_error == "collect"`` the
+    sweep is fail-soft: the return value is a
+    :class:`~repro.core.resilience.SweepResult` whose ``runs`` list has
+    ``None`` at failed indices and whose ``report`` tells the story.
+    A ``KeyboardInterrupt`` mid-sweep cancels outstanding work, persists
+    the partial report when the policy names a path, and re-raises as
+    :class:`~repro.core.resilience.SweepInterrupted`.
     """
+    from repro.core.resilience import (
+        FailureReport,
+        ResiliencePolicy,
+        SpecFailure,
+        SweepInterrupted,
+        SweepResult,
+    )
+
     specs = list(specs)
     total = len(specs)
     notify = progress if progress is not None else _ignore_progress
-    if jobs <= 1 or total <= 1:
-        runs = []
-        for index, spec in enumerate(specs):
-            notify(ProgressEvent("start", index, total, spec.name))
-            try:
-                run = execute_spec(spec)
-            except Exception as exc:
-                notify(
-                    ProgressEvent("error", index, total, spec.name, error=str(exc))
-                )
-                raise EngineError(spec.name, traceback.format_exc()) from exc
-            notify(
-                ProgressEvent(
-                    "done", index, total, spec.name, wall_seconds=run.wall_seconds
-                )
-            )
-            runs.append(run)
-        return runs
-    workers = min(jobs, total)
+    policy = policy if policy is not None else ResiliencePolicy()
+    max_attempts = policy.retry.max_attempts
+
     results: List[Optional[EngineRun]] = [None] * total
-    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
-        futures = {}
-        for index, spec in enumerate(specs):
-            notify(ProgressEvent("start", index, total, spec.name))
-            futures[pool.submit(_execute_spec_guarded, spec)] = index
-        for future in as_completed(futures):
-            index = futures[future]
-            spec = specs[index]
-            payload = future.result()
-            if payload[0] == "error":
-                _, name, worker_tb = payload
-                summary = worker_tb.strip().splitlines()[-1] if worker_tb else ""
-                notify(ProgressEvent("error", index, total, name, error=summary))
-                raise EngineError(name, worker_tb)
-            run = payload[1]
-            results[index] = run
-            notify(
-                ProgressEvent(
-                    "done", index, total, spec.name, wall_seconds=run.wall_seconds
-                )
+    report = FailureReport(total=total)
+
+    def interrupted(cause):
+        report.interrupted = True
+        report.completed = [
+            spec.name for spec, run in zip(specs, results) if run is not None
+        ]
+        if policy.interrupt_report_path:
+            report.save(policy.interrupt_report_path)
+        policy.record_report(report)
+        raise SweepInterrupted(report=report) from cause
+
+    def conclude():
+        report.completed = [
+            spec.name for spec, run in zip(specs, results) if run is not None
+        ]
+        policy.record_report(report)
+        if report.failures and policy.on_error == "raise":
+            first = min(report.failures, key=lambda failure: failure.index)
+            raise EngineError(first.name, first.worker_traceback or first.error)
+        if policy.on_error == "collect":
+            return SweepResult(runs=results, report=report)
+        return results
+
+    if jobs <= 1 or total <= 1:
+        try:
+            for index, spec in enumerate(specs):
+                notify(ProgressEvent("start", index, total, spec.name))
+                attempt = 1
+                while True:
+                    try:
+                        run = execute_spec(spec)
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        worker_tb = traceback.format_exc()
+                        if attempt < max_attempts:
+                            report.retries += 1
+                            notify(
+                                ProgressEvent(
+                                    "retry", index, total, spec.name, error=str(exc)
+                                )
+                            )
+                            policy.sleep(policy.retry.backoff(attempt))
+                            attempt += 1
+                            continue
+                        notify(
+                            ProgressEvent(
+                                "error", index, total, spec.name, error=str(exc)
+                            )
+                        )
+                        report.failures.append(
+                            SpecFailure(
+                                name=spec.name,
+                                index=index,
+                                attempts=attempt,
+                                kind="error",
+                                error=str(exc),
+                                worker_traceback=worker_tb,
+                            )
+                        )
+                        break
+                    if run.manifest is not None:
+                        run.manifest.attempts = attempt
+                    results[index] = run
+                    notify(
+                        ProgressEvent(
+                            "done", index, total, spec.name,
+                            wall_seconds=run.wall_seconds,
+                        )
+                    )
+                    break
+                if report.failures and policy.on_error == "raise":
+                    break
+        except KeyboardInterrupt as exc:
+            interrupted(exc)
+        return conclude()
+
+    workers = min(jobs, total)
+
+    def describe(index):
+        return specs[index].name
+
+    def on_start(index):
+        notify(ProgressEvent("start", index, total, specs[index].name))
+
+    def on_done(index, payload):
+        notify(
+            ProgressEvent(
+                "done", index, total, specs[index].name,
+                wall_seconds=payload[1].wall_seconds,
             )
-    return results
+        )
+
+    def on_retry(index, attempt, kind, error):
+        notify(ProgressEvent("retry", index, total, specs[index].name, error=error))
+
+    def absorb(payloads):
+        for index, (payload, attempts) in payloads.items():
+            run = payload[1]
+            if run.manifest is not None:
+                run.manifest.attempts = attempts
+            results[index] = run
+
+    tasks = [(index, spec) for index, spec in enumerate(specs)]
+    try:
+        payloads, failures, stats = _run_pool_tasks(
+            _execute_spec_guarded, tasks, workers, policy, describe,
+            on_start=on_start, on_done=on_done, on_retry=on_retry,
+        )
+    except SweepInterrupted as stop:
+        absorb(stop.payloads)
+        report.retries += stop.stats.get("retries", 0)
+        report.timeouts += stop.stats.get("timeouts", 0)
+        report.pool_respawns += stop.stats.get("pool_respawns", 0)
+        report.failures.extend(
+            stop.failures[index] for index in sorted(stop.failures)
+        )
+        interrupted(stop)
+    absorb(payloads)
+    report.retries += stats["retries"]
+    report.timeouts += stats["timeouts"]
+    report.pool_respawns += stats["pool_respawns"]
+    report.degraded = stats["degraded"]
+    for index in sorted(failures):
+        failure = failures[index]
+        notify(ProgressEvent("error", index, total, failure.name, error=failure.error))
+        report.failures.append(failure)
+    return conclude()
 
 
 def _ignore_progress(event: ProgressEvent) -> None:
@@ -352,6 +698,13 @@ def _ignore_progress(event: ProgressEvent) -> None:
 # absolute instruction counts, so different shard counts share the
 # snapshots they have in common (a 2-way split reuses a 4-way split's
 # midpoint).
+#
+# Fault tolerance rides the same structure: a corrupt cached shard or
+# snapshot is quarantined (RunCache.quarantine) and treated as a miss,
+# and any shard a pool worker failed to produce is recomputed by an
+# in-process repair chain from the deepest healthy snapshot — the
+# determinism guarantee makes the repaired shards bit-identical to what
+# the lost worker would have returned.
 
 
 @dataclass
@@ -392,13 +745,16 @@ def _sparse_delta(after: Dict[int, int], before: Dict[int, int]) -> Dict[int, in
     }
 
 
-def _measure_span(kernel, instructions: int):
+def _measure_span(kernel, instructions: int, fault_key: Optional[str] = None):
     """Run ``instructions`` measured instructions; return the delta.
 
     The kernel must already be measuring.  Returns ``(histogram_delta,
     events_delta, stats_delta, wall_seconds)`` — the additive
     contribution of exactly this span, independent of where in the
-    measurement it sits."""
+    measurement it sits.  ``fault_key`` names this span to the
+    fault-injection harness (site ``shard.measure``)."""
+    if fault_key is not None:
+        faults.fire("shard.measure", key=fault_key)
     machine = kernel.machine
     board = machine.monitor.board
     counts_before, stalled_before = board.dump_sparse()
@@ -471,6 +827,36 @@ def _store_boundary_snapshot(
     )
 
 
+def _load_cached_snapshot(cache, key: str):
+    """Fetch and restore a boundary snapshot, self-healing corruption.
+
+    Returns ``(kernel, digest)``, or ``(None, None)`` when the snapshot
+    is absent *or* damaged — damage is quarantined so the caller's
+    recomputation lands in a clean slot.  ``RunCache.get`` already
+    catches byte-level rot via the ``.sum`` digest; the except clause
+    here catches what slips past it (a truncated legacy object, an
+    injected restore failure, a pickle from an incompatible build)."""
+    from repro.core.snapshot import MachineSnapshot, SnapshotError, restore
+
+    blob = cache.get(key)
+    if blob is None:
+        return None, None
+    try:
+        snapshot = MachineSnapshot.from_bytes(blob)
+        kernel = restore(snapshot)
+    except (
+        SnapshotError,
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ImportError,
+        IndexError,
+    ) as exc:
+        cache.quarantine(key, reason="snapshot restore failed: {}".format(exc))
+        return None, None
+    return kernel, snapshot.digest
+
+
 def _execute_shard_task(task: Dict) -> ShardResult:
     """Measure one shard from its cached start-boundary snapshot.
 
@@ -478,18 +864,19 @@ def _execute_shard_task(task: Dict) -> ShardResult:
     snapshot, measure the span, bank the shard result — and the next
     boundary's snapshot, if nobody has stored it yet — in the cache."""
     from repro.core.runcache import RunCache
-    from repro.core.snapshot import MachineSnapshot, restore
 
+    fault_key = "{}@{}".format(task["spec_name"], task["start"])
+    faults.fire("shard.task", key=fault_key)
     cache = RunCache(task["cache_root"])
-    blob = cache.get(task["snapshot_key"])
-    if blob is None:
+    kernel, _ = _load_cached_snapshot(cache, task["snapshot_key"])
+    if kernel is None:
         raise RuntimeError(
-            "boundary snapshot at instruction {} vanished from cache {}".format(
-                task["start"], task["cache_root"]
-            )
+            "boundary snapshot at instruction {} is missing or quarantined "
+            "in cache {}".format(task["start"], task["cache_root"])
         )
-    kernel = restore(MachineSnapshot.from_bytes(blob))
-    histogram, events, stats, wall = _measure_span(kernel, task["instructions"])
+    histogram, events, stats, wall = _measure_span(
+        kernel, task["instructions"], fault_key=fault_key
+    )
     shard = ShardResult(
         index=task["index"],
         shard_count=task["shard_count"],
@@ -522,10 +909,51 @@ def _execute_shard_task_guarded(task: Dict) -> Tuple:
         return ("error", task.get("spec_name", "?"), traceback.format_exc())
 
 
+def _open_chain_kernel(
+    spec: RunSpec,
+    boundaries: List[int],
+    start_index: int,
+    cache,
+    snapshot_keys: Dict[int, str],
+    chash: str,
+):
+    """Open a measuring kernel for a chain that wants to start at
+    ``start_index``.
+
+    Restores the deepest *healthy* cached boundary snapshot at or below
+    the requested index — corrupt candidates are quarantined and the
+    search continues shallower — falling back to a fresh build + warmup
+    at instruction 0.  Returns ``(kernel, anchor_index,
+    resumed_digest)``; the caller's chain must run from ``anchor_index``
+    (which may be below ``start_index``, recomputing spans whose results
+    are already known, because simulation state is only reachable by
+    simulating)."""
+    if cache is not None:
+        for candidate in range(start_index, -1, -1):
+            key = snapshot_keys[boundaries[candidate]]
+            if not cache.has(key):
+                continue
+            kernel, digest = _load_cached_snapshot(cache, key)
+            if kernel is not None:
+                return kernel, candidate, digest
+    kernel, _ = prepare_workload(
+        spec.workload,
+        process_count=spec.process_count,
+        seed_offset=spec.seed_offset,
+        configure=_spec_configure(spec),
+    )
+    kernel.run(max_instructions=spec.warmup_instructions)
+    kernel.start_measurement()
+    if cache is not None and not cache.has(snapshot_keys[0]):
+        _store_boundary_snapshot(cache, snapshot_keys[0], kernel, spec.name, chash, 0)
+    return kernel, 0, None
+
+
 def _run_shard_chain(
     spec: RunSpec,
     boundaries: List[int],
-    chain_range: range,
+    start_index: int,
+    end_index: int,
     results: List[Optional[ShardResult]],
     cache,
     shard_keys: List[str],
@@ -536,44 +964,22 @@ def _run_shard_chain(
 ) -> Optional[str]:
     """Execute a contiguous run of shards in-process.
 
-    Starts from the deepest cached boundary snapshot (or a fresh
-    build + warmup when starting at instruction 0), emits every missing
-    shard result and boundary snapshot into the cache as it passes, and
-    returns the digest of the snapshot it resumed from, if any."""
-    from repro.core.snapshot import MachineSnapshot, restore
-
-    resumed_digest = None
-    start_boundary = boundaries[chain_range.start]
-    blob = cache.get(snapshot_keys[start_boundary]) if cache is not None else None
-    if blob is not None:
-        snapshot = MachineSnapshot.from_bytes(blob)
-        kernel = restore(snapshot)
-        resumed_digest = snapshot.digest
-    else:
-        if start_boundary != 0:
-            raise EngineError(
-                spec.name,
-                "boundary snapshot at instruction {} vanished from the cache".format(
-                    start_boundary
-                ),
-            )
-        kernel, _ = prepare_workload(
-            spec.workload,
-            process_count=spec.process_count,
-            seed_offset=spec.seed_offset,
-            configure=_spec_configure(spec),
-        )
-        kernel.run(max_instructions=spec.warmup_instructions)
-        kernel.start_measurement()
-        if cache is not None:
-            _store_boundary_snapshot(
-                cache, snapshot_keys[0], kernel, spec.name, chash, 0
-            )
-    for index in chain_range:
+    Starts from the deepest healthy cached boundary snapshot (or a
+    fresh build + warmup when none survives), emits every missing shard
+    result and boundary snapshot into the cache as it passes, and
+    returns the digest of the snapshot it resumed from, if any.  Spans
+    whose results are already filled are simulated through without
+    re-storing — the chain needs their end state, not their numbers."""
+    kernel, anchor, resumed_digest = _open_chain_kernel(
+        spec, boundaries, start_index, cache, snapshot_keys, chash
+    )
+    for index in range(anchor, end_index + 1):
         span = boundaries[index + 1] - boundaries[index]
         name = "{}[shard {}/{}]".format(spec.name, index + 1, shards)
         notify(ProgressEvent("start", index, shards, name))
-        histogram, events, stats, wall = _measure_span(kernel, span)
+        histogram, events, stats, wall = _measure_span(
+            kernel, span, fault_key="{}@{}".format(spec.name, boundaries[index])
+        )
         if results[index] is None:
             shard = ShardResult(
                 index=index,
@@ -634,12 +1040,59 @@ def _merge_shard_results(
     return result, board.dump_sparse()
 
 
+def _shard_status_map(
+    results: List[Optional[ShardResult]],
+    worker_failures: Dict[int, Tuple[str, str]],
+    shards: int,
+) -> Dict[int, str]:
+    """Per-shard outcome: the diagnosable face of a partial failure."""
+    status = {}
+    for index in range(shards):
+        shard = results[index]
+        if shard is not None:
+            status[index] = "from-cache" if shard.from_cache else "computed"
+        elif index in worker_failures:
+            status[index] = "worker failed: {}".format(worker_failures[index][0])
+        else:
+            status[index] = "unfilled"
+    return status
+
+
+def _shard_failure_text(
+    results: List[Optional[ShardResult]],
+    worker_failures: Dict[int, Tuple[str, str]],
+    chain_failure: Optional[str],
+    repair_failure: Optional[str],
+    shards: int,
+) -> str:
+    """Compose the EngineError body for a sharded failure: the
+    per-shard status map first, then every traceback we hold."""
+    status = _shard_status_map(results, worker_failures, shards)
+    lines = ["sharded execution left shards unfilled; per-shard status:"]
+    for index in sorted(status):
+        lines.append("  shard {}/{}: {}".format(index + 1, shards, status[index]))
+    for index in sorted(worker_failures):
+        _, worker_tb = worker_failures[index]
+        if worker_tb:
+            lines.append(
+                "worker traceback (shard {}/{}):\n{}".format(
+                    index + 1, shards, worker_tb
+                )
+            )
+    if chain_failure:
+        lines.append("chain traceback:\n{}".format(chain_failure))
+    if repair_failure:
+        lines.append("repair-chain traceback:\n{}".format(repair_failure))
+    return "\n".join(lines)
+
+
 def execute_spec_sharded(
     spec: RunSpec,
     shards: int,
     jobs: int = 1,
     cache=None,
     progress: Optional[ProgressCallback] = None,
+    policy=None,
 ) -> EngineRun:
     """Execute one spec as ``shards`` resumable shards.
 
@@ -652,34 +1105,87 @@ def execute_spec_sharded(
     bit-identical to :func:`execute_spec` (the equivalence tests assert
     it), and the returned :class:`EngineRun` carries shard provenance in
     its manifest.
+
+    The path is self-healing: corrupt or unpicklable cached objects are
+    quarantined and recomputed, a dead pool worker's shards fall to an
+    in-process repair chain, and the manifest records how much healing
+    happened (``quarantined_objects``, ``repaired_shards``).  Only when
+    even the repair chain fails does :class:`EngineError` surface — its
+    message carries the per-shard status map and every collected
+    traceback, so a partial cache/pool failure is diagnosable from the
+    error alone.
     """
+    from repro.core.resilience import ResiliencePolicy
     from repro.obs.provenance import RunManifest
     from repro.workloads import profile_by_name
 
     shards = max(1, min(shards, spec.instructions or 1))
     if shards <= 1:
         return execute_spec(spec)
+    policy = policy if policy is not None else ResiliencePolicy()
     notify = progress if progress is not None else _ignore_progress
     started = time.perf_counter()
     profile = profile_by_name(spec.workload)
     manifest = RunManifest.for_spec(spec, profile_seed=profile.seed)
     boundaries = shard_boundaries(spec.instructions, shards)
     chash, shard_keys, snapshot_keys = _shard_cache_keys(spec, boundaries)
+    quarantined_before = cache.quarantined_objects() if cache is not None else 0
 
     results: List[Optional[ShardResult]] = [None] * shards
     if cache is not None:
         for index in range(shards):
             blob = cache.get(shard_keys[index])
-            if blob is not None:
+            if blob is None:
+                continue
+            try:
                 shard = pickle.loads(blob)
-                shard.from_cache = True
-                results[index] = shard
-                name = "{}[shard {}/{}]".format(spec.name, index + 1, shards)
-                notify(ProgressEvent("start", index, shards, name))
-                notify(ProgressEvent("done", index, shards, name))
+            except Exception as exc:
+                # Digest-valid but undeserializable (e.g. written by an
+                # incompatible build): quarantine and recompute.
+                cache.quarantine(
+                    shard_keys[index], reason="unpicklable shard: {}".format(exc)
+                )
+                continue
+            shard.from_cache = True
+            results[index] = shard
+            name = "{}[shard {}/{}]".format(spec.name, index + 1, shards)
+            notify(ProgressEvent("start", index, shards, name))
+            notify(ProgressEvent("done", index, shards, name))
+
+    #: index -> (summary, worker traceback) for shards lost to workers
+    worker_failures: Dict[int, Tuple[str, str]] = {}
+    chain_failure: Optional[str] = None
+    resumed_digest: Optional[str] = None
+    pool_respawns = 0
+
+    def run_chain(start_index: int, end_index: int) -> None:
+        nonlocal resumed_digest
+        digest = _run_shard_chain(
+            spec, boundaries, start_index, end_index, results, cache,
+            shard_keys, snapshot_keys, chash, notify, shards,
+        )
+        if resumed_digest is None:
+            resumed_digest = digest
+
+    def collect(index: int, payload: Tuple) -> None:
+        if payload[0] == "error":
+            _, name, worker_tb = payload
+            summary = _tb_summary(worker_tb)
+            notify(ProgressEvent("error", index, shards, name, error=summary))
+            worker_failures[index] = (summary, worker_tb)
+            return
+        results[index] = payload[1]
+        notify(
+            ProgressEvent(
+                "done",
+                index,
+                shards,
+                "{}[shard {}/{}]".format(spec.name, index + 1, shards),
+                wall_seconds=payload[1].wall_seconds,
+            )
+        )
 
     missing = [index for index in range(shards) if results[index] is None]
-    resumed_digest = None
     if missing:
         can_restore = set()
         if cache is not None:
@@ -689,20 +1195,13 @@ def execute_spec_sharded(
                 if cache.has(snapshot_keys[boundaries[index]])
             }
         chain_needed = [index for index in missing if index not in can_restore]
-        chain_range = range(0)
+        chain_span: Optional[Tuple[int, int]] = None
         if chain_needed:
-            anchor = None
-            if cache is not None:
-                for candidate in range(chain_needed[0], -1, -1):
-                    if cache.has(snapshot_keys[boundaries[candidate]]):
-                        anchor = candidate
-                        break
-            chain_range = range(
-                anchor if anchor is not None else 0, chain_needed[-1] + 1
-            )
+            chain_span = (chain_needed[0], chain_needed[-1])
         # Shards inside the chain interval fall out of the chain's pass
         # for free; only snapshot-backed shards outside it fan out.
-        worker_indices = sorted(can_restore - set(chain_range))
+        chain_cover = set(range(chain_span[0], chain_span[1] + 1)) if chain_span else set()
+        worker_indices = sorted(can_restore - chain_cover)
         worker_tasks = [
             {
                 "cache_root": cache.root,
@@ -721,29 +1220,11 @@ def execute_spec_sharded(
             for index in worker_indices
         ]
 
-        def collect(index: int, payload: Tuple) -> None:
-            if payload[0] == "error":
-                _, name, worker_tb = payload
-                summary = worker_tb.strip().splitlines()[-1] if worker_tb else ""
-                notify(ProgressEvent("error", index, shards, name, error=summary))
-                raise EngineError(name, worker_tb)
-            results[index] = payload[1]
-            notify(
-                ProgressEvent(
-                    "done",
-                    index,
-                    shards,
-                    "{}[shard {}/{}]".format(spec.name, index + 1, shards),
-                    wall_seconds=payload[1].wall_seconds,
-                )
-            )
-
         if worker_tasks and jobs > 1:
             workers = min(jobs, len(worker_tasks))
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=_pool_context()
-            ) as pool:
-                futures = {}
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context())
+            futures = {}
+            try:
                 for task in worker_tasks:
                     notify(
                         ProgressEvent(
@@ -758,13 +1239,29 @@ def execute_spec_sharded(
                     futures[pool.submit(_execute_shard_task_guarded, task)] = task[
                         "index"
                     ]
-                if len(chain_range):
-                    resumed_digest = _run_shard_chain(
-                        spec, boundaries, chain_range, results, cache,
-                        shard_keys, snapshot_keys, chash, notify, shards,
-                    )
-                for future in as_completed(futures):
-                    collect(futures[future], future.result())
+                if chain_span is not None:
+                    try:
+                        run_chain(*chain_span)
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception:
+                        chain_failure = traceback.format_exc()
+                try:
+                    for future in as_completed(futures):
+                        collect(futures[future], future.result())
+                except BrokenProcessPool:
+                    # One dead worker poisons every outstanding future;
+                    # whatever did not finish falls to the repair chain.
+                    pool_respawns += 1
+                    for future, index in futures.items():
+                        if results[index] is None and index not in worker_failures:
+                            worker_failures[index] = (
+                                "process-pool worker died while the shard "
+                                "was in flight",
+                                "",
+                            )
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
         else:
             for task in worker_tasks:
                 notify(
@@ -776,24 +1273,67 @@ def execute_spec_sharded(
                     )
                 )
                 collect(task["index"], _execute_shard_task_guarded(task))
-            if len(chain_range):
-                resumed_digest = _run_shard_chain(
-                    spec, boundaries, chain_range, results, cache,
-                    shard_keys, snapshot_keys, chash, notify, shards,
-                )
+            if chain_span is not None:
+                try:
+                    run_chain(*chain_span)
+                except KeyboardInterrupt:
+                    raise
+                except Exception:
+                    chain_failure = traceback.format_exc()
 
-    if any(shard is None for shard in results):  # pragma: no cover - invariant
-        raise EngineError(spec.name, "sharded execution left a shard unfilled")
+    # Repair pass: anything still unfilled — a failed worker, a corrupt
+    # snapshot, a faulted chain — is recomputed as one in-process chain
+    # from the deepest healthy snapshot.  Determinism makes the repaired
+    # shards bit-identical to what the lost workers would have produced.
+    repaired = 0
+    unfilled = [index for index in range(shards) if results[index] is None]
+    if unfilled:
+        try:
+            run_chain(min(unfilled), max(unfilled))
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            raise EngineError(
+                spec.name,
+                _shard_failure_text(
+                    results, worker_failures, chain_failure,
+                    traceback.format_exc(), shards,
+                ),
+            )
+        repaired = sum(1 for index in unfilled if results[index] is not None)
+
+    still_unfilled = [index for index in range(shards) if results[index] is None]
+    if still_unfilled:
+        raise EngineError(
+            spec.name,
+            _shard_failure_text(results, worker_failures, chain_failure, None, shards),
+        )
 
     result, histogram = _merge_shard_results(spec, results)
     wall = time.perf_counter() - started
     cached_count = sum(1 for shard in results if shard.from_cache)
+    quarantined = (
+        cache.quarantined_objects() - quarantined_before if cache is not None else 0
+    )
     manifest.wall_seconds = wall
     manifest.instructions_measured = result.instructions
     manifest.cycles_measured = result.stats.cycles
     manifest.shards = shards
     manifest.shards_from_cache = cached_count
     manifest.resumed_from = resumed_digest
+    manifest.quarantined_objects = quarantined
+    manifest.repaired_shards = repaired
+    if policy.metrics is not None:
+        policy.metrics.counter(
+            "engine.quarantined_objects", "corrupt cache objects quarantined"
+        ).inc(quarantined)
+        policy.metrics.counter(
+            "engine.repaired_shards", "shards recomputed by the repair chain"
+        ).inc(repaired)
+        policy.metrics.counter(
+            "engine.pool_respawns",
+            "process pools respawned after a death or timeout",
+        ).inc(pool_respawns)
     return EngineRun(
         spec=spec,
         result=result,

@@ -278,7 +278,8 @@ def run_composite_experiment(
     progress=None,
     shards: int = 1,
     cache=None,
-) -> ExperimentResult:
+    policy=None,
+):
     """The paper's headline measurement: the composite of all five
     workloads (the sum of the five UPC histograms).
 
@@ -295,8 +296,17 @@ def run_composite_experiment(
     ``cache`` (a :class:`~repro.core.runcache.RunCache`) lets repeated
     runs reuse finished shards and boundary snapshots.  The composite
     stays bit-identical whatever the shard count.
+
+    ``policy`` (a :class:`~repro.core.resilience.ResiliencePolicy`)
+    governs failure handling; ``None`` keeps the historical
+    first-failure-raises behaviour and returns the bare
+    :class:`ExperimentResult`.  With ``policy.on_error == "collect"``
+    the return value is ``(result, report)`` — the composite of every
+    workload that succeeded (``None`` when all failed) plus the
+    :class:`~repro.core.resilience.FailureReport`.
     """
     from repro.core.engine import (  # lazy: engine imports us
+        EngineError,
         RunSpec,
         execute_spec_sharded,
         run_specs,
@@ -316,16 +326,51 @@ def run_composite_experiment(
         }
         fields.update(overrides.get(name, {}))
         specs.append(RunSpec(**fields))
+    collect = policy is not None and policy.on_error == "collect"
     if shards > 1:
-        runs = [
-            execute_spec_sharded(
-                spec, shards=shards, jobs=jobs, cache=cache, progress=progress
+        from repro.core.resilience import FailureReport, SpecFailure
+
+        runs = []
+        failures = []
+        for index, spec in enumerate(specs):
+            try:
+                runs.append(
+                    execute_spec_sharded(
+                        spec, shards=shards, jobs=jobs, cache=cache,
+                        progress=progress, policy=policy,
+                    )
+                )
+            except KeyboardInterrupt:
+                raise
+            except EngineError as error:
+                if not collect:
+                    raise
+                failures.append(
+                    SpecFailure(
+                        name=spec.name,
+                        index=index,
+                        attempts=1,
+                        kind="error",
+                        error=str(error).splitlines()[0],
+                        worker_traceback=error.worker_traceback,
+                    )
+                )
+        if collect:
+            report = FailureReport(
+                total=len(specs),
+                completed=[run.spec.name for run in runs],
+                failures=failures,
             )
-            for spec in specs
-        ]
-    else:
-        runs = run_specs(specs, jobs=jobs, progress=progress)
-    return composite([run.result for run in runs])
+            policy.record_report(report)
+            result = composite([run.result for run in runs]) if runs else None
+            return result, report
+        return composite([run.result for run in runs])
+    outcome = run_specs(specs, jobs=jobs, progress=progress, policy=policy)
+    if collect:
+        runs = outcome.results
+        result = composite([run.result for run in runs]) if runs else None
+        return result, outcome.report
+    return composite([run.result for run in outcome])
 
 
 def composite(results: List[ExperimentResult], name: str = "composite") -> ExperimentResult:

@@ -18,6 +18,16 @@ optional ``.json`` metadata sidecar per object.  Writes go through a
 temp file + ``os.replace`` so concurrent pool workers never observe a
 torn object; content addressing makes double-writes idempotent.
 
+The store is self-healing: every put records a ``.sum`` sidecar (the
+sha256 of the stored bytes) and every get verifies it.  An object whose
+bytes no longer hash to their recorded digest — bit rot, a truncated
+write that somehow survived, a corrupted filesystem — is *quarantined*
+(moved to ``objects/quarantine/`` with a ``.reason`` note) and reported
+as a miss, so the engine recomputes it instead of crashing on it or,
+worse, merging garbage.  ``repro cache info`` reports the quarantine
+count; the quarantined files stick around for post-mortems until
+``clear`` removes them.
+
 Cached objects are pickles and deserializing them executes pickle
 machinery — treat a cache directory with the same trust as the working
 tree it sits in (the default root lives inside it).
@@ -31,6 +41,8 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
+
+from repro.testing import faults
 
 #: Bump to invalidate every existing cache entry (key derivation
 #: changes, stored-object shape changes).
@@ -81,13 +93,20 @@ class CacheEntry:
 class RunCache:
     """A directory of content-addressed objects with hit/miss stats."""
 
+    #: Subdirectory of ``objects/`` corrupt objects are moved into.
+    QUARANTINE_DIRNAME = "quarantine"
+
     def __init__(self, root: str):
         self.root = os.path.abspath(root)
         self._objects_dir = os.path.join(self.root, "objects")
+        self._quarantine_dir = os.path.join(self._objects_dir, self.QUARANTINE_DIRNAME)
         os.makedirs(self._objects_dir, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        #: corrupt objects this instance moved to quarantine (see
+        #: :meth:`quarantined_objects` for the cross-process disk count)
+        self.quarantined = 0
 
     @classmethod
     def default(cls, path: Optional[str] = None) -> "RunCache":
@@ -108,13 +127,31 @@ class RunCache:
         """Existence probe; does not count toward hit/miss stats."""
         return os.path.exists(self._object_path(key))
 
-    def get(self, key: str) -> Optional[bytes]:
+    def get(self, key: str, verify: bool = True) -> Optional[bytes]:
+        """Fetch ``key``, integrity-checked against its ``.sum`` sidecar.
+
+        A digest mismatch quarantines the object and reports a miss —
+        the caller recomputes instead of consuming corrupt state.
+        Objects written before ``.sum`` sidecars existed are accepted
+        as-is (legacy caches stay readable)."""
+        path = self._object_path(key)
         try:
-            with open(self._object_path(key), "rb") as handle:
+            with open(path, "rb") as handle:
                 data = handle.read()
         except FileNotFoundError:
             self.misses += 1
             return None
+        data = faults.corrupt_bytes("cache.get", key, data)
+        if verify:
+            expected = self._read_sum(key)
+            if expected is not None and hashlib.sha256(data).hexdigest() != expected:
+                self.quarantine(
+                    key,
+                    reason="content digest mismatch: stored bytes no longer "
+                    "hash to the recorded sha256",
+                )
+                self.misses += 1
+                return None
         self.hits += 1
         return data
 
@@ -129,7 +166,11 @@ class RunCache:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         if meta is not None:
             self._write_atomic(path + ".json", json.dumps(meta, sort_keys=True, default=repr).encode("utf-8"))
+        self._write_atomic(
+            path + ".sum", hashlib.sha256(data).hexdigest().encode("ascii")
+        )
         self._write_atomic(path, data)
+        faults.corrupt_file("cache.stored", key, path)
         self.puts += 1
         return path
 
@@ -138,14 +179,67 @@ class RunCache:
         handle, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path), prefix=".tmp-")
         try:
             with os.fdopen(handle, "wb") as tmp:
+                handle = None  # the file object owns the fd now
                 tmp.write(data)
+                faults.fire("cache.write", key=path, raiser=OSError)
             os.replace(tmp_path, path)
-        except BaseException:
+        finally:
+            if handle is not None:
+                # os.fdopen itself failed: the raw fd is still ours.
+                try:
+                    os.close(handle)
+                except OSError:
+                    pass
             try:
                 os.unlink(tmp_path)
             except OSError:
                 pass
-            raise
+
+    def _read_sum(self, key: str) -> Optional[str]:
+        try:
+            with open(self._object_path(key) + ".sum") as handle:
+                return handle.read().strip()
+        except OSError:
+            return None
+
+    # -- quarantine --------------------------------------------------------
+
+    def quarantine(self, key: str, reason: str = "") -> str:
+        """Move a corrupt object (and sidecars) out of the addressable
+        store so callers recompute it; returns the quarantine path.
+
+        The damaged bytes are preserved for post-mortems alongside a
+        ``.reason`` note; a later put of the recomputed object lands at
+        the now-vacant address."""
+        path = self._object_path(key)
+        os.makedirs(self._quarantine_dir, exist_ok=True)
+        dest = os.path.join(self._quarantine_dir, key)
+        moved = False
+        for suffix in ("", ".json", ".sum"):
+            try:
+                os.replace(path + suffix, dest + suffix)
+                moved = moved or suffix == ""
+            except OSError:
+                pass
+        if reason:
+            with open(dest + ".reason", "w") as handle:
+                handle.write(reason + "\n")
+        if moved:
+            self.quarantined += 1
+        return dest
+
+    def quarantined_objects(self) -> int:
+        """Objects currently in quarantine on disk — counts every
+        writer's quarantines, not just this instance's."""
+        try:
+            names = os.listdir(self._quarantine_dir)
+        except FileNotFoundError:
+            return 0
+        return sum(
+            1
+            for name in names
+            if not name.endswith((".json", ".sum", ".reason"))
+        )
 
     def get_meta(self, key: str) -> Optional[Dict]:
         try:
@@ -161,10 +255,16 @@ class RunCache:
         found = []
         for prefix in sorted(os.listdir(self._objects_dir)):
             prefix_dir = os.path.join(self._objects_dir, prefix)
-            if not os.path.isdir(prefix_dir):
+            # Only the two-hex fan-out dirs hold addressable objects;
+            # quarantine/ in particular is not listable inventory.
+            if (
+                not os.path.isdir(prefix_dir)
+                or len(prefix) != 2
+                or any(c not in "0123456789abcdef" for c in prefix)
+            ):
                 continue
             for rest in sorted(os.listdir(prefix_dir)):
-                if rest.endswith(".json") or rest.startswith(".tmp-"):
+                if rest.endswith((".json", ".sum")) or rest.startswith(".tmp-"):
                     continue
                 key = prefix + rest
                 path = os.path.join(prefix_dir, rest)
@@ -182,7 +282,8 @@ class RunCache:
         return sum(entry.size_bytes for entry in self.entries())
 
     def clear(self) -> int:
-        """Delete every object (and sidecar); returns objects removed."""
+        """Delete every object (sidecars and quarantine included);
+        returns addressable objects removed."""
         removed = 0
         for entry in list(self.entries()):
             try:
@@ -190,11 +291,25 @@ class RunCache:
                 removed += 1
             except FileNotFoundError:
                 pass
-            try:
-                os.unlink(entry.path + ".json")
-            except FileNotFoundError:
-                pass
+            for suffix in (".json", ".sum"):
+                try:
+                    os.unlink(entry.path + suffix)
+                except FileNotFoundError:
+                    pass
+        try:
+            for name in os.listdir(self._quarantine_dir):
+                try:
+                    os.unlink(os.path.join(self._quarantine_dir, name))
+                except OSError:
+                    pass
+        except FileNotFoundError:
+            pass
         return removed
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "quarantined": self.quarantined,
+        }

@@ -197,6 +197,12 @@ def restore(snapshot: MachineSnapshot, tracer=None):
     is attached to the restored machine — the snapshot itself never
     carries one.
     """
+    from repro.testing import faults
+
+    # Injected restore failures surface as SnapshotError, exactly like a
+    # real digest mismatch — callers' recovery paths cannot tell them
+    # apart, which is the point.
+    faults.fire("snapshot.restore", key=snapshot.digest, raiser=SnapshotError)
     try:
         raw = zlib.decompress(snapshot.payload)
     except zlib.error as exc:

@@ -180,6 +180,31 @@ class MetricsRegistry:
                 histogram.max = stats["max"]
 
 
+#: Names the resilience layer reports through a policy's registry
+#: (see :meth:`repro.core.resilience.ResiliencePolicy.record_report`
+#: and the sharded executor).  Pre-registered by
+#: :func:`resilience_counters` so dashboards see zeros, not absences.
+RESILIENCE_COUNTERS = (
+    ("engine.retries", "spec retries performed"),
+    ("engine.spec_timeouts", "specs that exceeded their wall-clock budget"),
+    ("engine.pool_respawns", "process pools respawned after a death or timeout"),
+    ("engine.spec_failures", "specs that failed after their whole retry budget"),
+    ("engine.quarantined_objects", "corrupt cache objects quarantined"),
+    ("engine.repaired_shards", "shards recomputed by the repair chain"),
+)
+
+
+def resilience_counters(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Pre-register the engine's fault-tolerance counters at zero."""
+    registry = registry if registry is not None else MetricsRegistry()
+    for name, help_text in RESILIENCE_COUNTERS:
+        registry.counter(name, help_text)
+    registry.gauge(
+        "engine.degraded", "1 when a sweep fell back to in-process execution"
+    )
+    return registry
+
+
 def registry_from_result(result, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
     """Expose an :class:`~repro.core.experiment.ExperimentResult` through
     the metrics surface — the typed replacement for ad-hoc

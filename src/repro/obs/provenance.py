@@ -112,6 +112,14 @@ class RunManifest:
     shards_from_cache: int = 0
     #: sha256 of the boundary snapshot a resumed chain restarted from
     resumed_from: Optional[str] = None
+    #: engine executions this run needed (1 = succeeded first try; >1
+    #: means the resilience layer retried it)
+    attempts: int = 1
+    #: corrupt cache objects quarantined while this run executed
+    quarantined_objects: int = 0
+    #: shards recomputed by the in-process repair chain after a pool
+    #: worker failed or its cached inputs turned out corrupt
+    repaired_shards: int = 0
 
     def to_dict(self) -> Dict:
         return asdict(self)

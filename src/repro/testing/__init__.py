@@ -1,0 +1,12 @@
+"""Test-support machinery that ships with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness the resilience tests (and the CI chaos job) drive the engine's
+recovery paths with.  Nothing in here runs unless a fault plan is
+explicitly installed — every injection site costs one environment-dict
+lookup when disarmed.
+"""
+
+from repro.testing import faults
+
+__all__ = ["faults"]

@@ -63,18 +63,18 @@ class TestStoreFetch:
 
     def test_hit_miss_put_accounting(self, cache):
         key = cache_key("test", payload=2)
-        assert cache.stats() == {"hits": 0, "misses": 0, "puts": 0}
+        assert cache.stats() == {"hits": 0, "misses": 0, "puts": 0, "quarantined": 0}
         cache.get(key)
         cache.put(key, b"x")
         cache.get(key)
-        assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1, "quarantined": 0}
 
     def test_has_does_not_touch_stats(self, cache):
         key = cache_key("test", payload=3)
         assert not cache.has(key)
         cache.put(key, b"x")
         assert cache.has(key)
-        assert cache.stats() == {"hits": 0, "misses": 0, "puts": 1}
+        assert cache.stats() == {"hits": 0, "misses": 0, "puts": 1, "quarantined": 0}
 
     def test_put_twice_is_idempotent(self, cache):
         # Content addressing: the first write wins and the second is a
@@ -157,6 +157,7 @@ class TestInspection:
         assert cache.clear() == 1
         assert not os.path.exists(path)
         assert not os.path.exists(path + ".json")
+        assert not os.path.exists(path + ".sum")
         assert list(cache.entries()) == []
 
 
@@ -199,6 +200,101 @@ class TestConcurrencySafety:
         cache.put(key, b"x", meta={"obj": object()})
         meta = cache.get_meta(key)
         assert "object object" in meta["obj"]
+
+
+class TestSelfHealing:
+    def test_on_disk_bitflip_is_quarantined_and_recomputed(self, cache):
+        # Rot the stored bytes behind the cache's back: get() must report
+        # a miss (never hand back garbage), move the damage to
+        # quarantine, and leave the address vacant for the recompute.
+        key = cache_key("test", payload="rot")
+        path = cache.put(key, b"precious bytes", meta={"kind": "test"})
+        with open(path, "r+b") as handle:
+            handle.seek(3)
+            byte = handle.read(1)[0]
+            handle.seek(3)
+            handle.write(bytes([byte ^ 0x40]))
+        assert cache.get(key) is None
+        assert cache.stats()["quarantined"] == 1
+        assert cache.quarantined_objects() == 1
+        assert not cache.has(key)
+        quarantined = os.path.join(
+            cache.root, "objects", RunCache.QUARANTINE_DIRNAME, key
+        )
+        assert os.path.exists(quarantined)
+        assert os.path.exists(quarantined + ".reason")
+        cache.put(key, b"precious bytes")
+        assert cache.get(key) == b"precious bytes"
+
+    def test_injected_read_corruption_quarantines(self, cache, tmp_path):
+        from repro.testing.faults import FaultPlan, FaultRule
+
+        key = cache_key("test", payload="readrot")
+        cache.put(key, b"payload bytes")
+        plan = FaultPlan(
+            rules=[FaultRule(site="cache.get", action="truncate", times=1)],
+            state_dir=str(tmp_path / "faults"),
+        )
+        with plan.active():
+            assert cache.get(key) is None
+        assert cache.quarantined_objects() == 1
+
+    def test_legacy_object_without_sum_is_accepted(self, cache):
+        key = cache_key("test", payload="legacy")
+        cache.put(key, b"old bytes")
+        os.unlink(cache._object_path(key) + ".sum")
+        assert cache.get(key) == b"old bytes"
+        assert cache.quarantined_objects() == 0
+
+    def test_entries_and_clear_handle_quarantine(self, cache):
+        keep = cache_key("test", payload="keep")
+        rot = cache_key("test", payload="togo")
+        cache.put(keep, b"keep me")
+        cache.put(rot, b"rot me")
+        cache.quarantine(rot, reason="test damage")
+        assert [entry.key for entry in cache.entries()] == [keep]
+        assert cache.quarantined_objects() == 1
+        assert cache.clear() == 1
+        assert cache.quarantined_objects() == 0
+
+
+class TestWriteFailureCleanup:
+    @staticmethod
+    def _strays(root):
+        return [
+            name
+            for _, _, names in os.walk(root)
+            for name in names
+            if name.startswith(".tmp-")
+        ]
+
+    def test_injected_write_failure_leaves_no_temp_files(self, cache):
+        from repro.testing.faults import FaultPlan, FaultRule
+
+        key = cache_key("test", payload="diskfull")
+        plan = FaultPlan(
+            rules=[FaultRule(site="cache.write", action="raise", times=-1)]
+        )
+        with plan.active():
+            with pytest.raises(OSError):
+                cache.put(key, b"x" * 4096)
+        assert self._strays(cache.root) == []
+        assert not cache.has(key)
+        cache.put(key, b"x" * 4096)
+        assert cache.get(key) == b"x" * 4096
+
+    def test_fdopen_failure_leaves_no_temp_files(self, cache, monkeypatch):
+        import repro.core.runcache as runcache_module
+
+        def refuse(fd, mode):
+            # Leave the fd open: the finally clause owns closing it.
+            raise OSError("simulated fdopen failure")
+
+        monkeypatch.setattr(runcache_module.os, "fdopen", refuse)
+        with pytest.raises(OSError):
+            cache.put(cache_key("test", payload="nofd"), b"x")
+        monkeypatch.undo()
+        assert self._strays(cache.root) == []
 
 
 def _racing_put(args):
