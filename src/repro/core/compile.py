@@ -1,0 +1,1396 @@
+"""Compiled micro-routine hot path: replay programs for the EBOX.
+
+The interpreted EBOX charges every microcycle one ``_tick`` at a time:
+each simulated cycle is a Python call chain (slot lookup, monitor
+strobe, IB background cycle) even though the vast majority of
+instructions take the exact same non-stalled path through the exact
+same microroutines every time they execute.  This module removes that
+per-cycle interpretation the way nanoBench/uops.info remove measurement
+overhead: precompute what a measured unit *will* do, replay its net
+effect in a few batched steps, and validate the shortcut against exact
+ground truth (the repository's bit-identical golden digests).
+
+Three layers:
+
+* :class:`RoutineProgram` / :class:`LayoutReplay` — the
+  ``build_layout``-time specializer.  Each microroutine in the control
+  store is flattened into a dense replay program: its per-slot
+  histogram buckets plus the precomputed (bucket, count) increment
+  sequences its compute charges produce, patched-entry abort detour
+  included.
+* :func:`compile_record` — the trace-JIT.  Given the raw bytes of one
+  instruction it merges the routine programs along the decode →
+  specifier → execute path into an :class:`InstructionRecord`: an op
+  list of CONSUME / ADVANCE / SPEC / BRANCH steps that preserves the
+  interpreted path's exact interleaving of I-stream consumption, cycle
+  charging, event counting and memory references (so the cache, TB,
+  write buffer and prefetcher see byte-identical traffic, and
+  ``Counter`` key insertion order is preserved) while batching
+  everything else.  Records are keyed by raw instruction bytes — the
+  uops.info keying: one record per opcode × specifier-mode
+  (× displacement) variant — and shared by every machine on the same
+  layout.
+* :func:`execute_record` — the replay engine ``EBox.step`` dispatches
+  to.  It bails out *before mutating anything* unless the
+  instruction's full byte image is either already in the IB or
+  provably on its way: a side-effect-free lookahead (:func:`peek_image`
+  / ``_image_ready``) checks that no fill or TB miss is in flight and
+  that the TB-resident pages ahead of the prefetcher hold exactly the
+  record's remaining bytes.  Mid-replay IB under-runs (the buffer was
+  flushed by a taken branch and refills during the instruction) ride
+  the interpreter's own ``_take_bytes`` stall loop, one consume per
+  interpreted ``take``, so stall cycles land on the same wait routine
+  at the same instant.  The other dynamic events (read/write stalls,
+  TB misses, page faults, unaligned detours) are handled by the same
+  ``EBox.data_read`` / ``data_write`` code the interpreter uses, so
+  they are equivalent by construction.
+
+Anything the replay cannot prove static falls back to the interpreted
+path: I-stream bytes neither buffered nor verifiable ahead of the
+prefetcher, instructions longer than the 16-byte image cap,
+unknown opcodes or missing execute semantics, illegal specifier
+combinations (the interpreter raises the architectural exception),
+attached tracers, nonstandard monitor boards, and the
+``REPRO_NO_COMPILE=1`` environment switch (the differential harness
+runs every workload both ways).  Machine snapshots never contain replay
+state, so a snapshot is byte-identical whether the run that produced it
+was compiled or interpreted.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from weakref import WeakKeyDictionary
+
+from repro.cpu.operands import (
+    IllegalSpecifier,
+    OperandRef,
+    decode_specifier,
+    expand_float_literal,
+)
+from repro.isa.datatypes import DataType, f_floating_encode
+from repro.isa.opcodes import OPCODES, OpcodeGroup
+from repro.isa.specifiers import (
+    AccessType,
+    AddressingMode,
+    TABLE4_ROW_FOR_MODE,
+)
+from repro.memory.pagetable import PAGE_SIZE
+from repro.ucode.control_store import CONTROL_STORE_SIZE
+from repro.ucode.costs import INDEX_EXTRA_CYCLES, SPEC_COSTS
+from repro.ucode.microword import MicroSlot
+
+#: Environment switch: set to 1/true/yes/on to force the interpreted path.
+NO_COMPILE_ENV = "REPRO_NO_COMPILE"
+
+#: The IB's capacity; replay byte images may exceed it (see _MAX_IMAGE)
+#: because the I-stream lookahead verifies bytes the buffer has not
+#: accepted yet.
+_IB_CAPACITY = 8
+
+#: Cap on a record's byte image.  Instructions longer than the IB are
+#: verified via the lookahead and consume through ``_take_bytes``
+#: under-runs; beyond 16 bytes (three memory operands with long
+#: displacements) instructions are rare enough to interpret forever.
+_MAX_IMAGE = 16
+
+#: Soft cap on distinct byte-keyed records per layout; beyond it new
+#: records still execute but are not retained.
+_RECORD_CACHE_CAP = 65_536
+
+_MASK32 = 0xFFFFFFFF
+
+_COMPUTE_A = MicroSlot.COMPUTE_A.value
+_COMPUTE_B = MicroSlot.COMPUTE_B.value
+
+# Replay op kinds (tuple tag ints, matched in execute_record).
+OP_CONSUME = 0  # (OP_CONSUME, byte_count, wait_routine)
+OP_ADVANCE = 1  # (OP_ADVANCE, cycles, ((bucket, count), ...))
+OP_SPEC = 2  # (OP_SPEC, SpecTemplate)
+OP_BRANCH = 3  # (OP_BRANCH, width, displacement)
+OP_DECODE_TICK = 4  # (OP_DECODE_TICK, cycles, incs) — decode_overlap only
+
+# Specifier template kinds.
+K_VALUE = 0  # short literal / immediate: value precomputed
+K_REGISTER = 1
+K_MEMORY = 2
+
+# Effective-address kinds for K_MEMORY templates.
+EA_REG_DEFERRED = 0
+EA_AUTOINCREMENT = 1
+EA_AUTODECREMENT = 2
+EA_AUTOINCREMENT_DEFERRED = 3
+EA_DISPLACEMENT = 4
+EA_DISPLACEMENT_DEFERRED = 5
+EA_ABSOLUTE = 6
+EA_RELATIVE = 7
+EA_RELATIVE_DEFERRED = 8
+
+_EA_KIND = {
+    AddressingMode.REGISTER_DEFERRED: EA_REG_DEFERRED,
+    AddressingMode.AUTOINCREMENT: EA_AUTOINCREMENT,
+    AddressingMode.AUTODECREMENT: EA_AUTODECREMENT,
+    AddressingMode.AUTOINCREMENT_DEFERRED: EA_AUTOINCREMENT_DEFERRED,
+    AddressingMode.BYTE_DISPLACEMENT: EA_DISPLACEMENT,
+    AddressingMode.WORD_DISPLACEMENT: EA_DISPLACEMENT,
+    AddressingMode.LONG_DISPLACEMENT: EA_DISPLACEMENT,
+    AddressingMode.BYTE_DISPLACEMENT_DEFERRED: EA_DISPLACEMENT_DEFERRED,
+    AddressingMode.WORD_DISPLACEMENT_DEFERRED: EA_DISPLACEMENT_DEFERRED,
+    AddressingMode.LONG_DISPLACEMENT_DEFERRED: EA_DISPLACEMENT_DEFERRED,
+    AddressingMode.ABSOLUTE: EA_ABSOLUTE,
+    AddressingMode.BYTE_RELATIVE: EA_RELATIVE,
+    AddressingMode.WORD_RELATIVE: EA_RELATIVE,
+    AddressingMode.LONG_RELATIVE: EA_RELATIVE,
+    AddressingMode.BYTE_RELATIVE_DEFERRED: EA_RELATIVE_DEFERRED,
+    AddressingMode.WORD_RELATIVE_DEFERRED: EA_RELATIVE_DEFERRED,
+    AddressingMode.LONG_RELATIVE_DEFERRED: EA_RELATIVE_DEFERRED,
+}
+
+_DTYPE_SIZE = {
+    DataType.BYTE: 1,
+    DataType.WORD: 2,
+    DataType.LONG: 4,
+    DataType.QUAD: 8,
+    DataType.F_FLOAT: 4,
+    DataType.PACKED: 1,
+    DataType.VARIABLE_FIELD: 4,
+}
+
+
+def compile_disabled_by_env() -> bool:
+    """True when ``REPRO_NO_COMPILE`` asks for the interpreted path."""
+    return os.environ.get(NO_COMPILE_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+@dataclass
+class CompileStats:
+    """Per-machine replay diagnostics (never part of measured results).
+
+    Excluded from snapshots so compiled and interpreted runs pickle
+    byte-identically; surfaced through MetricsRegistry / RunManifest.
+    """
+
+    #: microroutines flattened into RoutinePrograms for this layout
+    routines_specialized: int = 0
+    #: instruction records compiled (cache misses that built a program)
+    records_compiled: int = 0
+    #: fast-path executions (JIT cache hit, replay ran to completion)
+    jit_hits: int = 0
+    #: interpreted executions while compilation was enabled
+    jit_misses: int = 0
+    #: byte-image mismatches at a cached address (aliasing / rewrites)
+    byte_fallbacks: int = 0
+    #: instructions found permanently uncompilable
+    uncompilable: int = 0
+    #: cycles charged by replayed instructions
+    fast_cycles: int = 0
+    #: cycles charged by interpreted instructions (compile enabled)
+    slow_cycles: int = 0
+
+    @property
+    def fast_instruction_fraction(self) -> float:
+        total = self.jit_hits + self.jit_misses
+        return self.jit_hits / total if total else 0.0
+
+    @property
+    def fast_cycle_fraction(self) -> float:
+        total = self.fast_cycles + self.slow_cycles
+        return self.fast_cycles / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "routines_specialized": self.routines_specialized,
+            "records_compiled": self.records_compiled,
+            "jit_hits": self.jit_hits,
+            "jit_misses": self.jit_misses,
+            "byte_fallbacks": self.byte_fallbacks,
+            "uncompilable": self.uncompilable,
+            "fast_cycles": self.fast_cycles,
+            "slow_cycles": self.slow_cycles,
+            "fast_instruction_fraction": round(self.fast_instruction_fraction, 4),
+            "fast_cycle_fraction": round(self.fast_cycle_fraction, 4),
+        }
+
+    def merge_from(self, other: "CompileStats") -> None:
+        """Accumulate another machine's stats (shard merging)."""
+        self.routines_specialized = max(
+            self.routines_specialized, other.routines_specialized
+        )
+        self.records_compiled += other.records_compiled
+        self.jit_hits += other.jit_hits
+        self.jit_misses += other.jit_misses
+        self.byte_fallbacks += other.byte_fallbacks
+        self.uncompilable += other.uncompilable
+        self.fast_cycles += other.fast_cycles
+        self.slow_cycles += other.slow_cycles
+
+
+#: MetricsRegistry name prefix for the replay diagnostics.
+METRIC_PREFIX = "sim.compile."
+
+#: CompileStats fields that accumulate (counters; the remainder are
+#: point-in-time gauges).
+_COUNTER_FIELDS = (
+    "records_compiled",
+    "jit_hits",
+    "jit_misses",
+    "byte_fallbacks",
+    "uncompilable",
+    "fast_cycles",
+    "slow_cycles",
+)
+
+
+def record_metrics(registry, stats: CompileStats, active: bool) -> None:
+    """Expose one machine's :class:`CompileStats` through a
+    :class:`~repro.obs.metrics.MetricsRegistry` under ``sim.compile.*``.
+
+    Counts go in as counters (so pool workers' snapshots sum when the
+    coordinator merges them); the specialization count and derived
+    fractions go in as gauges.  ``active`` records whether the compiled
+    path was enabled at all (0 under ``REPRO_NO_COMPILE=1`` or a
+    tracer).
+    """
+    for name in _COUNTER_FIELDS:
+        registry.counter(METRIC_PREFIX + name).inc(getattr(stats, name))
+    registry.gauge(
+        METRIC_PREFIX + "routines_specialized",
+        "microroutines flattened into replay programs",
+    ).set(stats.routines_specialized)
+    registry.gauge(
+        METRIC_PREFIX + "fast_instruction_fraction",
+        "instructions replayed from compiled records",
+    ).set(round(stats.fast_instruction_fraction, 4))
+    registry.gauge(
+        METRIC_PREFIX + "fast_cycle_fraction",
+        "cycles charged by the compiled fast path",
+    ).set(round(stats.fast_cycle_fraction, 4))
+    registry.gauge(
+        METRIC_PREFIX + "active", "1 when the compiled path was enabled"
+    ).set(1 if active else 0)
+
+
+def stats_from_snapshot(snapshot) -> "dict | None":
+    """Rebuild the compile-stats dict from a registry snapshot.
+
+    The engine calls this to stamp a :class:`~repro.obs.provenance.RunManifest`
+    without reaching into the machine; returns ``None`` when the
+    snapshot carries no ``sim.compile.*`` metrics (pre-compile
+    snapshots, foreign registries).
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    if METRIC_PREFIX + "active" not in gauges:
+        return None
+    out = {}
+    for source in (counters, gauges):
+        for name, value in source.items():
+            if name.startswith(METRIC_PREFIX):
+                out[name[len(METRIC_PREFIX):]] = value
+    # Fractions recomputed from the (possibly merged) counts beat the
+    # last worker's gauge value.
+    hits = out.get("jit_hits", 0)
+    misses = out.get("jit_misses", 0)
+    if hits + misses:
+        out["fast_instruction_fraction"] = round(hits / (hits + misses), 4)
+    fast = out.get("fast_cycles", 0)
+    slow = out.get("slow_cycles", 0)
+    if fast + slow:
+        out["fast_cycle_fraction"] = round(fast / (fast + slow), 4)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# layer 1: routine specialization (build_layout time)
+# ---------------------------------------------------------------------------
+
+
+class RoutineProgram:
+    """One microroutine flattened for replay.
+
+    The dense form of what ``EBox._tick_slot`` recomputes every cycle:
+    the histogram bucket of each slot and the increment sequence a
+    ``_charge_compute``-style burst produces, patched-entry abort
+    detour included.
+    """
+
+    __slots__ = ("routine", "buckets", "patched", "abort_bucket")
+
+    def __init__(self, routine, bucket_map, abort_bucket):
+        self.routine = routine
+        # Dense per-slot bucket table, indexed by MicroSlot.value; None
+        # for slots the routine does not implement.
+        self.buckets = tuple(
+            bucket_map[address] if address is not None else None
+            for address in routine.slot_addrs
+        )
+        self.patched = routine.patched
+        self.abort_bucket = abort_bucket
+
+    def compute_incs(self, cycles):
+        """(total_cycles, incs) for ``_charge_compute(routine, cycles)``."""
+        if cycles <= 0:
+            return 0, ()
+        incs = []
+        total = cycles
+        if self.patched:
+            # A patched entry microinstruction costs one abort cycle per
+            # execution, charged before COMPUTE_A.
+            incs.append((self.abort_bucket, 1))
+            total += 1
+        incs.append((self.buckets[_COMPUTE_A], 1))
+        if cycles > 1:
+            incs.append((self.buckets[_COMPUTE_B], cycles - 1))
+        return total, tuple(incs)
+
+    def slot_incs(self, slot, count=1):
+        """(total_cycles, incs) for ``_tick_slot(routine, slot, count)``."""
+        incs = []
+        total = count
+        if self.patched and slot == _COMPUTE_A:
+            incs.append((self.abort_bucket, 1))
+            total += 1
+        incs.append((self.buckets[slot], count))
+        return total, tuple(incs)
+
+
+class LayoutReplay:
+    """The specialized control store: one RoutineProgram per routine.
+
+    Built once per :class:`~repro.ucode.routines.MicrocodeLayout`
+    (``build_layout`` triggers it for the shared layout) and consulted
+    by the instruction compiler.  The micro-PC → bucket fold is the
+    monitor interface board's: identity below the top bucket,
+    everything else folded onto it.
+    """
+
+    #: must match the histogram board the replay's bucket numbers hit
+    BUCKETS = 16_000
+
+    def __init__(self, layout):
+        top = self.BUCKETS - 1
+        bucket_map = [
+            upc if upc < top else top for upc in range(CONTROL_STORE_SIZE)
+        ]
+        abort_bucket = bucket_map[layout.abort.address(MicroSlot.COMPUTE_A)]
+        self.abort_bucket = abort_bucket
+        self.programs = {}
+        self._by_id = {}
+        for routine in layout.store.routines:
+            program = RoutineProgram(routine, bucket_map, abort_bucket)
+            self.programs[routine.name] = program
+            self._by_id[id(routine)] = program
+
+    def program_for(self, routine) -> RoutineProgram:
+        program = self._by_id.get(id(routine))
+        if program is None:
+            raise KeyError("routine {} is not in this layout".format(routine.name))
+        return program
+
+    def __len__(self):
+        return len(self.programs)
+
+
+#: control store -> LayoutReplay.  Keyed by the store (1:1 with its
+#: layout, and hashable by identity — MicrocodeLayout is an eq-comparing
+#: dataclass and therefore unhashable).  Lives outside the layout object
+#: so machine snapshots (which pickle the layout) stay byte-identical
+#: whether or not the replay layer was ever built.
+_LAYOUT_REPLAYS: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def specialize_layout(layout) -> LayoutReplay:
+    """Flatten every microroutine of ``layout`` into replay programs.
+
+    Idempotent; ``build_layout`` calls this so a freshly built layout is
+    specialized up front, and lazy callers (snapshot-restored layouts)
+    get the same treatment on first use.
+    """
+    replay = _LAYOUT_REPLAYS.get(layout.store)
+    if replay is None:
+        replay = LayoutReplay(layout)
+        _LAYOUT_REPLAYS[layout.store] = replay
+    return replay
+
+
+# ---------------------------------------------------------------------------
+# layer 2: the instruction compiler (trace-JIT)
+# ---------------------------------------------------------------------------
+
+
+class SpecTemplate:
+    """One operand specifier, fully resolved at compile time.
+
+    Everything ``EBox._process_specifier_impl`` derives per execution —
+    addressing mode, registers, extension, sizes, routine, event keys —
+    is precomputed; only register contents and memory traffic remain
+    dynamic.
+    """
+
+    __slots__ = (
+        "kind",
+        "ea_kind",
+        "spec",
+        "mode",
+        "register",
+        "extension",
+        "size",
+        "routine",
+        "row",
+        "position_class",
+        "is_indexed",
+        "index_register",
+        "value",
+        "rel_partial",
+        "read_value",
+        "reg_quad",
+        "reg_mask",
+        "count_key",
+        "length",
+    )
+
+
+class InstructionRecord:
+    """A compiled instruction: the merged replay program."""
+
+    __slots__ = (
+        "raw",
+        "length",
+        "ops",
+        "opcode",
+        "mnemonic",
+        "handler",
+        "exec_routine",
+        "merge_pending",
+        "last_source_routine",
+        "run",
+        "hits",
+    )
+
+    #: distinguishes real records from NeverRecord on the hot path
+    never = False
+
+
+class NeverRecord:
+    """A witness that instructions starting with ``raw`` never compile.
+
+    Any buffer beginning with the witness prefix fails compilation at
+    the same point for the same reason (specifier parsing is
+    deterministic on prefixes), so the EBOX skips straight to the
+    interpreter — which raises the same architectural exception the
+    instruction always raised.
+    """
+
+    __slots__ = ("raw",)
+    never = True
+
+    def __init__(self, raw):
+        self.raw = raw
+
+
+class _NeedMoreBytes(Exception):
+    """Compilation ran past the bytes currently available."""
+
+
+class _Uncompilable(Exception):
+    """The prefix seen so far proves this can never compile."""
+
+
+class _Cursor:
+    """Byte source over a raw image for ``decode_specifier``.
+
+    Every successful ``take`` is logged so the compiler can emit one
+    CONSUME op per interpreted ``take`` call — take boundaries are
+    where IB stalls can happen, and where partially-consumed bytes
+    free buffer room for the prefetcher.
+    """
+
+    __slots__ = ("raw", "pos", "takes")
+
+    def __init__(self, raw, pos):
+        self.raw = raw
+        self.pos = pos
+        self.takes = []
+
+    def take(self, count):
+        start = self.pos
+        end = start + count
+        raw = self.raw
+        if end > len(raw):
+            if end > _MAX_IMAGE:
+                # Longer than the replay's image cap: never compiled.
+                raise _Uncompilable()
+            raise _NeedMoreBytes()
+        self.pos = end
+        self.takes.append(count)
+        return raw[start:end]
+
+
+class _OpBuilder:
+    """Accumulates replay ops, merging adjacent compatible charges.
+
+    Charge bursts merge when nothing interleaves: ``ib.run(a);
+    ib.run(b)`` ≡ ``ib.run(a+b)``, and histogram increments inside one
+    burst commute.  Consumes never merge — each mirrors exactly one
+    interpreter ``take``, because that is the granularity at which the
+    IB can stall (stall cycles must land on that take's wait routine)
+    and at which consumed bytes free buffer room for the prefetcher.
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self):
+        self.ops = []
+
+    def consume(self, count, wait_routine):
+        if count <= 0:
+            return
+        self.ops.append((OP_CONSUME, count, wait_routine))
+
+    def advance(self, cycles, incs):
+        if cycles <= 0:
+            return
+        ops = self.ops
+        if ops and ops[-1][0] == OP_ADVANCE:
+            prev = ops[-1]
+            ops[-1] = (OP_ADVANCE, prev[1] + cycles, prev[2] + tuple(incs))
+        else:
+            ops.append((OP_ADVANCE, cycles, tuple(incs)))
+
+    def spec(self, template):
+        self.ops.append((OP_SPEC, template))
+
+    def branch(self, width, displacement):
+        self.ops.append((OP_BRANCH, width, displacement))
+
+    def decode_tick(self, cycles, incs):
+        self.ops.append((OP_DECODE_TICK, cycles, tuple(incs)))
+
+    def build(self):
+        return tuple(self.ops)
+
+
+def compile_record(layout, raw, decode_overlap: bool):
+    """Compile the instruction whose byte image starts ``raw``.
+
+    Returns an :class:`InstructionRecord`, or a :class:`NeverRecord`
+    when the prefix proves the instruction permanently uncompilable
+    (unknown opcode, no execute semantics, illegal specifier
+    combination, longer than the IB); raises :class:`_NeedMoreBytes`
+    when ``raw`` is a prefix of a longer instruction and more bytes
+    could change the answer.
+    """
+    from repro.cpu.semantics import HANDLERS
+
+    if not raw:
+        raise _NeedMoreBytes()
+    opcode = OPCODES.get(raw[0])
+    if opcode is None:
+        return NeverRecord(bytes(raw[:1]))
+    handler = HANDLERS.get(opcode.mnemonic)
+    if handler is None:
+        return NeverRecord(bytes(raw[:1]))
+
+    replay = specialize_layout(layout)
+    builder = _OpBuilder()
+    cursor = _Cursor(raw, 1)
+
+    builder.consume(1, layout.decode)
+    decode_cycles, decode_incs = replay.program_for(layout.decode).slot_incs(
+        _COMPUTE_A
+    )
+    if decode_overlap:
+        # The decode cycle is hidden except after a taken branch; the
+        # condition is only known at replay time.
+        builder.decode_tick(decode_cycles, decode_incs)
+    else:
+        builder.advance(decode_cycles, decode_incs)
+
+    last_source_routine = None
+    last_operand_mode = None
+    operand_count = 0
+
+    try:
+        for position, spec in enumerate(opcode.operands):
+            if spec.access is AccessType.BRANCH:
+                width = _DTYPE_SIZE[spec.dtype]
+                value = int.from_bytes(cursor.take(width), "little")
+                if value & (1 << (8 * width - 1)):
+                    value -= 1 << (8 * width)
+                builder.consume(width, layout.bdisp)
+                builder.branch(width, value)
+                continue
+
+            template = _compile_specifier(
+                replay, layout, position, spec, cursor, builder
+            )
+            builder.spec(template)
+            operand_count += 1
+            last_operand_mode = template.mode
+            if spec.access is AccessType.READ:
+                last_source_routine = template.routine
+    except _Uncompilable:
+        return NeverRecord(bytes(raw[: min(cursor.pos, _MAX_IMAGE)]))
+
+    record = InstructionRecord()
+    record.raw = bytes(raw[: cursor.pos])
+    record.length = cursor.pos
+    record.ops = builder.build()
+    record.opcode = opcode
+    record.mnemonic = opcode.mnemonic
+    record.handler = handler
+    record.exec_routine = layout.execute[opcode.mnemonic]
+    record.merge_pending = (
+        opcode.group in (OpcodeGroup.SIMPLE, OpcodeGroup.FIELD)
+        and last_source_routine is not None
+        and operand_count > 0
+        and last_operand_mode
+        in (AddressingMode.REGISTER, AddressingMode.SHORT_LITERAL)
+    )
+    record.last_source_routine = last_source_routine
+    record.hits = 0
+    record.run = _tiered_run(record)
+    return record
+
+
+def _compile_specifier(replay, layout, position, spec, cursor, builder):
+    """Compile one operand specifier into charge ops + a SpecTemplate.
+
+    Event increments ride on the template and are applied inside the
+    SPEC step, at the same point relative to possible fault sites as
+    the interpreter's, and in the same per-specifier order (Counter
+    key insertion order is part of the bit-identity contract).
+    """
+    is_first = position == 0
+    wait_routine = layout.spec1_wait if is_first else layout.spec26_wait
+    first_take = len(cursor.takes)
+    try:
+        decoded = decode_specifier(cursor.take, spec.dtype)
+    except IllegalSpecifier:
+        raise _Uncompilable()
+
+    position_class = "spec1" if is_first else "spec26"
+    mode = decoded.mode
+
+    # Microcode sharing: indexed specifiers run the shared index
+    # microcode in the SPEC2-6 region, even for first specifiers.
+    if decoded.is_indexed:
+        routine_bank = layout.spec26
+    else:
+        routine_bank = layout.spec1 if is_first else layout.spec26
+    routine = routine_bank[mode]
+
+    # One CONSUME per interpreted take (spec byte, index base byte,
+    # extension ...), all waiting on this position's wait routine.
+    for count in cursor.takes[first_take:]:
+        builder.consume(count, wait_routine)
+    if decoded.is_indexed:
+        cycles, incs = replay.program_for(layout.index_shared).compute_incs(
+            INDEX_EXTRA_CYCLES
+        )
+        builder.advance(cycles, incs)
+    cost = SPEC_COSTS[mode]
+    cycles, incs = replay.program_for(routine).compute_incs(cost.address_cycles)
+    builder.advance(cycles, incs)
+
+    template = SpecTemplate()
+    template.spec = spec
+    template.mode = mode
+    template.register = decoded.register
+    template.extension = decoded.extension
+    template.size = _DTYPE_SIZE[spec.dtype]
+    template.routine = routine
+    template.row = "spec1" if is_first else "spec2_6"
+    template.position_class = position_class
+    template.is_indexed = decoded.is_indexed
+    template.index_register = decoded.index_register
+    template.value = None
+    template.rel_partial = 0
+    template.read_value = False
+    template.reg_quad = False
+    template.reg_mask = 0
+    template.count_key = (position_class, TABLE4_ROW_FOR_MODE[mode])
+    template.length = decoded.length
+    template.ea_kind = -1
+
+    access = spec.access
+    if mode is AddressingMode.SHORT_LITERAL:
+        if access not in (AccessType.READ, AccessType.VFIELD):
+            raise _Uncompilable()  # interpreter raises IllegalInstruction
+        template.kind = K_VALUE
+        if spec.dtype is DataType.F_FLOAT:
+            template.value = f_floating_encode(
+                expand_float_literal(decoded.extension)
+            )
+        else:
+            template.value = decoded.extension
+        return template
+
+    if mode is AddressingMode.IMMEDIATE:
+        if access not in (AccessType.READ, AccessType.VFIELD):
+            raise _Uncompilable()
+        template.kind = K_VALUE
+        template.value = decoded.extension
+        return template
+
+    if mode is AddressingMode.REGISTER:
+        if access is AccessType.ADDRESS:
+            raise _Uncompilable()
+        template.kind = K_REGISTER
+        if access in (AccessType.READ, AccessType.MODIFY, AccessType.VFIELD):
+            template.read_value = True
+            # A field base in a register means the field lives in the
+            # register itself: whole longword regardless of dtype.
+            dtype = DataType.LONG if access is AccessType.VFIELD else spec.dtype
+            if dtype is DataType.QUAD:
+                template.reg_quad = True
+            else:
+                template.reg_mask = (1 << (8 * _DTYPE_SIZE[dtype])) - 1
+        return template
+
+    # Memory modes.
+    template.kind = K_MEMORY
+    template.ea_kind = _EA_KIND[mode]
+    if template.ea_kind in (EA_RELATIVE, EA_RELATIVE_DEFERRED):
+        # decode_va at EA time = instruction start VA + bytes consumed
+        # through this specifier; the extension folds in statically.
+        template.rel_partial = cursor.pos + decoded.extension
+    template.read_value = access in (AccessType.READ, AccessType.MODIFY)
+    return template
+
+
+# ---------------------------------------------------------------------------
+# record caches
+# ---------------------------------------------------------------------------
+
+#: control store -> ({(raw, overlap): record}, {first_byte: set(lengths)},
+#: {image: sightings})
+_LAYOUT_RECORDS: "WeakKeyDictionary" = WeakKeyDictionary()
+
+#: Executions of a byte image seen before its record is compiled.  The
+#: first sighting is interpreted and only counted (a dict increment,
+#: ~0.3 µs); compilation (~100 µs) happens on the second.  One-shot
+#: images — cold boot paths, straight-line code executed once — never
+#: pay compilation at all, which matters because a workload's byte-image
+#: working set can exceed the instruction budget of a short run.
+_COMPILE_MIN_SIGHTINGS = 2
+
+#: Bound on the sightings table; cleared wholesale if ever exceeded
+#: (counting restarts, records already compiled are unaffected).
+_SIGHTINGS_CAP = 1 << 18
+
+#: Executions to wait before re-attempting compilation of an image
+#: whose last attempt ran out of bytes (a chronically short probe — an
+#: instruction tail the lookahead can never see, e.g. behind a
+#: persistently in-flight fill).  Without backoff every execution would
+#: re-parse and re-fail, ~100 µs a time.
+_RETRY_BACKOFF = 64
+
+
+def _layout_cache(layout):
+    entry = _LAYOUT_RECORDS.get(layout.store)
+    if entry is None:
+        entry = ({}, {}, {})
+        _LAYOUT_RECORDS[layout.store] = entry
+    return entry
+
+
+def resolve(layout, buf, decode_overlap: bool, stats=None):
+    """Find (or compile) the record for the instruction starting ``buf``.
+
+    ``buf`` is the IB's current byte run (a bytearray), or a
+    :func:`peek_image` lookahead extending it.  Returns an
+    :class:`InstructionRecord`, a :class:`NeverRecord`, or ``None``
+    when more IB bytes could change the answer (not cached — the
+    interpreter handles this execution and prefetch catches up).
+
+    Record raws are prefix-unambiguous — specifier parsing is
+    deterministic, so no valid instruction image is a proper prefix of
+    another, and a failing witness prefix is never a prefix of a valid
+    image — which makes probing the cached lengths for one first byte
+    sound: at most one can match.
+    """
+    records, lengths, sightings = _layout_cache(layout)
+    lens = lengths.get(buf[0])
+    if lens:
+        n = len(buf)
+        for length in lens:
+            if length <= n:
+                record = records.get((bytes(buf[:length]), decode_overlap))
+                if record is not None:
+                    return record
+    key = bytes(buf[:_MAX_IMAGE])
+    count = sightings.get(key, 0) + 1
+    if count < _COMPILE_MIN_SIGHTINGS:
+        if len(sightings) >= _SIGHTINGS_CAP:
+            sightings.clear()
+        sightings[key] = count
+        return None
+    try:
+        record = compile_record(layout, bytes(buf), decode_overlap)
+    except _NeedMoreBytes:
+        sightings[key] = _COMPILE_MIN_SIGHTINGS - 1 - _RETRY_BACKOFF
+        return None
+    sightings.pop(key, None)
+    if stats is not None:
+        if record.never:
+            stats.uncompilable += 1
+        else:
+            stats.records_compiled += 1
+    if len(records) < _RECORD_CACHE_CAP:
+        records[(record.raw, decode_overlap)] = record
+        lengths.setdefault(record.raw[0], set()).add(len(record.raw))
+    return record
+
+
+# ---------------------------------------------------------------------------
+# I-stream lookahead
+# ---------------------------------------------------------------------------
+#
+# A taken branch flushes the IB, so the next instruction starts with an
+# empty buffer — on branchy code a quarter of instructions would never
+# validate their byte image against the IB and would fall back to the
+# interpreter forever.  But what the prefetcher is *going* to deliver
+# is already determined: with no fill or TB miss in flight, the next
+# bytes are exactly physical memory at the translation of ``fetch_va``
+# (the pager only ever maps fresh frames, handlers only write after the
+# decode phase's consumes, and spec-phase data reads never change
+# memory contents — only cache/TB timing state).  Both helpers below
+# read through ``TranslationBuffer.peek`` and ``PhysicalMemory.dump``,
+# which have no statistics or timing side effects, so a failed
+# lookahead leaves the machine bit-identical to never having asked.
+#
+# In-flight state makes the lookahead decline conservatively: a pending
+# cache fill carries bytes that were read from memory in an earlier
+# cycle and could in principle predate a store, so the current memory
+# image is not proof of what the IB will accept.
+
+
+def _image_ready(ebox, ib, buf, raw):
+    """True when the IB will provably deliver the missing tail of ``raw``."""
+    n = len(buf)
+    if n >= len(raw) or not raw.startswith(buf):
+        return False
+    if ib.tb_miss_pending or ib._fill_wait or ib._pending_value is not None:
+        return False
+    memory = ebox.memory
+    peek = memory.tb.peek
+    dump = memory.physical.dump
+    va = ib._fetch_va
+    pos = n
+    end = len(raw)
+    while pos < end:
+        pa = peek(va)
+        if pa is None:
+            return False
+        chunk = PAGE_SIZE - (va & (PAGE_SIZE - 1))
+        if chunk > end - pos:
+            chunk = end - pos
+        if dump(pa, chunk) != raw[pos : pos + chunk]:
+            return False
+        va += chunk
+        pos += chunk
+    return True
+
+
+def peek_image(ebox):
+    """The next I-stream bytes from ``decode_va``, up to ``_MAX_IMAGE``.
+
+    The IB's current contents extended by side-effect-free lookahead
+    through the TB and physical memory; stops early (possibly returning
+    fewer than ``_MAX_IMAGE`` bytes) at a non-resident page or
+    in-flight IB state.  Returns ``None`` when not even the first byte
+    is determined.
+    """
+    ib = ebox.ib
+    buf = ib._bytes
+    n = len(buf)
+    if (
+        n >= _MAX_IMAGE
+        or ib.tb_miss_pending
+        or ib._fill_wait
+        or ib._pending_value is not None
+    ):
+        return bytes(buf) if n else None
+    memory = ebox.memory
+    peek = memory.tb.peek
+    dump = memory.physical.dump
+    va = ib._fetch_va
+    parts = [bytes(buf)]
+    need = _MAX_IMAGE - n
+    while need > 0:
+        pa = peek(va)
+        if pa is None:
+            break
+        chunk = PAGE_SIZE - (va & (PAGE_SIZE - 1))
+        if chunk > need:
+            chunk = need
+        data = dump(pa, chunk)
+        if len(data) < chunk:
+            break
+        parts.append(data)
+        va += chunk
+        need -= chunk
+    image = b"".join(parts)
+    return image if image else None
+
+
+# ---------------------------------------------------------------------------
+# layer 3: per-record code generation
+# ---------------------------------------------------------------------------
+
+#: Executions of a record through the op-loop executor before its
+#: specialized function is generated.  ``compile()``-ing the emitted
+#: source costs ~0.5 ms per record; one-shot records (cold code, boot
+#: paths) never earn it back, while hot-loop records cross this within
+#: the warmup of any real run.
+CODEGEN_THRESHOLD = 16
+
+
+def _tiered_run(record):
+    """The warm tier: interpret the op list, counting executions.
+
+    Once the record proves hot, generate its specialized function and
+    replace ``record.run`` with it — subsequent dispatches go straight
+    to the generated code with no check at all.
+    """
+
+    def run(ebox, start_va):
+        hits = record.hits + 1
+        record.hits = hits
+        if hits >= CODEGEN_THRESHOLD:
+            record.run = _codegen(record)
+            return record.run(ebox, start_va)
+        return execute_record(record, ebox, start_va)
+
+    return run
+
+
+def _codegen(record):
+    """Generate a specialized replay function for ``record``.
+
+    Emits straight-line Python with every compile-time constant inlined
+    (cycle charges, histogram buckets, byte counts, event keys) and
+    non-literal objects (routines, the opcode, the handler, enum
+    members) bound as exec-namespace globals.  The emitted body is a
+    statement-for-statement transcription of :func:`execute_record`'s
+    op loop with the dispatch unrolled away — that function remains the
+    readable oracle; tests hold the two executors equivalent.
+    """
+    consts = []
+    names = []
+
+    def cref(obj):
+        for name, seen in zip(names, consts):
+            if seen is obj:
+                return name
+        name = "_k{}".format(len(consts))
+        names.append(name)
+        consts.append(obj)
+        return name
+
+    lines = []
+    emit = lines.append
+
+    uses_counts = any(op[0] in (OP_ADVANCE, OP_DECODE_TICK) for op in record.ops)
+    uses_regs = False
+    uses_data_read = False
+    for op in record.ops:
+        if op[0] == OP_SPEC:
+            template = op[1]
+            if template.kind == K_MEMORY:
+                uses_regs = uses_regs or template.ea_kind != EA_ABSOLUTE
+                uses_data_read = uses_data_read or (
+                    template.read_value
+                    or template.ea_kind
+                    in (
+                        EA_AUTOINCREMENT_DEFERRED,
+                        EA_DISPLACEMENT_DEFERRED,
+                        EA_RELATIVE_DEFERRED,
+                    )
+                )
+                uses_regs = uses_regs or template.is_indexed
+            elif template.kind == K_REGISTER and template.read_value:
+                uses_regs = True
+
+    emit("def _replay(ebox, start_va):")
+    emit("    ib = ebox.ib")
+    emit("    buf = ib._bytes")
+    emit("    if not buf.startswith({!r}):".format(record.raw))
+    emit(
+        "        if not {}(ebox, ib, buf, {!r}):".format(
+            cref(_image_ready), record.raw
+        )
+    )
+    emit("            return False")
+    emit("    events = ebox.events")
+    emit("    board = ebox._board")
+    emit("    collecting = board is not None and board._collecting")
+    if uses_counts:
+        emit("    counts = board._counts if collecting else None")
+    emit("    ib_run = ebox._ib_run")
+    emit("    regs = ebox.regs")
+    if uses_regs:
+        emit("    regs_read = regs.read")
+    if uses_data_read:
+        emit("    data_read = ebox.data_read")
+    emit("    ib_stats = ib.stats")
+    emit("    redirects_before = ib_stats.redirects")
+    emit("    ebox._instruction_start_cycle = ebox.cycle_count")
+    emit("    ebox.current_opcode = {}".format(cref(record.opcode)))
+    emit("    ebox._exec_routine = {}".format(cref(record.exec_routine)))
+    emit("    ebox._exec_a_used = False")
+    emit("    ebox._last_source_routine = None")
+    emit("    ebox.branch_displacement = None")
+
+    def emit_incs(incs, indent):
+        # Bucket increments inside one charge burst commute; coalesce
+        # repeats (a merged burst can touch the same bucket twice).
+        folded = []
+        for bucket, count in incs:
+            for i, (seen, total) in enumerate(folded):
+                if seen == bucket:
+                    folded[i] = (bucket, total + count)
+                    break
+            else:
+                folded.append((bucket, count))
+        emit("{}if collecting:".format(indent))
+        for bucket, count in folded:
+            emit("{}    counts[{}] += {}".format(indent, bucket, count))
+
+    operand_vars = []
+    for op in record.ops:
+        kind = op[0]
+        if kind == OP_ADVANCE:
+            emit_incs(op[2], "    ")
+            emit("    ebox.cycle_count += {}".format(op[1]))
+            emit("    ib_run({})".format(op[1]))
+        elif kind == OP_CONSUME:
+            emit("    if len(buf) >= {}:".format(op[1]))
+            emit("        del buf[:{}]".format(op[1]))
+            emit("        ib._decode_va += {}".format(op[1]))
+            emit("    else:")
+            emit("        ebox._take_bytes({}, {})".format(op[1], cref(op[2])))
+        elif kind == OP_SPEC:
+            template = op[1]
+            if template.is_indexed:
+                emit(
+                    "    events.indexed_specifiers[{!r}] += 1".format(
+                        template.position_class
+                    )
+                )
+            emit(
+                "    events.specifier_counts[{!r}] += 1".format(template.count_key)
+            )
+            emit("    events.specifier_bytes += {}".format(template.length))
+            var = "_o{}".format(len(operand_vars))
+            operand_vars.append(var)
+            address = "None"
+            value = "None"
+            if template.kind == K_MEMORY:
+                ea_kind = template.ea_kind
+                reg = template.register
+                if ea_kind == EA_DISPLACEMENT:
+                    emit(
+                        "    _addr = (regs_read({}) + {}) & 0xFFFFFFFF".format(
+                            reg, template.extension
+                        )
+                    )
+                elif ea_kind == EA_REG_DEFERRED:
+                    emit("    _addr = regs_read({})".format(reg))
+                elif ea_kind == EA_AUTOINCREMENT:
+                    emit("    _addr = regs_read({})".format(reg))
+                    emit(
+                        "    regs.write({}, _addr + {})".format(reg, template.size)
+                    )
+                elif ea_kind == EA_AUTODECREMENT:
+                    emit(
+                        "    _addr = (regs_read({}) - {}) & 0xFFFFFFFF".format(
+                            reg, template.size
+                        )
+                    )
+                    emit("    regs.write({}, _addr)".format(reg))
+                elif ea_kind == EA_AUTOINCREMENT_DEFERRED:
+                    emit("    _ptr = regs_read({})".format(reg))
+                    emit("    regs.write({}, _ptr + 4)".format(reg))
+                    emit(
+                        "    _addr = data_read(_ptr, 4, {}, {!r})".format(
+                            cref(template.routine), template.row
+                        )
+                    )
+                elif ea_kind == EA_DISPLACEMENT_DEFERRED:
+                    emit(
+                        "    _ptr = (regs_read({}) + {}) & 0xFFFFFFFF".format(
+                            reg, template.extension
+                        )
+                    )
+                    emit(
+                        "    _addr = data_read(_ptr, 4, {}, {!r})".format(
+                            cref(template.routine), template.row
+                        )
+                    )
+                elif ea_kind == EA_RELATIVE:
+                    emit(
+                        "    _addr = (start_va + {}) & 0xFFFFFFFF".format(
+                            template.rel_partial
+                        )
+                    )
+                elif ea_kind == EA_ABSOLUTE:
+                    emit("    _addr = {}".format(template.extension & _MASK32))
+                else:  # EA_RELATIVE_DEFERRED
+                    emit(
+                        "    _ptr = (start_va + {}) & 0xFFFFFFFF".format(
+                            template.rel_partial
+                        )
+                    )
+                    emit(
+                        "    _addr = data_read(_ptr, 4, {}, {!r})".format(
+                            cref(template.routine), template.row
+                        )
+                    )
+                if template.is_indexed:
+                    emit(
+                        "    _addr = (_addr + regs_read({}) * {}) & 0xFFFFFFFF".format(
+                            template.index_register, template.size
+                        )
+                    )
+                address = "_addr"
+                if template.read_value:
+                    emit(
+                        "    _val = data_read(_addr, {}, {}, {!r})".format(
+                            template.size, cref(template.routine), template.row
+                        )
+                    )
+                    value = "_val"
+            elif template.kind == K_REGISTER and template.read_value:
+                if template.reg_quad:
+                    emit(
+                        "    _val = regs_read({}) | (regs_read({}) << 32)".format(
+                            template.register, (template.register + 1) & 0xF
+                        )
+                    )
+                else:
+                    emit(
+                        "    _val = regs_read({}) & {}".format(
+                            template.register, template.reg_mask
+                        )
+                    )
+                value = "_val"
+            elif template.kind == K_VALUE:
+                value = repr(template.value)
+            emit(
+                "    {} = {}({}, {}, {}, {}, {}, {}, {!r}, {})".format(
+                    var,
+                    cref(OperandRef),
+                    cref(template.spec),
+                    cref(template.mode),
+                    template.register,
+                    address,
+                    value,
+                    cref(template.routine),
+                    template.position_class,
+                    template.is_indexed,
+                )
+            )
+        elif kind == OP_BRANCH:
+            emit("    ebox.branch_displacement = {}".format(op[2]))
+            emit("    events.branch_displacements += 1")
+            emit("    events.displacement_bytes += {}".format(op[1]))
+        else:  # OP_DECODE_TICK
+            emit("    if ebox._last_instruction_redirected:")
+            emit_incs(op[2], "        ")
+            emit("        ebox.cycle_count += {}".format(op[1]))
+            emit("        ib_run({})".format(op[1]))
+
+    emit("    ebox._merge_pending = {}".format(record.merge_pending))
+    if record.last_source_routine is not None:
+        emit(
+            "    ebox._last_source_routine = {}".format(
+                cref(record.last_source_routine)
+            )
+        )
+    emit("    events.instruction_bytes += {}".format(record.length))
+    emit("    events.opcode_counts[{!r}] += 1".format(record.mnemonic))
+    emit(
+        "    {}(ebox, {}, [{}])".format(
+            cref(record.handler), cref(record.opcode), ", ".join(operand_vars)
+        )
+    )
+    emit("    ebox.events.instructions += 1")
+    emit("    regs.pc = ib._decode_va")
+    emit("    ebox._merge_pending = False")
+    emit(
+        "    ebox._last_instruction_redirected ="
+        " ib_stats.redirects != redirects_before"
+    )
+    emit("    return True")
+
+    namespace = dict(zip(names, consts))
+    exec(
+        compile("\n".join(lines), "<replay:{}>".format(record.mnemonic), "exec"),
+        namespace,
+    )
+    return namespace["_replay"]
+
+
+# ---------------------------------------------------------------------------
+# layer 4: the replay engine
+# ---------------------------------------------------------------------------
+
+
+def execute_record(record, ebox, start_va) -> bool:
+    """Replay one compiled instruction on ``ebox``.
+
+    Returns False — with **no state mutated** — when the record's byte
+    image is neither in the IB nor provably on its way (see the
+    I-stream lookahead section).  Mirrors the interpreted ``EBox.step``
+    body exactly; see the module docstring for the equivalence
+    argument.
+    """
+    ib = ebox.ib
+    buf = ib._bytes
+    if not buf.startswith(record.raw) and not _image_ready(
+        ebox, ib, buf, record.raw
+    ):
+        return False
+
+    events = ebox.events
+    board = ebox._board
+    collecting = board is not None and board._collecting
+    counts = board._counts if collecting else None
+    ib_run = ebox._ib_run
+    regs = ebox.regs
+    data_read = ebox.data_read
+    redirects_before = ib.stats.redirects
+
+    ebox._instruction_start_cycle = ebox.cycle_count
+    ebox.current_opcode = record.opcode
+    ebox._exec_routine = record.exec_routine
+    ebox._exec_a_used = False
+    ebox._last_source_routine = None
+    ebox.branch_displacement = None
+
+    operands = []
+    append = operands.append
+
+    for op in record.ops:
+        kind = op[0]
+        if kind == OP_ADVANCE:
+            if collecting:
+                for bucket, count in op[2]:
+                    counts[bucket] += count
+            cycles = op[1]
+            ebox.cycle_count += cycles
+            ib_run(cycles)
+        elif kind == OP_CONSUME:
+            count = op[1]
+            if len(buf) >= count:
+                del buf[:count]
+                ib._decode_va += count
+            else:
+                # The interpreter's own IB-stall loop: ticks on this
+                # take's wait routine, services I-stream TB misses,
+                # consumes when the bytes land.
+                ebox._take_bytes(count, op[2])
+        elif kind == OP_SPEC:
+            template = op[1]
+            # Event accounting sits here — before this specifier's
+            # memory traffic, after the previous one's — exactly where
+            # the interpreter puts it relative to fault sites.
+            if template.is_indexed:
+                events.indexed_specifiers[template.position_class] += 1
+            events.specifier_counts[template.count_key] += 1
+            events.specifier_bytes += template.length
+            tkind = template.kind
+            if tkind == K_MEMORY:
+                ea_kind = template.ea_kind
+                register = template.register
+                if ea_kind == EA_DISPLACEMENT:
+                    address = (regs.read(register) + template.extension) & _MASK32
+                elif ea_kind == EA_REG_DEFERRED:
+                    address = regs.read(register)
+                elif ea_kind == EA_AUTOINCREMENT:
+                    address = regs.read(register)
+                    regs.write(register, address + template.size)
+                elif ea_kind == EA_AUTODECREMENT:
+                    address = (regs.read(register) - template.size) & _MASK32
+                    regs.write(register, address)
+                elif ea_kind == EA_AUTOINCREMENT_DEFERRED:
+                    pointer = regs.read(register)
+                    regs.write(register, pointer + 4)
+                    address = data_read(pointer, 4, template.routine, template.row)
+                elif ea_kind == EA_DISPLACEMENT_DEFERRED:
+                    pointer = (regs.read(register) + template.extension) & _MASK32
+                    address = data_read(pointer, 4, template.routine, template.row)
+                elif ea_kind == EA_RELATIVE:
+                    address = (start_va + template.rel_partial) & _MASK32
+                elif ea_kind == EA_ABSOLUTE:
+                    address = template.extension & _MASK32
+                else:  # EA_RELATIVE_DEFERRED
+                    pointer = (start_va + template.rel_partial) & _MASK32
+                    address = data_read(pointer, 4, template.routine, template.row)
+                if template.is_indexed:
+                    address = (
+                        address + regs.read(template.index_register) * template.size
+                    ) & _MASK32
+                value = None
+                if template.read_value:
+                    value = data_read(
+                        address, template.size, template.routine, template.row
+                    )
+            else:
+                address = None
+                value = template.value
+                if template.read_value:  # K_REGISTER with READ/MODIFY/VFIELD
+                    if template.reg_quad:
+                        low = regs.read(template.register)
+                        high = regs.read((template.register + 1) & 0xF)
+                        value = low | (high << 32)
+                    else:
+                        value = regs.read(template.register) & template.reg_mask
+            operand = _NEW(OperandRef)
+            operand.spec = template.spec
+            operand.mode = template.mode
+            operand.register = template.register
+            operand.address = address
+            operand.value = value
+            operand.routine = template.routine
+            operand.position_class = template.position_class
+            operand.is_indexed = template.is_indexed
+            append(operand)
+        elif kind == OP_BRANCH:
+            ebox.branch_displacement = op[2]
+            events.branch_displacements += 1
+            events.displacement_bytes += op[1]
+        else:  # OP_DECODE_TICK (decode_overlap machines only)
+            if ebox._last_instruction_redirected:
+                if collecting:
+                    for bucket, count in op[2]:
+                        counts[bucket] += count
+                cycles = op[1]
+                ebox.cycle_count += cycles
+                ib_run(cycles)
+
+    ebox._merge_pending = record.merge_pending
+    ebox._last_source_routine = record.last_source_routine
+    events.instruction_bytes += record.length
+    events.opcode_counts[record.mnemonic] += 1
+
+    record.handler(ebox, record.opcode, operands)
+
+    # The handler may have swapped ebox.events (LDPCTX measurement
+    # gating), exactly like the interpreter's live attribute read.
+    ebox.events.instructions += 1
+    regs.pc = ib._decode_va
+    ebox._merge_pending = False
+    ebox._last_instruction_redirected = ib.stats.redirects != redirects_before
+    return True
+
+
+_NEW = object.__new__

@@ -259,13 +259,17 @@ def execute_spec(spec: RunSpec, tracer=None) -> EngineRun:
     manifest.wall_seconds = wall
     manifest.instructions_measured = result.instructions
     manifest.cycles_measured = result.stats.cycles
+    snapshot = metrics.snapshot()
+    from repro.core.compile import stats_from_snapshot
+
+    manifest.compile = stats_from_snapshot(snapshot)
     return EngineRun(
         spec=spec,
         result=result,
         histogram=board.dump_sparse(),
         wall_seconds=wall,
         manifest=manifest,
-        metrics=metrics.snapshot(),
+        metrics=snapshot,
     )
 
 

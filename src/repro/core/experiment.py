@@ -262,6 +262,11 @@ def run_workload(
             metrics.gauge(
                 "speed.cycles_per_second", "simulated cycles / wall second"
             ).set(result.stats.cycles / measure_seconds)
+        from repro.core import compile as replay
+
+        replay.record_metrics(
+            metrics, machine.ebox.compile_stats, machine.ebox._compile_active
+        )
     if return_board:
         return result, monitor.board
     return result

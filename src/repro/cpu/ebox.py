@@ -136,40 +136,112 @@ class EBox:
         self._last_source_routine = None
         self._instruction_start_cycle = 0
         self._last_instruction_redirected = True
-        # Hot-path bindings: _tick runs once per microinstruction, so the
-        # monitor strobe and IB background-cycle entry points are bound
-        # once here instead of being re-resolved every cycle.
-        self._observe = monitor.observe if monitor is not None else None
         # Observability: a passive event tracer (repro.obs.trace.Tracer)
         # or None.  Guards sit on per-instruction / per-episode paths
         # only — never inside the per-microcycle tick itself.
         self._tracer = tracer
+        self._bind_transients()
+
+    def _bind_transients(self) -> None:
+        """(Re)create everything pickling drops.
+
+        Hot-path bindings (the monitor strobe, IB background cycle and
+        dispatch entry points are bound once instead of re-resolved
+        every cycle), the replay compiler's per-machine state, and the
+        tracer wiring.  Runs from ``__init__``, ``__setstate__`` and
+        ``set_tracer`` so fresh, restored and re-traced machines are
+        indistinguishable.
+        """
+        monitor = self.monitor
+        tracer = self._tracer
+        self._observe = monitor.observe if monitor is not None else None
+        self._board = monitor.board if monitor is not None else None
+        self._ib_run = self.ib.run
+        self._abort_entry = self.layout.abort.address(MicroSlot.COMPUTE_A)
+        from repro.cpu.semantics import dispatch  # deferred import breaks the cycle
+        from repro.core import compile as replay  # likewise
+
+        self._dispatch = dispatch
         self.ib.tracer = tracer
         if tracer is None:
             # Tracing off: bind the hottest traced site (one call per
             # specifier) straight to the implementation so it pays no
             # wrapper call.
             self._process_specifier = self._process_specifier_impl
-        self._ib_run = self.ib.run
-        self._abort_entry = self.layout.abort.address(MicroSlot.COMPUTE_A)
-        from repro.cpu.semantics import dispatch  # deferred import breaks the cycle
+        else:
+            # Drop the instance binding so the traced class-level wrapper
+            # (which opens spec spans) is reachable again.
+            self.__dict__.pop("_process_specifier", None)
+        # The compiled hot path (repro.core.compile).  Active only when
+        # nothing needs the per-cycle interpreted path: no tracer (the
+        # tracer's spans narrate individual specifiers and stalls), the
+        # standard 16,000-bucket board, and no REPRO_NO_COMPILE=1.
+        self._execute_record = replay.execute_record
+        self._resolve_record = replay.resolve
+        self._peek_image = replay.peek_image
+        # Preserved across tracer swaps (records and diagnostics are
+        # mode-independent); created fresh on construction and restore.
+        if "_record_cache" not in self.__dict__:
+            self._record_cache = {}
+            self._records_overlap = self.decode_overlap
+        if "compile_stats" not in self.__dict__:
+            self.compile_stats = replay.CompileStats()
+        self._compile_active = (
+            tracer is None
+            and not replay.compile_disabled_by_env()
+            and (
+                self._board is None
+                or self._board.buckets == replay.LayoutReplay.BUCKETS
+            )
+        )
+        if self._compile_active:
+            self.compile_stats.routines_specialized = len(
+                replay.specialize_layout(self.layout)
+            )
 
-        self._dispatch = dispatch
+    #: attributes _bind_transients owns; dropped from pickles so machine
+    #: snapshots are byte-identical whether the run that produced them
+    #: was compiled or interpreted (and so bound methods, replay caches
+    #: and diagnostics never bloat the snapshot).
+    _TRANSIENTS = (
+        "_observe",
+        "_board",
+        "_ib_run",
+        "_abort_entry",
+        "_dispatch",
+        "_process_specifier",
+        "_tracer",
+        "_execute_record",
+        "_resolve_record",
+        "_peek_image",
+        "_record_cache",
+        "_records_overlap",
+        "compile_stats",
+        "_compile_active",
+    )
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for name in self._TRANSIENTS:
+            state.pop(name, None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        # Tracers are deliberately not carried through pickles; snapshot
+        # restore wires one (or none) via machine.attach_tracer.
+        self._tracer = None
+        self._bind_transients()
 
     def set_tracer(self, tracer) -> None:
         """(Re)bind the passive tracer, keeping the fast paths honest.
 
         Snapshot capture detaches the tracer before pickling and restore
         attaches the caller's (or none); the specifier fast-path binding
-        must track the tracer, so all tracer swaps go through here."""
+        and the compiled-path gate must track the tracer, so all tracer
+        swaps go through here."""
         self._tracer = tracer
-        self.ib.tracer = tracer
-        if tracer is None:
-            self._process_specifier = self._process_specifier_impl
-        else:
-            # Drop the instance binding so the traced class-level wrapper
-            # (which opens spec spans) is reachable again.
-            self.__dict__.pop("_process_specifier", None)
+        self._bind_transients()
 
     # ------------------------------------------------------------------
     # cycle accounting
@@ -707,6 +779,84 @@ class EBox:
                 self._deliver_interrupt(*pending)
                 return True
 
+        if self._compile_active:
+            return self._step_compiled()
+        return self._step_interpreted()
+
+    def _step_compiled(self) -> bool:
+        """Replay the next instruction from its compiled record.
+
+        Anything without a valid record — bytes not fully buffered yet,
+        permanently uncompilable instructions, a stale cache entry —
+        falls through to :meth:`_step_interpreted` for this execution.
+        """
+        if self.decode_overlap is not self._records_overlap:
+            # The ablation knob flipped since the cache was built;
+            # records bake the decode-tick shape in.
+            self._record_cache.clear()
+            self._records_overlap = self.decode_overlap
+        ib = self.ib
+        va = ib._decode_va
+        cache = self._record_cache
+        stats = self.compile_stats
+        record = cache.get(va)
+        if record is not None:
+            if record.never:
+                if ib._bytes.startswith(record.raw):
+                    start = self.cycle_count
+                    result = self._step_interpreted()
+                    stats.jit_misses += 1
+                    stats.slow_cycles += self.cycle_count - start
+                    return result
+                stats.byte_fallbacks += 1
+            elif record.run(self, va):
+                stats.jit_hits += 1
+                stats.fast_cycles += (
+                    self.cycle_count - self._instruction_start_cycle
+                )
+                return not self.halted
+            else:
+                # Bytes at this address changed (process aliasing or a
+                # rewritten program): re-resolve against the buffer.
+                stats.byte_fallbacks += 1
+        probe = ib._bytes
+        if len(probe) < 8:
+            # The IB was flushed (taken branch) or is still filling:
+            # resolve against the side-effect-free lookahead image of
+            # what the prefetcher will deliver.
+            image = self._peek_image(self)
+            if image is not None and len(image) > len(probe):
+                probe = image
+        record = (
+            self._resolve_record(self.layout, probe, self.decode_overlap, stats)
+            if probe
+            else None
+        )
+        if record is None and len(probe) >= 8:
+            # A full IB that still would not resolve usually means an
+            # instruction longer than the buffer: extend the probe by
+            # lookahead up to the record image cap.
+            image = self._peek_image(self)
+            if image is not None and len(image) > len(probe):
+                record = self._resolve_record(
+                    self.layout, image, self.decode_overlap, stats
+                )
+        if record is not None:
+            cache[va] = record
+            if not record.never and record.run(self, va):
+                stats.jit_hits += 1
+                stats.fast_cycles += (
+                    self.cycle_count - self._instruction_start_cycle
+                )
+                return not self.halted
+        start = self.cycle_count
+        result = self._step_interpreted()
+        stats.jit_misses += 1
+        stats.slow_cycles += self.cycle_count - start
+        return result
+
+    def _step_interpreted(self) -> bool:
+        """The per-microcycle interpreted path (the replay's oracle)."""
         start_va = self.ib.decode_va
         self._instruction_start_cycle = self.cycle_count
 

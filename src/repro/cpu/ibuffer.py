@@ -131,8 +131,10 @@ class InstructionBuffer:
                 self._port_cooldown -= 1
                 continue
             self._port_cooldown = 1
-            outcome = self.memory.istream_fetch(self._fetch_va, now=self._now)
-            if outcome.tb_miss:
+            value, cache_hit, tb_miss, fill_cycles = self.memory.istream_fetch(
+                self._fetch_va, now=self._now
+            )
+            if tb_miss:
                 self.tb_miss_pending = True
                 self.stats.tb_miss_flags += 1
                 if self.tracer is not None:
@@ -141,21 +143,21 @@ class InstructionBuffer:
                     )
                 continue
             self.stats.references += 1
-            if outcome.cache_hit:
-                self._accept(self._fetch_va, outcome.value)
+            if cache_hit:
+                self._accept(self._fetch_va, value)
             else:
                 # Data arrives later — after the SBI transaction (plus
                 # any queueing behind concurrent traffic) completes; the
                 # IB then accepts as many bytes as it has room for.
                 self._pending_va = self._fetch_va
-                self._pending_value = outcome.value
-                self._fill_wait = outcome.fill_cycles
+                self._pending_value = value
+                self._fill_wait = fill_cycles
                 if self.tracer is not None:
                     self.tracer.instant(
                         "IFETCH",
                         self._now,
                         "ifetch miss",
-                        {"va": self._fetch_va, "fill_cycles": outcome.fill_cycles},
+                        {"va": self._fetch_va, "fill_cycles": fill_cycles},
                     )
 
     def _accept(self, va: int, longword: int) -> None:

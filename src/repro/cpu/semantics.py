@@ -30,7 +30,7 @@ from repro.isa.datatypes import (
     to_signed,
     truncate,
 )
-from repro.isa.opcodes import Opcode
+from repro.isa.opcodes import Opcode, OpcodeGroup
 from repro.isa.psl import AccessMode
 from repro.cpu.operands import OperandRef
 from repro.ucode.costs import exec_profile
@@ -60,20 +60,21 @@ def dispatch(ebox, opcode: Opcode, operands: List[OperandRef]) -> None:
     fn(ebox, opcode, operands)
 
 
+_BITS = {
+    DataType.BYTE: 8,
+    DataType.WORD: 16,
+    DataType.LONG: 32,
+    DataType.QUAD: 64,
+    DataType.F_FLOAT: 32,
+}
+
+
 def _bits(dtype: DataType) -> int:
-    return {
-        DataType.BYTE: 8,
-        DataType.WORD: 16,
-        DataType.LONG: 32,
-        DataType.QUAD: 64,
-        DataType.F_FLOAT: 32,
-    }[dtype]
+    return _BITS[dtype]
 
 
 def _base_cycles(ebox) -> int:
     cycles = exec_profile(ebox.current_opcode).base_cycles
-    from repro.isa.opcodes import OpcodeGroup
-
     if ebox.current_opcode.group is OpcodeGroup.FLOAT and ebox.float_slowdown > 1:
         # Without the Floating Point Accelerator the float microcode
         # grinds through the fraction datapath serially.

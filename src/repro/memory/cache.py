@@ -50,6 +50,10 @@ class _Line:
     lru: int = 0
 
 
+def _line_lru(line: "_Line") -> int:
+    return line.lru
+
+
 class Cache:
     """Physically-indexed, physically-tagged set-associative cache.
 
@@ -88,39 +92,49 @@ class Cache:
         return None
 
     def read(self, pa: int, stream: str = "d") -> bool:
-        """Look up one block read; returns True on hit, filling on miss."""
-        self._clock += 1
-        index, tag = self._set_and_tag(pa)
-        lines = self._lines[index]
-        line = self._find(lines, tag)
-        if line is not None:
-            line.lru = self._clock
-            self.stats.read_hits += 1
-            if stream == "i":
-                self.stats.i_read_hits += 1
-            else:
-                self.stats.d_read_hits += 1
-            return True
-        self.stats.read_misses += 1
+        """Look up one block read; returns True on hit, filling on miss.
+
+        Inlined set/tag arithmetic and an unrolled way scan: this and
+        :meth:`~repro.memory.tb.TranslationBuffer.translate` sit on every
+        simulated reference, so per-call overhead is throughput.
+        """
+        clock = self._clock + 1
+        self._clock = clock
+        block = pa // self.block_size
+        lines = self._lines[block % self.sets]
+        tag = block // self.sets
+        stats = self.stats
+        for line in lines:
+            if line.tag == tag:
+                line.lru = clock
+                stats.read_hits += 1
+                if stream == "i":
+                    stats.i_read_hits += 1
+                else:
+                    stats.d_read_hits += 1
+                return True
+        stats.read_misses += 1
         if stream == "i":
-            self.stats.i_read_misses += 1
+            stats.i_read_misses += 1
         else:
-            self.stats.d_read_misses += 1
-        victim = min(lines, key=lambda l: l.lru)
+            stats.d_read_misses += 1
+        victim = min(lines, key=_line_lru)
         victim.tag = tag
-        victim.lru = self._clock
+        victim.lru = clock
         return False
 
     def write(self, pa: int) -> bool:
         """Look up one block write; updates the block only on hit
         (no write allocation).  Returns True on hit."""
-        self._clock += 1
-        index, tag = self._set_and_tag(pa)
-        line = self._find(self._lines[index], tag)
-        if line is not None:
-            line.lru = self._clock
-            self.stats.write_hits += 1
-            return True
+        clock = self._clock + 1
+        self._clock = clock
+        block = pa // self.block_size
+        tag = block // self.sets
+        for line in self._lines[block % self.sets]:
+            if line.tag == tag:
+                line.lru = clock
+                self.stats.write_hits += 1
+                return True
         self.stats.write_misses += 1
         return False
 

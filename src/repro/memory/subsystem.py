@@ -14,7 +14,7 @@ references (the paper's *unaligned* event, 0.016 per instruction).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, NamedTuple, Optional
 
 from repro.memory.cache import Cache
 from repro.memory.pagetable import PAGE_SHIFT, PAGE_SIZE, PageTable, PageTableEntry, region_of, vpn_of
@@ -61,15 +61,21 @@ class WriteOutcome:
     unaligned: bool
 
 
-@dataclass
-class IStreamOutcome:
-    """The result of one IB longword fetch attempt."""
+class IStreamOutcome(NamedTuple):
+    """The result of one IB longword fetch attempt.
+
+    A NamedTuple, not a dataclass — the IB calls this roughly twice per
+    simulated instruction and object construction was measurable; the
+    hot caller unpacks it positionally.
+    """
 
     value: int = 0
     cache_hit: bool = False
     tb_miss: bool = False
-    page_fault: bool = False
     fill_cycles: int = 0  # SBI transaction time on a miss (incl. queueing)
+
+
+_ISTREAM_TB_MISS = IStreamOutcome(tb_miss=True)
 
 
 @dataclass
@@ -195,6 +201,29 @@ class MemorySubsystem:
         """
         if self.trace_hook is not None:
             self.trace_hook("dread", va)
+        if 0 < size and size + (va & 3) <= 4:
+            # Aligned single-longword piece (the overwhelmingly common
+            # reference): one page, one translation, one cache lookup —
+            # identical traffic and counters to the general path below,
+            # without the piece/page bookkeeping structures.
+            pa = self.tb.translate(va, write=False, stream=stream)
+            stall = 0
+            misses = 0
+            if not self.cache.read(pa, stream=stream):
+                misses = 1
+                stall = self.write_buffer.busy_cycles_remaining(now)
+                stall += self.sbi.read_block(now + stall)
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "MEM", now, "cache read miss", {"va": va, "misses": 1}
+                    )
+            return ReadOutcome(
+                value=self.physical.read(pa, size),
+                physical_refs=1,
+                cache_misses=misses,
+                stall_cycles=stall,
+                unaligned=False,
+            )
         pieces = self._longword_pieces(va, size)
         # Translate every page touched first: a TB miss must abort the
         # reference before cache state changes.
@@ -241,6 +270,16 @@ class MemorySubsystem:
         """D-stream write-through of ``size`` bytes at ``va``."""
         if self.trace_hook is not None:
             self.trace_hook("write", va)
+        if 0 < size and size + (va & 3) <= 4:
+            # Aligned single-longword piece: mirror of the read fast path.
+            pa = self.tb.translate(va, write=True, stream="d")
+            hits = 1 if self.cache.write(pa) else 0
+            stall = self.write_buffer.submit(now)
+            self.sbi.write_longword()
+            self.physical.write(pa, size, value & ((1 << (8 * size)) - 1))
+            return WriteOutcome(
+                physical_refs=1, cache_hits=hits, stall_cycles=stall, unaligned=False
+            )
         pieces = self._longword_pieces(va, size)
         pages = sorted({piece_va & ~(PAGE_SIZE - 1) for piece_va, _ in pieces})
         translations = {}
@@ -310,29 +349,27 @@ class MemorySubsystem:
 
     # -- I-stream references ----------------------------------------------
 
-    def istream_fetch(self, va: int, now: Optional[int] = None) -> IStreamOutcome:
+    def istream_fetch(self, va: int, now: Optional[int] = None):
         """One IB reference: fetch the longword containing ``va``.
 
-        Unlike EBOX references, an I-stream TB miss does *not* microtrap —
-        it just sets a flag the EBOX discovers when it runs out of IB
-        bytes (Section 2.1).  A miss here therefore returns an outcome
-        with ``tb_miss=True`` instead of raising.  On a miss the outcome
-        carries ``fill_cycles``: the SBI transaction time including any
-        queueing behind concurrent traffic.
+        Returns ``(value, cache_hit, tb_miss, fill_cycles)``.  Unlike
+        EBOX references, an I-stream TB miss does *not* microtrap — it
+        just sets a flag the EBOX discovers when it runs out of IB bytes
+        (Section 2.1).  A miss here therefore returns a tb_miss tuple
+        instead of raising.  On a cache miss ``fill_cycles`` is the SBI
+        transaction time including any queueing behind concurrent
+        traffic.
         """
         aligned = va & ~3
         if self.trace_hook is not None:
             self.trace_hook("iread", aligned)
         try:
-            pa = self.translate(aligned, write=False, stream="i")
+            pa = self.tb.translate(aligned, write=False, stream="i")
         except TBMiss:
-            return IStreamOutcome(tb_miss=True)
+            return _ISTREAM_TB_MISS
         hit = self.cache.read(pa, stream="i")
-        fill = 0
-        if not hit:
-            fill = self.sbi.read_block(now)
-        value = self.physical.read(pa, 4)
-        return IStreamOutcome(value=value, cache_hit=hit, fill_cycles=fill)
+        fill = 0 if hit else self.sbi.read_block(now)
+        return IStreamOutcome(self.physical.read(pa, 4), hit, False, fill)
 
     def istream_page_valid(self, va: int) -> bool:
         """Whether the page holding ``va`` is mapped (IB prefetch guard)."""

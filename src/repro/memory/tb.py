@@ -74,13 +74,15 @@ class TranslationBuffer:
         self._process = [_Entry() for _ in range(half_entries)]
         self.stats = TBStats()
 
+    _REGION_CODE = {"p0": 0, "p1": 1, "system": 2}
+
     def _half_and_tag(self, va: int):
         # Index by low VPN bits within the region; tag with the rest plus
         # the region so P0 and P1 pages cannot alias each other.
         vpn = vpn_of(va)
         index = vpn % self.half_entries
         region = region_of(va)
-        tag = (vpn >> self._index_bits) << 2 | {"p0": 0, "p1": 1, "system": 2}[region]
+        tag = (vpn >> self._index_bits) << 2 | self._REGION_CODE[region]
         half = self._system if region == "system" else self._process
         return half, index, tag
 
@@ -89,15 +91,29 @@ class TranslationBuffer:
 
         Returns the physical address.  (Write-protection faults are the
         VMS layer's concern; the TB only caches what it was filled with.)
+
+        This is the hottest call in the simulator (every I-stream fetch
+        and D-stream piece lands here), so ``_half_and_tag`` is inlined
+        as straight arithmetic: region p0/p1/system is the top VA bit
+        pair (0/1/2+), matching :func:`~repro.memory.pagetable.region_of`.
         """
-        half, index, tag = self._half_and_tag(va)
-        entry = half[index]
+        vpn = (va & 0x3FFFFFFF) >> PAGE_SHIFT
+        top = (va >> 30) & 3
+        if top >= 2:
+            half = self._system
+            code = 2
+        else:
+            half = self._process
+            code = top
+        tag = (vpn >> self._index_bits) << 2 | code
+        entry = half[vpn & (self.half_entries - 1)]
         if entry.tag != tag:
-            self.stats.misses += 1
+            stats = self.stats
+            stats.misses += 1
             if stream == "i":
-                self.stats.i_misses += 1
+                stats.i_misses += 1
             else:
-                self.stats.d_misses += 1
+                stats.d_misses += 1
             raise TBMiss(va, write, stream)
         self.stats.hits += 1
         return (entry.pfn << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
@@ -106,6 +122,15 @@ class TranslationBuffer:
         """True when a translation is resident (no statistics side effects)."""
         half, index, tag = self._half_and_tag(va)
         return half[index].tag == tag
+
+    def peek(self, va: int):
+        """Physical address when resident, else None — no statistics or
+        timing side effects (the replay compiler's I-stream lookahead)."""
+        half, index, tag = self._half_and_tag(va)
+        entry = half[index]
+        if entry.tag != tag:
+            return None
+        return (entry.pfn << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
 
     def fill(self, va: int, pfn: int, writable: bool) -> None:
         """Install a translation (the tail of the miss-service routine)."""

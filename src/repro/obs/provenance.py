@@ -120,6 +120,10 @@ class RunManifest:
     #: shards recomputed by the in-process repair chain after a pool
     #: worker failed or its cached inputs turned out corrupt
     repaired_shards: int = 0
+    #: replay-compiler diagnostics (``sim.compile.*``: JIT hits/misses,
+    #: fast-path fractions, routines specialized) — ``None`` when the
+    #: run's metrics carried none (sharded resume paths, old snapshots)
+    compile: Optional[Dict] = None
 
     def to_dict(self) -> Dict:
         return asdict(self)

@@ -142,7 +142,7 @@ def _build_layout() -> MicrocodeLayout:
     alignment = store.allocate(Region.MEMMGMT, "memmgmt.alignment")
     abort = store.allocate(Region.ABORT, "abort", (MicroSlot.COMPUTE_A,))
 
-    return MicrocodeLayout(
+    layout = MicrocodeLayout(
         store=store,
         decode=decode,
         spec1=spec1,
@@ -158,6 +158,14 @@ def _build_layout() -> MicrocodeLayout:
         alignment=alignment,
         abort=abort,
     )
+
+    # Flatten every routine into its dense replay program while the
+    # routine set is known-final.  Deferred import: repro.core.compile
+    # imports repro.cpu, which imports this module.
+    from repro.core.compile import specialize_layout
+
+    specialize_layout(layout)
+    return layout
 
 
 #: Tests that must invalidate the shared layout can call this.
