@@ -44,8 +44,9 @@ measured experiment costs deserialization, not simulation.
 Run:  PYTHONPATH=src python benchmarks/perf/bench_engine.py [--jobs N]
       [--smoke]   (tiny run: sequential/parallel, traced/untraced,
                    sharded/unsharded and compiled/interpreted
-                   bit-identity, trace-export validity, and the warm
-                   compiled-throughput ratchet — the CI gate)
+                   bit-identity, trace-export validity, and the
+                   steady-state compiled-throughput ratchet — the CI
+                   gate)
 """
 
 import argparse
@@ -72,14 +73,26 @@ SEED_BASELINE_INSTRUCTIONS_PER_SECOND = 6_766
 #: this percentage of a bare composite timed in the same bench run.
 TRACING_OFF_BUDGET_PERCENT = 2.0
 
-#: Perf-smoke ratchet (CI): the warm compiled-path throughput floor.
-#: Deliberately conservative against slow CI containers — the point is
-#: to catch the compiled path silently degrading to interpreted speed,
-#: not to pin this container's figure.
-SMOKE_MIN_WARM_IPS = 8_000
-#: Perf-smoke ratchet (CI): warm compiled throughput must beat the
-#: interpreted path by at least this factor in the same process.
-SMOKE_MIN_COMPILED_SPEEDUP = 1.10
+#: Perf-smoke ratchet (CI): the steady-state compiled-path throughput
+#: floor.  Deliberately conservative against slow CI containers — the
+#: point is to catch the compiled path silently degrading to
+#: interpreted speed, not to pin this container's figure.
+SMOKE_MIN_WARM_IPS = 12_000
+#: Perf-smoke ratchet (CI): steady-state compiled throughput must beat
+#: the interpreted path by at least this factor, measured as
+#: interleaved rounds on two long-warmed kernels (superblock formation
+#: completes during warmup; see ``_steady_state_ab``).  The reference
+#: container measures 1.6-1.75x; the gate keeps a noise margin below
+#: that so a regression to the old single-record replay (~1.1x) or to
+#: interpreted speed (1.0x) fails loudly without flaking on slow CI.
+SMOKE_MIN_COMPILED_SPEEDUP = 1.50
+
+#: Steady-state A/B configuration: instructions of warmup per arm
+#: (superblock discovery decays after ~100k instructions), measured
+#: instructions per round, and interleaved rounds per arm.
+STEADY_WARMUP_INSTRUCTIONS = 100_000
+STEADY_ROUND_INSTRUCTIONS = 20_000
+STEADY_ROUNDS = 3
 
 #: Shards for the single-workload sharding benchmark.
 SHARD_COUNT = 4
@@ -169,6 +182,65 @@ class _no_compile:
             os.environ["REPRO_NO_COMPILE"] = self._saved
 
 
+def _enable_codegen_tier():
+    """Promote every replay record straight to generated Python.
+
+    The bench measures the compiled path as shipped to a long-running
+    experiment: by the time a sweep's measurement window opens, every
+    hot record has crossed ``CODEGEN_THRESHOLD``.  The short bench
+    workloads would leave most records in the op-loop tier (and report
+    ``records_compiled: 0``), so the bench pins the promotion point at
+    the first execution instead of simulating hundreds of thousands of
+    instructions per arm just to cross thresholds.
+    """
+    os.environ["REPRO_COMPILE_TIER_THRESHOLD"] = "1"
+
+
+def _steady_state_ab(warmup, instructions, rounds):
+    """Interleaved compiled-vs-interpreted A/B at simulation steady state.
+
+    Builds one kernel per arm, warms each past superblock formation
+    (discovery decays after ~100k instructions), then times ``rounds``
+    alternating measurement rounds *continuing on the same kernels* —
+    compiled, interpreted, compiled, ... — so both arms see the same
+    machine-load drift.  Best round per arm is reported: scheduler
+    noise only ever slows a run down.  Returns ``(compiled_ips,
+    interpreted_ips, stats, identical)`` where ``identical`` asserts
+    both kernels retired the same instructions to bit-identical
+    architectural state (cycle count and register file).
+    """
+    import pickle
+
+    from repro.core.compile import clear_record_caches
+    from repro.core.experiment import prepare_workload
+
+    def build(no_compile):
+        clear_record_caches()
+        if no_compile:
+            with _no_compile():
+                kernel, _ = prepare_workload(SHARD_WORKLOAD)
+        else:
+            kernel, _ = prepare_workload(SHARD_WORKLOAD)
+        kernel.run(max_instructions=warmup)
+        return kernel
+
+    compiled_kernel = build(False)
+    interpreted_kernel = build(True)
+    best = {"c": 0.0, "i": 0.0}
+    for _ in range(rounds):
+        for label, kernel in (("c", compiled_kernel), ("i", interpreted_kernel)):
+            started = time.perf_counter()
+            n = kernel.run(max_instructions=instructions)
+            wall = time.perf_counter() - started
+            best[label] = max(best[label], n / wall)
+    ce = compiled_kernel.machine.ebox
+    ie = interpreted_kernel.machine.ebox
+    identical = ce.cycle_count == ie.cycle_count and pickle.dumps(
+        ce.regs
+    ) == pickle.dumps(ie.regs)
+    return best["c"], best["i"], ce.compile_stats, identical
+
+
 def _timed_workload(instructions, warmup, tracer=None):
     """One warm educational run; returns (result, measured-phase ips).
 
@@ -195,12 +267,15 @@ def _timed_workload(instructions, warmup, tracer=None):
 def smoke(jobs: int) -> int:
     """CI gate: tiny composite, sequential vs parallel must be
     identical; a traced run must be bit-identical to an untraced one
-    (the tracer is passive) with a valid Chrome export; and a K=3
-    sharded run must be bit-identical to the unsharded reference."""
+    (the tracer is passive) with a valid Chrome export; a K=3 sharded
+    run must be bit-identical to the unsharded reference; and the
+    steady-state compiled path must clear the throughput floor and the
+    compiled-vs-interpreted speedup ratchet with superblocks formed."""
     from repro.core.engine import RunSpec, execute_spec, execute_spec_sharded
     from repro.core.experiment import run_workload
     from repro.obs.trace import Tracer, validate_chrome
 
+    _enable_codegen_tier()
     sequential, seq_wall, _ = _measure_composite(600, 150, jobs=1)
     parallel, par_wall, _ = _measure_composite(600, 150, jobs=jobs)
     if not _equal(sequential, parallel):
@@ -242,26 +317,42 @@ def smoke(jobs: int) -> int:
         print("FAIL: sharded run differs from unsharded", file=sys.stderr)
         return 1
 
-    # Replay-compiler ratchet: warm compiled throughput must clear the
-    # absolute floor and beat the interpreted path in the same process
-    # (the JIT is already warm from the runs above; the prime run warms
-    # it further before timing).  Best-of-two per arm rides out noise.
-    _timed_workload(2_500, 500)  # prime the JIT caches
-    compiled_result, compiled_ips = _timed_workload(2_500, 500)
-    retry = _timed_workload(2_500, 500)
-    compiled_ips = max(compiled_ips, retry[1])
+    # Replay-compiler bit-identity: a compiled measured run must produce
+    # the same result object as an interpreted one (with the codegen
+    # tier forced on, so the generated functions — superblocks included
+    # — are what actually executes).
+    compiled_result, _ = _timed_workload(2_500, 500)
     with _no_compile():
-        interpreted_result, interpreted_ips = _timed_workload(2_500, 500)
-        retry = _timed_workload(2_500, 500)
-        interpreted_ips = max(interpreted_ips, retry[1])
+        interpreted_result, _ = _timed_workload(2_500, 500)
     if not _equal(compiled_result, interpreted_result):
         print("FAIL: compiled run differs from interpreted", file=sys.stderr)
         return 1
+
+    # Replay-compiler ratchet: steady-state compiled throughput must
+    # clear the absolute floor and beat the interpreted path, measured
+    # as interleaved rounds on two long-warmed kernels.
+    compiled_ips, interpreted_ips, sb_stats, identical = _steady_state_ab(
+        STEADY_WARMUP_INSTRUCTIONS, STEADY_ROUND_INSTRUCTIONS, STEADY_ROUNDS
+    )
+    if not identical:
+        print(
+            "FAIL: steady-state compiled kernel diverged from interpreted",
+            file=sys.stderr,
+        )
+        return 1
+    if sb_stats.superblocks_formed == 0 or sb_stats.records_compiled == 0:
+        print(
+            "FAIL: codegen tier never fired ({} records compiled, "
+            "{} superblocks formed)".format(
+                sb_stats.records_compiled, sb_stats.superblocks_formed
+            ),
+            file=sys.stderr,
+        )
+        return 1
     if compiled_ips < SMOKE_MIN_WARM_IPS:
         print(
-            "FAIL: warm compiled throughput {:.0f} ips below the {} floor".format(
-                compiled_ips, SMOKE_MIN_WARM_IPS
-            ),
+            "FAIL: steady-state compiled throughput {:.0f} ips below the {} "
+            "floor".format(compiled_ips, SMOKE_MIN_WARM_IPS),
             file=sys.stderr,
         )
         return 1
@@ -280,7 +371,9 @@ def smoke(jobs: int) -> int:
         "(seq {:.2f}s, par {:.2f}s, {} instructions); "
         "tracing passive ({} events, valid Chrome export); "
         "3-shard merge bit-identical; "
-        "compiled {:.0f} ips vs interpreted {:.0f} ips, bit-identical".format(
+        "steady-state compiled {:.0f} ips vs interpreted {:.0f} ips "
+        "({:.2f}x, {} superblocks, mean {:.2f} instr/dispatch), "
+        "bit-identical".format(
             jobs,
             seq_wall,
             par_wall,
@@ -288,6 +381,9 @@ def smoke(jobs: int) -> int:
             len(tracer),
             compiled_ips,
             interpreted_ips,
+            compiled_ips / interpreted_ips,
+            sb_stats.superblocks_formed,
+            sb_stats.superblock_mean_length,
         )
     )
     return 0
@@ -309,14 +405,30 @@ def main() -> int:
 
     from repro.obs.metrics import registry_from_result
 
+    # The cold figure represents a user's first run under default
+    # settings — the codegen tier threshold stays at its default here
+    # and is only pinned to 1 (below) for the arms that measure the
+    # compiled path itself.
     cold_result, cold_wall, _ = _measure_composite(
         INSTRUCTIONS_PER_WORKLOAD, WARMUP_INSTRUCTIONS, jobs=1
     )
+    # Parallel also runs under default settings: each pool worker is a
+    # fresh process, so pinning the tier here would time per-worker
+    # code generation instead of process-pool scaling.
+    parallel_result, parallel_wall, _ = _measure_composite(
+        INSTRUCTIONS_PER_WORKLOAD, WARMUP_INSTRUCTIONS, jobs=args.jobs
+    )
+    if not _equal(cold_result, parallel_result):
+        print("FAIL: parallel composite differs from sequential", file=sys.stderr)
+        return 1
+    _enable_codegen_tier()
     # Warm (compiled) and interpreted arms run as adjacent interleaved
     # trials so both see the same machine load — container throughput
     # drifts by tens of percent over minutes, so arms measured far
     # apart produce garbage ratios.  Best wall of three per arm:
-    # scheduler noise only ever slows a run down.
+    # scheduler noise only ever slows a run down.  The first warm trial
+    # pays the full generation cost (tier pinned to first sight); the
+    # best-of-three is the converged figure.
     warm_result = warm_wall = warm_runs = None
     interpreted_result = interpreted_wall = interpreted_runs = None
     for _ in range(3):
@@ -333,12 +445,6 @@ def main() -> int:
             interpreted_result, interpreted_wall, interpreted_runs = trial
     if not _equal(interpreted_result, warm_result):
         print("FAIL: interpreted composite differs from compiled", file=sys.stderr)
-        return 1
-    parallel_result, parallel_wall, _ = _measure_composite(
-        INSTRUCTIONS_PER_WORKLOAD, WARMUP_INSTRUCTIONS, jobs=args.jobs
-    )
-    if not _equal(cold_result, parallel_result):
-        print("FAIL: parallel composite differs from sequential", file=sys.stderr)
         return 1
 
     # Intra-workload sharding: one workload, SHARD_COUNT shards, cold
@@ -432,6 +538,22 @@ def main() -> int:
     warm_phase_ips = _measure_phase_ips(warm_runs, instructions)
     interpreted_phase_ips = _measure_phase_ips(interpreted_runs, instructions)
 
+    # Steady-state A/B: the headline compiled-path figure, measured past
+    # superblock formation on long-warmed kernels with interleaved
+    # rounds (the short composite arms above never leave the formation
+    # transient, so their ratio understates the compiled path).
+    steady_compiled_ips, steady_interpreted_ips, sb_stats, steady_identical = (
+        _steady_state_ab(
+            STEADY_WARMUP_INSTRUCTIONS, STEADY_ROUND_INSTRUCTIONS, STEADY_ROUNDS
+        )
+    )
+    if not steady_identical:
+        print(
+            "FAIL: steady-state compiled kernel diverged from interpreted",
+            file=sys.stderr,
+        )
+        return 1
+
     # The typed metrics surface: the composite's simulated counters plus
     # the per-run wall-clock self-profiling folded in from the workers.
     registry = registry_from_result(warm_result)
@@ -511,6 +633,24 @@ def main() -> int:
             if warm_phase_ips and interpreted_phase_ips
             else None,
             "bit_identical_to_interpreted": True,
+            "steady_state": {
+                "workload": SHARD_WORKLOAD,
+                "warmup_instructions": STEADY_WARMUP_INSTRUCTIONS,
+                "round_instructions": STEADY_ROUND_INSTRUCTIONS,
+                "rounds_per_arm": STEADY_ROUNDS,
+                "compiled_instructions_per_second": round(steady_compiled_ips, 1),
+                "interpreted_instructions_per_second": round(
+                    steady_interpreted_ips, 1
+                ),
+                "speedup": round(steady_compiled_ips / steady_interpreted_ips, 2),
+                "bit_identical_to_interpreted": True,
+                "superblocks_formed": sb_stats.superblocks_formed,
+                "superblock_runs": sb_stats.superblock_runs,
+                "superblock_instructions": sb_stats.superblock_instructions,
+                "superblock_deopts": sb_stats.superblock_deopts,
+                "superblock_mean_length": round(sb_stats.superblock_mean_length, 2),
+                "records_compiled": sb_stats.records_compiled,
+            },
             "stats": compile_stats,
         },
         "metrics": registry.snapshot(),

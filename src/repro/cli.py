@@ -556,6 +556,17 @@ def cmd_bench(args) -> int:
                 compile_stats.get("records_compiled", 0),
             )
         )
+        if compile_stats.get("superblock_runs"):
+            emit(
+                "superblocks: {} formed, {} dispatches retiring {} instructions "
+                "(mean {:.2f}/dispatch), {} deopts".format(
+                    compile_stats.get("superblocks_formed", 0),
+                    compile_stats.get("superblock_runs", 0),
+                    compile_stats.get("superblock_instructions", 0),
+                    compile_stats.get("superblock_mean_length", 0.0),
+                    compile_stats.get("superblock_deopts", 0),
+                )
+            )
     return 0
 
 
@@ -630,6 +641,17 @@ def cmd_stats(args) -> int:
                     compile_stats.get("records_compiled", 0),
                 )
             )
+            if compile_stats.get("superblock_runs"):
+                emit(
+                    "  superblocks: {} formed, {} dispatches retiring {} "
+                    "instructions (mean {:.2f}/dispatch), {} deopts".format(
+                        compile_stats.get("superblocks_formed", 0),
+                        compile_stats.get("superblock_runs", 0),
+                        compile_stats.get("superblock_instructions", 0),
+                        compile_stats.get("superblock_mean_length", 0.0),
+                        compile_stats.get("superblock_deopts", 0),
+                    )
+                )
         else:
             emit("  disabled (REPRO_NO_COMPILE or tracer attached)")
     emit("\nprovenance:")

@@ -156,6 +156,7 @@ class EBox:
         tracer = self._tracer
         self._observe = monitor.observe if monitor is not None else None
         self._board = monitor.board if monitor is not None else None
+        self._bucket_map = monitor._bucket_map if monitor is not None else None
         self._ib_run = self.ib.run
         self._abort_entry = self.layout.abort.address(MicroSlot.COMPUTE_A)
         from repro.cpu.semantics import dispatch  # deferred import breaks the cycle
@@ -182,10 +183,29 @@ class EBox:
         # Preserved across tracer swaps (records and diagnostics are
         # mode-independent); created fresh on construction and restore.
         if "_record_cache" not in self.__dict__:
+            # Replay caches are keyed by decode VA, and a VA only names
+            # code *within one address space*: at a context switch the
+            # same VA maps to a different process's bytes.  One
+            # (record cache, superblock cache) pair per P0 page table,
+            # swapped when dispatch notices the table changed, keeps a
+            # process's records and blocks warm across switches instead
+            # of letting processes evict each other's entries forever.
             self._record_cache = {}
+            self._sb_cache = {}
+            self._space_caches = {None: (self._record_cache, self._sb_cache)}
+            self._cache_space = None
             self._records_overlap = self.decode_overlap
         if "compile_stats" not in self.__dict__:
             self.compile_stats = replay.CompileStats()
+        # Superblock formation: the chain of consecutively replayed
+        # (va, record) pairs, and the layout-wide candidate/block state.
+        # The chain starts empty on every rebind — a tracer swap or
+        # snapshot restore breaks the consecutive-execution property the
+        # window asserts.
+        self._sb_chain = []
+        self._sb_state = replay.superblock_state(self.layout)
+        self._chain_note = replay.chain_note
+        self._chain_break = replay.chain_break
         self._compile_active = (
             tracer is None
             and not replay.compile_disabled_by_env()
@@ -206,6 +226,7 @@ class EBox:
     _TRANSIENTS = (
         "_observe",
         "_board",
+        "_bucket_map",
         "_ib_run",
         "_abort_entry",
         "_dispatch",
@@ -215,9 +236,16 @@ class EBox:
         "_resolve_record",
         "_peek_image",
         "_record_cache",
+        "_sb_cache",
+        "_space_caches",
+        "_cache_space",
         "_records_overlap",
         "compile_stats",
         "_compile_active",
+        "_sb_chain",
+        "_sb_state",
+        "_chain_note",
+        "_chain_break",
     )
 
     def __getstate__(self):
@@ -251,15 +279,35 @@ class EBox:
         """Spend ``count`` cycles at micro-PC ``address``.
 
         Every EBOX cycle also gives the I-Fetch hardware a background
-        cycle — prefetch proceeds underneath computation and stalls alike.
+        cycle — prefetch proceeds underneath computation and stalls
+        alike.  The monitor's count-board step and the prefetcher's
+        nothing-can-happen exits (fill outstanding, TB-miss paused,
+        buffer full) are inlined here: this and :meth:`_tick_slot` run
+        once per simulated EBOX cycle burst.
         """
         if count <= 0:
             return
-        observe = self._observe
-        if observe is not None:
-            observe(address, stalled, count)
+        board = self._board
+        if board is not None and board._collecting:
+            bucket = self._bucket_map[address]
+            if stalled:
+                board._stalled_counts[bucket] += count
+            else:
+                board._counts[bucket] += count
         self.cycle_count += count
-        self._ib_run(count)
+        ib = self.ib
+        wait = ib._fill_wait
+        if wait == 0:
+            if ib.tb_miss_pending or len(ib._bytes) >= 8:
+                ib._now += count
+            else:
+                self._ib_run(count)
+        elif wait > count:
+            # Waiting out a fill that outlasts this burst: pure countdown.
+            ib._fill_wait = wait - count
+            ib._now += count
+        else:
+            self._ib_run(count)
 
     def _tick_slot(self, routine, slot: int, count: int = 1, stalled: bool = False) -> None:
         """Spend ``count`` cycles at slot index ``slot`` of ``routine``.
@@ -274,11 +322,26 @@ class EBox:
             # execution (the microsequencer detours through the patch
             # area), in addition to its normal cycle.
             self._tick(self._abort_entry)
-        observe = self._observe
-        if observe is not None:
-            observe(routine.slot_addrs[slot], stalled, count)
+        board = self._board
+        if board is not None and board._collecting:
+            bucket = self._bucket_map[routine.slot_addrs[slot]]
+            if stalled:
+                board._stalled_counts[bucket] += count
+            else:
+                board._counts[bucket] += count
         self.cycle_count += count
-        self._ib_run(count)
+        ib = self.ib
+        wait = ib._fill_wait
+        if wait == 0:
+            if ib.tb_miss_pending or len(ib._bytes) >= 8:
+                ib._now += count
+            else:
+                self._ib_run(count)
+        elif wait > count:
+            ib._fill_wait = wait - count
+            ib._now += count
+        else:
+            self._ib_run(count)
 
     def _charge_compute(self, routine, cycles: int) -> None:
         """Spend compute cycles: first at COMPUTE_A, the rest at COMPUTE_B."""
@@ -294,6 +357,14 @@ class EBox:
 
     def data_read(self, va: int, size: int, routine, source: str) -> int:
         """One D-stream read, with TB-miss/page-fault service and charging."""
+        # The fused all-hit path: no stall, no unaligned detour, no
+        # outcome object.  Identical counters and ticks to a zero-stall
+        # aligned hit on the general path below.
+        value = self.memory.read_fast(va, size)
+        if value is not None:
+            self._tick_slot(routine, _READ)
+            self.events.reads_by_source[source] += 1
+            return value
         while True:
             try:
                 outcome = self.memory.read(va, size, now=self.cycle_count)
@@ -322,6 +393,26 @@ class EBox:
 
     def data_write(self, va: int, size: int, value: int, routine, source: str) -> None:
         """One D-stream write, with TB-miss/page-fault service and charging."""
+        # Fused aligned path: a write proceeds whether the cache hit or
+        # not, so only a TB miss (microtrap), a straddling span or a
+        # trace hook falls through to the general loop.
+        stall = self.memory.write_fast(va, size, value, self.cycle_count)
+        if stall is not None:
+            self._tick_slot(routine, _WRITE)
+            if stall:
+                stall_start = self.cycle_count
+                self._tick_slot(routine, _WRITE, count=stall, stalled=True)
+                tracer = self._tracer
+                if tracer is not None:
+                    tracer.complete(
+                        "MEM",
+                        stall_start,
+                        "write stall",
+                        stall,
+                        {"va": va, "routine": routine.name},
+                    )
+            self.events.writes_by_source[source] += 1
+            return
         while True:
             try:
                 outcome = self.memory.write(va, size, value, now=self.cycle_count)
@@ -783,6 +874,22 @@ class EBox:
             return self._step_compiled()
         return self._step_interpreted()
 
+    def _switch_space(self, space) -> None:
+        """Activate the replay caches for the current P0 address space.
+
+        Keyed by page-table object identity; tables live as long as
+        their process, so an entry here never outlives the code it
+        caches.  The formation chain never survives a switch — the
+        consecutive instructions it asserts straddle two programs.
+        """
+        entry = self._space_caches.get(space)
+        if entry is None:
+            entry = ({}, {})
+            self._space_caches[space] = entry
+        self._record_cache, self._sb_cache = entry
+        self._cache_space = space
+        self._sb_chain.clear()
+
     def _step_compiled(self) -> bool:
         """Replay the next instruction from its compiled record.
 
@@ -793,8 +900,13 @@ class EBox:
         if self.decode_overlap is not self._records_overlap:
             # The ablation knob flipped since the cache was built;
             # records bake the decode-tick shape in.
-            self._record_cache.clear()
+            self._space_caches.clear()
             self._records_overlap = self.decode_overlap
+            self._switch_space(self.memory.page_tables["p0"])
+        else:
+            space = self.memory.page_tables["p0"]
+            if space is not self._cache_space:
+                self._switch_space(space)
         ib = self.ib
         va = ib._decode_va
         cache = self._record_cache
@@ -803,6 +915,7 @@ class EBox:
         if record is not None:
             if record.never:
                 if ib._bytes.startswith(record.raw):
+                    self._chain_break(self)
                     start = self.cycle_count
                     result = self._step_interpreted()
                     stats.jit_misses += 1
@@ -814,6 +927,7 @@ class EBox:
                 stats.fast_cycles += (
                     self.cycle_count - self._instruction_start_cycle
                 )
+                self._chain_note(self, va, record)
                 return not self.halted
             else:
                 # Bytes at this address changed (process aliasing or a
@@ -848,7 +962,9 @@ class EBox:
                 stats.fast_cycles += (
                     self.cycle_count - self._instruction_start_cycle
                 )
+                self._chain_note(self, va, record)
                 return not self.halted
+        self._chain_break(self)
         start = self.cycle_count
         result = self._step_interpreted()
         stats.jit_misses += 1
@@ -934,15 +1050,90 @@ class EBox:
         )
         return not self.halted
 
+    def step_block(self, budget: int, limit) -> int:
+        """Run one dispatch unit: a superblock when one is installed at
+        the current decode address, else one :meth:`step`-equivalent
+        instruction.
+
+        ``budget`` bounds the instructions this dispatch may retire
+        (the caller's remaining ``max_instructions``); ``limit`` is a
+        cycle ceiling — a superblock deopts at the first instruction
+        boundary at or past it, exactly where the stepped loop would
+        have regained control (the kernel passes the device board's
+        next fire time).  Returns instructions retired; 0 means halted
+        (the halting instruction itself is not counted, matching the
+        ``if not step(): break`` contract).
+        """
+        if self.halted:
+            return 0
+        machine = self.machine
+        if machine is not None:
+            pending = machine.pending_interrupt(self.psl.ipl)
+            if pending is not None:
+                self._deliver_interrupt(*pending)
+                return 1
+        if self._compile_active:
+            if self.decode_overlap is not self._records_overlap:
+                self._space_caches.clear()
+                self._records_overlap = self.decode_overlap
+                self._switch_space(self.memory.page_tables["p0"])
+            else:
+                space = self.memory.page_tables["p0"]
+                if space is not self._cache_space:
+                    self._switch_space(space)
+            cache = self._sb_cache
+            sb = cache.get(self.ib._decode_va)
+            if sb is not None and budget >= sb.length:
+                stats = self.compile_stats
+                pending = (
+                    machine.interrupts._pending if machine is not None else ()
+                )
+                total = 0
+                start = self.cycle_count
+                # Consecutive blocks run back-to-back without returning
+                # to the caller: between blocks the device board cannot
+                # fire (cycle_count < limit) and no interrupt is
+                # pending, so the stepped loop's per-instruction poll
+                # and delivery checks would all be no-ops here.
+                while True:
+                    n = sb.run(self, limit)
+                    if not n:
+                        break
+                    total += n
+                    stats.superblock_runs += 1
+                    stats.superblock_instructions += n
+                    if n < sb.length:
+                        stats.superblock_deopts += 1
+                        break
+                    if pending or self.cycle_count >= limit or self.halted:
+                        break
+                    sb = cache.get(self.ib._decode_va)
+                    if sb is None or budget - total < sb.length:
+                        break
+                if total:
+                    stats.jit_hits += total
+                    stats.fast_cycles += self.cycle_count - start
+                    # The instructions chained before this run were
+                    # consecutive right up to the block: promote them
+                    # rather than discarding.
+                    self._chain_break(self)
+                    return total
+                # n == 0: the first segment's guard declined with
+                # nothing mutated — the per-record path sorts it out.
+            return 1 if self._step_compiled() else 0
+        return 1 if self._step_interpreted() else 0
+
     def run(self, max_instructions: int = 1_000_000, max_cycles: Optional[int] = None) -> int:
         """Run until halt or a budget runs out; returns instructions run."""
         executed = 0
+        limit = float("inf") if max_cycles is None else max_cycles
         while executed < max_instructions:
             if max_cycles is not None and self.cycle_count >= max_cycles:
                 break
-            if not self.step():
+            n = self.step_block(max_instructions - executed, limit)
+            if not n:
                 break
-            executed += 1
+            executed += n
         return executed
 
     # ------------------------------------------------------------------
@@ -951,6 +1142,9 @@ class EBox:
 
     def _deliver_interrupt(self, ipl: int, vector_va: int) -> None:
         """Interrupt delivery microcode: save state, raise IPL, vector."""
+        # Delivery redirects control; the instructions chained so far
+        # were still consecutive, so promote them before the detour.
+        self._chain_break(self)
         tracer = self._tracer
         if tracer is not None:
             tracer.begin(

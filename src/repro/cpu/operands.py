@@ -128,7 +128,7 @@ def expand_float_literal(bits: int) -> float:
     return 0.5 * (1.0 + fraction / 8.0) * (2.0 ** exponent)
 
 
-@dataclass
+@dataclass(slots=True)
 class OperandRef:
     """A fully processed operand, as the execute phase sees it.
 

@@ -9,12 +9,19 @@ Both the EBOX (D-stream) and the Instruction Buffer (I-stream) reference
 this single cache; the stats distinguish the streams because the paper's
 Section 4.2 reports them separately (0.18 I-stream + 0.10 D-stream read
 misses per instruction).
+
+The tag store is two dense flat tables (``_tags``/``_lru``, one slot per
+line, a set's ways adjacent) instead of per-line objects: every simulated
+reference lands here, and flat indexing is what lets the memory
+subsystem's fused fast paths and the replay compiler's superblocks charge
+a reference without walking an object graph.  Plain lists beat the
+``array`` module for this access pattern (array reads re-box every tag
+into a fresh int; lists hand back the stored object).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
 
 BLOCK_SIZE = 8
 DEFAULT_CACHE_BYTES = 8 * 1024
@@ -44,16 +51,6 @@ class CacheStats:
         return self.read_misses / total if total else 0.0
 
 
-@dataclass
-class _Line:
-    tag: int = -1
-    lru: int = 0
-
-
-def _line_lru(line: "_Line") -> int:
-    return line.lru
-
-
 class Cache:
     """Physically-indexed, physically-tagged set-associative cache.
 
@@ -75,38 +72,36 @@ class Cache:
         self.block_size = block_size
         self.ways = ways
         self.sets = size_bytes // (ways * block_size)
-        self._lines: List[List[_Line]] = [
-            [_Line() for _ in range(ways)] for _ in range(self.sets)
-        ]
+        lines = self.sets * ways
+        #: flat tag table, ``set * ways + way``; -1 = invalid.
+        self._tags = [-1] * lines
+        #: last-touch clock per line (same indexing).
+        self._lru = [0] * lines
         self._clock = 0
         self.stats = CacheStats()
 
-    def _set_and_tag(self, pa: int):
+    def _base_and_tag(self, pa: int):
         block = pa // self.block_size
-        return block % self.sets, block // self.sets
-
-    def _find(self, lines, tag) -> Optional[_Line]:
-        for line in lines:
-            if line.tag == tag:
-                return line
-        return None
+        return (block % self.sets) * self.ways, block // self.sets
 
     def read(self, pa: int, stream: str = "d") -> bool:
         """Look up one block read; returns True on hit, filling on miss.
 
-        Inlined set/tag arithmetic and an unrolled way scan: this and
+        Inlined set/tag arithmetic over the flat tables: this and
         :meth:`~repro.memory.tb.TranslationBuffer.translate` sit on every
         simulated reference, so per-call overhead is throughput.
         """
         clock = self._clock + 1
         self._clock = clock
         block = pa // self.block_size
-        lines = self._lines[block % self.sets]
+        ways = self.ways
+        base = (block % self.sets) * ways
         tag = block // self.sets
+        tags = self._tags
         stats = self.stats
-        for line in lines:
-            if line.tag == tag:
-                line.lru = clock
+        for i in range(base, base + ways):
+            if tags[i] == tag:
+                self._lru[i] = clock
                 stats.read_hits += 1
                 if stream == "i":
                     stats.i_read_hits += 1
@@ -118,9 +113,17 @@ class Cache:
             stats.i_read_misses += 1
         else:
             stats.d_read_misses += 1
-        victim = min(lines, key=_line_lru)
-        victim.tag = tag
-        victim.lru = clock
+        # First least-recently-touched way wins, matching min() over the
+        # former per-line objects (ties resolve to the lowest way).
+        lru = self._lru
+        victim = base
+        least = lru[base]
+        for i in range(base + 1, base + ways):
+            if lru[i] < least:
+                least = lru[i]
+                victim = i
+        tags[victim] = tag
+        lru[victim] = clock
         return False
 
     def write(self, pa: int) -> bool:
@@ -129,10 +132,13 @@ class Cache:
         clock = self._clock + 1
         self._clock = clock
         block = pa // self.block_size
+        ways = self.ways
+        base = (block % self.sets) * ways
         tag = block // self.sets
-        for line in self._lines[block % self.sets]:
-            if line.tag == tag:
-                line.lru = clock
+        tags = self._tags
+        for i in range(base, base + ways):
+            if tags[i] == tag:
+                self._lru[i] = clock
                 self.stats.write_hits += 1
                 return True
         self.stats.write_misses += 1
@@ -140,15 +146,18 @@ class Cache:
 
     def probe(self, pa: int) -> bool:
         """Check residency without statistics or LRU side effects."""
-        index, tag = self._set_and_tag(pa)
-        return self._find(self._lines[index], tag) is not None
+        base, tag = self._base_and_tag(pa)
+        tags = self._tags
+        for i in range(base, base + self.ways):
+            if tags[i] == tag:
+                return True
+        return False
 
     def invalidate_all(self) -> None:
         """Full cache flush (boot time)."""
-        for lines in self._lines:
-            for line in lines:
-                line.tag = -1
-                line.lru = 0
+        lines = self.sets * self.ways
+        self._tags[:] = [-1] * lines
+        self._lru[:] = [0] * lines
 
     def blocks_spanned(self, pa: int, size: int) -> int:
         """How many cache blocks a [pa, pa+size) reference touches."""

@@ -6,6 +6,7 @@ Values are little-endian, as everywhere on the VAX.
 
 from __future__ import annotations
 
+import sys
 import zlib
 
 DEFAULT_MEMORY_BYTES = 8 * 1024 * 1024
@@ -19,6 +20,20 @@ class PhysicalMemory:
             raise ValueError("memory size must be positive")
         self.size = size
         self._bytes = bytearray(size)
+        self._bind_view()
+
+    def _bind_view(self) -> None:
+        # A zero-copy longword window over the byte array: aligned
+        # longword loads (every I-stream fetch and most D-stream hits)
+        # become one index instead of a slice + int.from_bytes.  The view
+        # tracks in-place mutation of the bytearray; nothing here ever
+        # resizes it, which is the one operation a live view forbids.
+        # Native-endian cast, hence the byte-order guard (VAX memory is
+        # little-endian); odd sizes cannot cast to 4-byte items.
+        if sys.byteorder == "little" and self.size % 4 == 0:
+            self._mem32 = memoryview(self._bytes).cast("I")
+        else:
+            self._mem32 = None
 
     def read(self, address: int, size: int) -> int:
         """Read ``size`` bytes at ``address`` as an unsigned integer."""
@@ -66,3 +81,4 @@ class PhysicalMemory:
     def __setstate__(self, state):
         self.size = state["size"]
         self._bytes = bytearray(zlib.decompress(state["zbytes"]))
+        self._bind_view()

@@ -180,6 +180,107 @@ class MemorySubsystem:
 
     # -- D-stream references ---------------------------------------------
 
+    def read_fast(self, va: int, size: int):
+        """Hit-only D-stream read: the fused fast path.
+
+        Handles the overwhelmingly common reference — an aligned
+        single-longword piece that hits both the TB and the cache — with
+        the TB tag check, cache way scan and physical load flattened into
+        one body over the dense tables, no outcome object.  Returns the
+        value, or None (having touched *nothing*) when the reference
+        needs the general path: any miss, an unaligned/multi-longword
+        span, or an active reference-trace hook (which must see every
+        reference exactly once).  Counters move only on the all-hit path
+        and identically to :meth:`read`.
+        """
+        if size <= 0 or size + (va & 3) > 4 or self.trace_hook is not None:
+            return None
+        tb = self.tb
+        vpn = (va & 0x3FFFFFFF) >> PAGE_SHIFT
+        top = (va >> 30) & 3
+        if top >= 2:
+            index = (vpn & tb._index_mask) + tb.half_entries
+            tag = (vpn >> tb._index_bits) << 2 | 2
+        else:
+            index = vpn & tb._index_mask
+            tag = (vpn >> tb._index_bits) << 2 | top
+        if tb._tags[index] != tag:
+            return None  # the general path recounts the miss
+        pa = (tb._pfns[index] << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
+        cache = self.cache
+        block = pa // cache.block_size
+        ways = cache.ways
+        base = (block % cache.sets) * ways
+        ctag = block // cache.sets
+        ctags = cache._tags
+        way = -1
+        for i in range(base, base + ways):
+            if ctags[i] == ctag:
+                way = i
+                break
+        if way < 0:
+            return None  # the general path replays translate + miss fill
+        clock = cache._clock + 1
+        cache._clock = clock
+        cache._lru[way] = clock
+        cstats = cache.stats
+        cstats.read_hits += 1
+        cstats.d_read_hits += 1
+        tb.stats.hits += 1
+        mem32 = self.physical._mem32
+        if mem32 is None:
+            return self.physical.read(pa, size)
+        value = mem32[pa >> 2]
+        if size == 4:
+            return value
+        return (value >> ((pa & 3) << 3)) & ((1 << (size << 3)) - 1)
+
+    def write_fast(self, va: int, size: int, value: int, now: int):
+        """Aligned single-longword write-through: the fused fast path.
+
+        Mirrors :meth:`write`'s aligned arm with the TB tag check and
+        cache way scan flattened and no outcome object; a write proceeds
+        on cache hit or miss alike, so only a TB miss (serviced via the
+        general path's microtrap), a multi-longword span or an active
+        trace hook decline.  Returns the write-stall cycles, or None to
+        fall back.
+        """
+        if size <= 0 or size + (va & 3) > 4 or self.trace_hook is not None:
+            return None
+        tb = self.tb
+        vpn = (va & 0x3FFFFFFF) >> PAGE_SHIFT
+        top = (va >> 30) & 3
+        if top >= 2:
+            index = (vpn & tb._index_mask) + tb.half_entries
+            tag = (vpn >> tb._index_bits) << 2 | 2
+        else:
+            index = vpn & tb._index_mask
+            tag = (vpn >> tb._index_bits) << 2 | top
+        if tb._tags[index] != tag:
+            return None
+        tb.stats.hits += 1
+        pa = (tb._pfns[index] << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
+        cache = self.cache
+        clock = cache._clock + 1
+        cache._clock = clock
+        block = pa // cache.block_size
+        ways = cache.ways
+        base = (block % cache.sets) * ways
+        ctag = block // cache.sets
+        ctags = cache._tags
+        cstats = cache.stats
+        for i in range(base, base + ways):
+            if ctags[i] == ctag:
+                cache._lru[i] = clock
+                cstats.write_hits += 1
+                break
+        else:
+            cstats.write_misses += 1
+        stall = self.write_buffer.submit(now)
+        self.sbi.write_longword()
+        self.physical.write(pa, size, value & ((1 << (8 * size)) - 1))
+        return stall
+
     @staticmethod
     def _longword_pieces(va: int, size: int):
         """Split [va, va+size) at longword boundaries (physical ref units)."""
@@ -363,13 +464,66 @@ class MemorySubsystem:
         aligned = va & ~3
         if self.trace_hook is not None:
             self.trace_hook("iread", aligned)
-        try:
-            pa = self.tb.translate(aligned, write=False, stream="i")
-        except TBMiss:
+        # TB tag check, cache way scan and the longword load flattened
+        # over the dense tables — this is the prefetcher's once-or-more
+        # per instruction call, the hottest body in the simulator.  Every
+        # counter moves exactly as the translate()/cache.read() calls it
+        # replaces moved them.
+        tb = self.tb
+        vpn = (aligned & 0x3FFFFFFF) >> PAGE_SHIFT
+        top = (aligned >> 30) & 3
+        if top >= 2:
+            index = (vpn & tb._index_mask) + tb.half_entries
+            tag = (vpn >> tb._index_bits) << 2 | 2
+        else:
+            index = vpn & tb._index_mask
+            tag = (vpn >> tb._index_bits) << 2 | top
+        tstats = tb.stats
+        if tb._tags[index] != tag:
+            tstats.misses += 1
+            tstats.i_misses += 1
             return _ISTREAM_TB_MISS
-        hit = self.cache.read(pa, stream="i")
-        fill = 0 if hit else self.sbi.read_block(now)
-        return IStreamOutcome(self.physical.read(pa, 4), hit, False, fill)
+        tstats.hits += 1
+        pa = (tb._pfns[index] << PAGE_SHIFT) | (aligned & (PAGE_SIZE - 1))
+        cache = self.cache
+        clock = cache._clock + 1
+        cache._clock = clock
+        block = pa // cache.block_size
+        ways = cache.ways
+        base = (block % cache.sets) * ways
+        ctag = block // cache.sets
+        ctags = cache._tags
+        cstats = cache.stats
+        hit = False
+        for i in range(base, base + ways):
+            if ctags[i] == ctag:
+                cache._lru[i] = clock
+                cstats.read_hits += 1
+                cstats.i_read_hits += 1
+                hit = True
+                break
+        if hit:
+            fill = 0
+        else:
+            cstats.read_misses += 1
+            cstats.i_read_misses += 1
+            lru = cache._lru
+            victim = base
+            least = lru[base]
+            for i in range(base + 1, base + ways):
+                if lru[i] < least:
+                    least = lru[i]
+                    victim = i
+            ctags[victim] = ctag
+            lru[victim] = clock
+            fill = self.sbi.read_block(now)
+        physical = self.physical
+        mem32 = physical._mem32
+        if mem32 is not None and pa + 4 <= physical.size:
+            value = mem32[pa >> 2]
+        else:
+            value = physical.read(pa, 4)
+        return IStreamOutcome(value, hit, False, fill)
 
     def istream_page_valid(self, va: int) -> bool:
         """Whether the page holding ``va`` is mapped (IB prefetch guard)."""

@@ -10,11 +10,17 @@ A lookup either hits (returning the cached PFN) or raises :class:`TBMiss`;
 on the real machine an EBOX-reference miss asserts a microcode interrupt
 and the miss-service microroutine walks the page table and calls
 :meth:`TranslationBuffer.fill`.  The EBOX model does exactly that.
+
+Entries live in three dense flat tables (``_tags``/``_pfns``/``_writable``,
+process half first, system half at offset ``half_entries``) rather than
+per-entry objects.  Flushes overwrite slots in place — the table objects
+are never rebound — so the memory subsystem's fused fast paths and the
+replay compiler can hold direct references to them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.memory.pagetable import PAGE_SHIFT, PAGE_SIZE, region_of, vpn_of
 
@@ -32,13 +38,6 @@ class TBMiss(Exception):
         self.va = va
         self.write = write
         self.stream = stream  # 'i' or 'd'
-
-
-@dataclass
-class _Entry:
-    tag: int = -1
-    pfn: int = 0
-    writable: bool = False
 
 
 @dataclass
@@ -70,21 +69,26 @@ class TranslationBuffer:
             raise ValueError("half_entries must be a positive power of two")
         self.half_entries = half_entries
         self._index_bits = half_entries.bit_length() - 1
-        self._system = [_Entry() for _ in range(half_entries)]
-        self._process = [_Entry() for _ in range(half_entries)]
+        self._index_mask = half_entries - 1
+        # Flat tables: process half at [0, half), system half at
+        # [half, 2*half).  tag -1 = invalid.
+        self._tags = [-1] * (2 * half_entries)
+        self._pfns = [0] * (2 * half_entries)
+        self._writable = [False] * (2 * half_entries)
         self.stats = TBStats()
 
     _REGION_CODE = {"p0": 0, "p1": 1, "system": 2}
 
-    def _half_and_tag(self, va: int):
+    def _slot_and_tag(self, va: int):
         # Index by low VPN bits within the region; tag with the rest plus
         # the region so P0 and P1 pages cannot alias each other.
         vpn = vpn_of(va)
-        index = vpn % self.half_entries
+        index = vpn & self._index_mask
         region = region_of(va)
         tag = (vpn >> self._index_bits) << 2 | self._REGION_CODE[region]
-        half = self._system if region == "system" else self._process
-        return half, index, tag
+        if region == "system":
+            index += self.half_entries
+        return index, tag
 
     def translate(self, va: int, write: bool = False, stream: str = "d") -> int:
         """Translate ``va``; raise :class:`TBMiss` when not resident.
@@ -93,21 +97,19 @@ class TranslationBuffer:
         VMS layer's concern; the TB only caches what it was filled with.)
 
         This is the hottest call in the simulator (every I-stream fetch
-        and D-stream piece lands here), so ``_half_and_tag`` is inlined
+        and D-stream piece lands here), so ``_slot_and_tag`` is inlined
         as straight arithmetic: region p0/p1/system is the top VA bit
         pair (0/1/2+), matching :func:`~repro.memory.pagetable.region_of`.
         """
         vpn = (va & 0x3FFFFFFF) >> PAGE_SHIFT
         top = (va >> 30) & 3
         if top >= 2:
-            half = self._system
-            code = 2
+            index = (vpn & self._index_mask) + self.half_entries
+            tag = (vpn >> self._index_bits) << 2 | 2
         else:
-            half = self._process
-            code = top
-        tag = (vpn >> self._index_bits) << 2 | code
-        entry = half[vpn & (self.half_entries - 1)]
-        if entry.tag != tag:
+            index = vpn & self._index_mask
+            tag = (vpn >> self._index_bits) << 2 | top
+        if self._tags[index] != tag:
             stats = self.stats
             stats.misses += 1
             if stream == "i":
@@ -116,43 +118,51 @@ class TranslationBuffer:
                 stats.d_misses += 1
             raise TBMiss(va, write, stream)
         self.stats.hits += 1
-        return (entry.pfn << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
+        return (self._pfns[index] << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
 
     def probe(self, va: int) -> bool:
         """True when a translation is resident (no statistics side effects)."""
-        half, index, tag = self._half_and_tag(va)
-        return half[index].tag == tag
+        index, tag = self._slot_and_tag(va)
+        return self._tags[index] == tag
 
     def peek(self, va: int):
         """Physical address when resident, else None — no statistics or
         timing side effects (the replay compiler's I-stream lookahead)."""
-        half, index, tag = self._half_and_tag(va)
-        entry = half[index]
-        if entry.tag != tag:
+        index, tag = self._slot_and_tag(va)
+        if self._tags[index] != tag:
             return None
-        return (entry.pfn << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
+        return (self._pfns[index] << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
 
     def fill(self, va: int, pfn: int, writable: bool) -> None:
         """Install a translation (the tail of the miss-service routine)."""
-        half, index, tag = self._half_and_tag(va)
-        half[index] = _Entry(tag=tag, pfn=pfn, writable=writable)
+        index, tag = self._slot_and_tag(va)
+        self._tags[index] = tag
+        self._pfns[index] = pfn
+        self._writable[index] = writable
 
     def invalidate(self, va: int) -> None:
         """TBIS: invalidate a single virtual address if resident."""
-        half, index, tag = self._half_and_tag(va)
-        if half[index].tag == tag:
-            half[index] = _Entry()
+        index, tag = self._slot_and_tag(va)
+        if self._tags[index] == tag:
+            self._tags[index] = -1
+            self._pfns[index] = 0
+            self._writable[index] = False
 
     def flush_process(self) -> None:
         """Flush the process half (LDPCTX / process-space TBIA)."""
-        self._process = [_Entry() for _ in range(self.half_entries)]
+        half = self.half_entries
+        self._tags[0:half] = [-1] * half
+        self._pfns[0:half] = [0] * half
+        self._writable[0:half] = [False] * half
         self.stats.process_flushes += 1
 
     def flush_all(self) -> None:
         """Full TBIA (used at boot)."""
-        self._system = [_Entry() for _ in range(self.half_entries)]
-        self._process = [_Entry() for _ in range(self.half_entries)]
+        entries = 2 * self.half_entries
+        self._tags[:] = [-1] * entries
+        self._pfns[:] = [0] * entries
+        self._writable[:] = [False] * entries
 
     def resident_count(self) -> int:
         """Number of valid entries (diagnostics)."""
-        return sum(1 for e in self._system + self._process if e.tag != -1)
+        return sum(1 for tag in self._tags if tag != -1)

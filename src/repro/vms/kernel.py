@@ -610,7 +610,16 @@ class VMSKernel:
             )
 
     def run(self, max_instructions: int = 1_000_000, max_cycles: Optional[int] = None) -> int:
-        """The main loop: poll devices between instructions, step the CPU."""
+        """The main loop: poll devices between instructions, run the CPU.
+
+        Dispatches in superblock units: the board's next fire time (and
+        the cycle budget) become the block's cycle limit, so a block
+        deopts at the first instruction boundary at or past a device
+        event — the same boundary, at the same cycle, where this loop's
+        poll would have fired it when stepping one instruction at a
+        time.  A stepped interpreter run retires instructions at
+        identical cycles; only the dispatch granularity differs.
+        """
         executed = 0
         ebox = self.ebox
         devices = self.devices
@@ -618,9 +627,13 @@ class VMSKernel:
             if max_cycles is not None and ebox.cycle_count >= max_cycles:
                 break
             devices.poll(ebox.cycle_count)
-            if not ebox.step():
+            limit = devices._next_fire
+            if max_cycles is not None and max_cycles < limit:
+                limit = max_cycles
+            n = ebox.step_block(max_instructions - executed, limit)
+            if not n:
                 break
-            executed += 1
+            executed += n
         return executed
 
     @property
