@@ -33,7 +33,20 @@ Commands
 ``trace WORKLOAD``
     Run one workload with cycle-level tracing attached and export the
     capture as Chrome trace-event JSON (loadable in Perfetto or
-    ``about://tracing``) and/or the compact binary dump.
+    ``about://tracing``), the compact binary dump, or the indexed
+    on-disk store (``--format store``) that ``repro query`` reads.
+``query EXPRESSION``
+    Ask questions of a trace: ``repro query "stall cycles where
+    track=MEM and routine=SPEC_FETCH"`` against a stored trace
+    (``--trace``) or a fresh in-process traced run (``--workload``).
+    ``--jit`` captures compile-lifecycle events (record/superblock
+    formation, tier-ups, deopts, fallbacks) with the compiled hot path
+    still enabled.
+``check [WORKLOAD]``
+    Evaluate every counter identity (cycle classification, instruction
+    counts, miss splits, and with ``--trace`` the trace-vs-counter
+    identities) and localize any failure to its subsystem; exit 1 on a
+    broken invariant.
 ``stats [WORKLOAD]``
     Run one workload (or the composite) and report the typed metrics
     surface: simulated counters, derived gauges, wall-clock
@@ -445,6 +458,25 @@ def cmd_trace(args) -> int:
         path = stem + ".bin"
         write_binary(tracer, path)
         written.append(path)
+    if args.format == "store":
+        from repro.obs.query import write_store
+
+        path = stem + ".vaxtrace"
+        footer = write_store(
+            tracer,
+            path,
+            meta={
+                "workload": args.workload,
+                "instructions": args.instructions,
+                "warmup_instructions": args.warmup,
+            },
+        )
+        written.append(path)
+        log.info(
+            "store written",
+            segments=len(footer["segments"]),
+            records=footer["record_count"],
+        )
     emit(
         "{}: {} instructions, CPI {:.3f}".format(
             result.name, result.instructions, result.cpi
@@ -458,6 +490,175 @@ def cmd_trace(args) -> int:
     for path in written:
         emit("wrote {}".format(path))
     return 0
+
+
+def cmd_query(args) -> int:
+    import json
+
+    from repro.obs.query import QueryError, open_store, parse_query
+
+    log = get_logger("repro.query")
+    try:
+        plan = parse_query(args.expression)
+    except QueryError as error:
+        log.error(str(error))
+        return 2
+
+    if args.trace:
+        source = open_store(args.trace)
+        log.info(
+            "querying store",
+            path=args.trace,
+            segments=len(getattr(source, "footer", {}).get("segments", ()))
+            or "in-memory",
+        )
+    elif args.workload:
+        from repro.core.experiment import run_workload
+
+        if args.jit:
+            from repro.obs.channel import EventChannel
+
+            channel = EventChannel(capacity=args.capacity)
+            run_workload(
+                args.workload,
+                instructions=args.instructions,
+                warmup_instructions=args.warmup,
+                compile_events=channel,
+            )
+            source = channel.to_trace_events()
+            log.info(
+                "captured compile-lifecycle events",
+                emitted=channel.emitted,
+                dropped=channel.dropped,
+            )
+        else:
+            from repro.obs.trace import Tracer
+
+            tracer = Tracer(capacity=args.capacity)
+            run_workload(
+                args.workload,
+                instructions=args.instructions,
+                warmup_instructions=args.warmup,
+                tracer=tracer,
+            )
+            source = tracer
+            if tracer.dropped:
+                log.warn(
+                    "ring dropped events; aggregates cover a truncated window",
+                    dropped=tracer.dropped,
+                )
+    else:
+        log.error("need --trace PATH or --workload NAME to query")
+        return 2
+
+    try:
+        answer = plan.run(source)
+    except QueryError as error:
+        log.error(str(error))
+        return 2
+    scanned = getattr(source, "segments_scanned", None)
+    if scanned is not None:
+        log.info("segments scanned", scanned=scanned)
+    if args.json:
+        emit(json.dumps({"query": args.expression, "result": answer}, indent=2))
+        return 0
+    emit("query: {}".format(args.expression))
+    stat_order = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99")
+    if isinstance(answer, dict) and set(answer) <= set(stat_order):
+        for key in stat_order:
+            if key in answer:
+                emit("  {:<5} {:>14}".format(key, _format_value(answer[key])))
+    elif isinstance(answer, dict):
+        width = max((len(str(key)) for key in answer), default=0)
+        for key, value in sorted(
+            answer.items(), key=lambda kv: (-_numeric(kv[1]), str(kv[0]))
+        ):
+            if isinstance(value, dict):  # histogram() output
+                emit("  {:<{}} {}".format(key, width, _format_cells(value)))
+            else:
+                emit("  {:<{}} {:>14}".format(str(key), width, _format_value(value)))
+    else:
+        emit("  {}".format(_format_value(answer)))
+    return 0
+
+
+def _numeric(value) -> float:
+    if isinstance(value, dict):
+        return float(value.get("sum", value.get("count", 0)))
+    return float(value)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return "{:.4f}".format(value)
+    return str(int(value)) if isinstance(value, float) else str(value)
+
+
+def _format_cells(cells: dict) -> str:
+    return " ".join(
+        "{}={}".format(key, _format_value(cells[key]))
+        for key in ("count", "sum", "mean", "p50", "p90", "p99")
+        if key in cells
+    )
+
+
+def cmd_check(args) -> int:
+    import json
+
+    from repro.obs.invariants import run_checked_workload
+    from repro.workloads import COMPOSITE_WORKLOAD_NAMES
+
+    log = get_logger("repro.check")
+    names = [args.workload] if args.workload else list(COMPOSITE_WORKLOAD_NAMES)
+    reports = []
+    for name in names:
+        log.info(
+            "checking workload",
+            workload=name,
+            instructions=args.instructions,
+            trace=args.trace,
+        )
+        report, _result = run_checked_workload(
+            name,
+            instructions=args.instructions,
+            warmup_instructions=args.warmup,
+            trace=args.trace,
+            tracer_capacity=args.capacity,
+        )
+        reports.append(report)
+
+    if args.json:
+        emit(json.dumps([report.to_dict() for report in reports], indent=2))
+        return 0 if all(report.ok for report in reports) else 1
+
+    failed = 0
+    for report in reports:
+        emit("{}:".format(report.name))
+        for outcome in report.outcomes:
+            marker = "ok  " if outcome.ok else "FAIL"
+            line = "  {} {:<32} {:>14} == {:<14}".format(
+                marker,
+                outcome.name,
+                _format_value(outcome.lhs),
+                _format_value(outcome.rhs),
+            )
+            emit(line.rstrip())
+            if not outcome.ok:
+                failed += 1
+                emit("       subsystem: {}".format(outcome.subsystem))
+                if outcome.detail:
+                    emit("       {}".format(outcome.detail))
+        for identity, reason in sorted(report.skipped.items()):
+            emit("  skip {:<32} {}".format(identity, reason))
+    total = sum(len(report.outcomes) for report in reports)
+    skipped = sum(len(report.skipped) for report in reports)
+    summary = "{} identities checked across {} workload(s): {}".format(
+        total, len(reports), "all hold" if not failed else "{} FAILED".format(failed)
+    )
+    if skipped:
+        summary += " ({} skipped)".format(skipped)
+    emit("\n" + summary)
+    return 0 if not failed else 1
 
 
 def cmd_bench(args) -> int:
@@ -618,11 +819,11 @@ def cmd_stats(args) -> int:
     for name, value in snapshot["gauges"].items():
         emit("  {:<44} {:>14.4f}".format(name, value))
     if snapshot["histograms"]:
-        emit("\nself-profiling (count / mean / min / max seconds):")
+        emit("\nself-profiling (count / mean / p50 / p90 / p99 seconds):")
         for name, h in snapshot["histograms"].items():
             emit(
-                "  {:<44} {:>4} {:>9.4f} {:>9.4f} {:>9.4f}".format(
-                    name, h["count"], h["mean"], h["min"], h["max"]
+                "  {:<44} {:>4} {:>9.4f} {:>9.4f} {:>9.4f} {:>9.4f}".format(
+                    name, h["count"], h["mean"], h["p50"], h["p90"], h["p99"]
                 )
             )
     from repro.core.compile import stats_from_snapshot
@@ -652,8 +853,36 @@ def cmd_stats(args) -> int:
                         compile_stats.get("superblock_deopts", 0),
                     )
                 )
+            reasons = {
+                key.split(".", 1)[1]: value
+                for key, value in compile_stats.items()
+                if key.startswith("deopt.") and value
+            }
+            if reasons:
+                emit(
+                    "  deopt reasons: "
+                    + ", ".join(
+                        "{} {}".format(reason, count)
+                        for reason, count in sorted(reasons.items())
+                    )
+                )
+            causes = {
+                key.split(".", 1)[1]: value
+                for key, value in compile_stats.items()
+                if key.startswith("fallback.") and value
+            }
+            if causes:
+                emit(
+                    "  fallback causes: "
+                    + ", ".join(
+                        "{} {}".format(cause, count)
+                        for cause, count in sorted(causes.items())
+                    )
+                )
+        elif compile_stats.get("disabled_by_tracer"):
+            emit("  disabled: tracer attached forced the interpreted path")
         else:
-            emit("  disabled (REPRO_NO_COMPILE or tracer attached)")
+            emit("  disabled (REPRO_NO_COMPILE or incompatible board)")
     emit("\nprovenance:")
     for manifest in manifests:
         emit(
@@ -821,9 +1050,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.add_argument(
         "--format",
-        choices=("json", "binary", "both"),
+        choices=("json", "binary", "both", "store"),
         default="json",
-        help="Chrome trace-event JSON, compact binary dump, or both",
+        help="Chrome trace-event JSON, compact binary dump, both, or the "
+        "indexed on-disk store that `repro query --trace` reads",
     )
     trace_parser.add_argument(
         "--capacity",
@@ -832,6 +1062,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="ring-buffer size; older events beyond it are dropped",
     )
     trace_parser.set_defaults(func=cmd_trace)
+
+    query_parser = sub.add_parser(
+        "query",
+        help='run a trace query, e.g. "stall cycles where track=MEM"',
+    )
+    query_parser.add_argument(
+        "expression",
+        help="query text: [count|sum|mean|histogram] <measure> "
+        "[where k=v [and k=v]...] [group by name|track|phase|routine]",
+    )
+    query_parser.add_argument(
+        "--trace",
+        default=None,
+        help="query an existing trace store (written by trace --format store)",
+    )
+    query_parser.add_argument(
+        "--workload",
+        default=None,
+        help="run this workload traced in-process and query the capture",
+    )
+    query_parser.add_argument("--instructions", type=int, default=5_000)
+    query_parser.add_argument("--warmup", type=int, default=1_000)
+    query_parser.add_argument(
+        "--jit",
+        action="store_true",
+        help="capture compile-lifecycle events instead of the cycle trace "
+        "(keeps the compiled hot path enabled; query the JIT track)",
+    )
+    query_parser.add_argument(
+        "--capacity",
+        type=int,
+        default=1_048_576,
+        help="capture ring size for --workload runs",
+    )
+    query_parser.add_argument(
+        "--json", action="store_true", help="emit the answer as JSON"
+    )
+    query_parser.set_defaults(func=cmd_query)
+
+    check_parser = sub.add_parser(
+        "check",
+        help="evaluate every counter identity; exit 1 on any broken invariant",
+    )
+    check_parser.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="workload to check (default: all five)",
+    )
+    check_parser.add_argument("--instructions", type=int, default=10_000)
+    check_parser.add_argument("--warmup", type=int, default=2_000)
+    check_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="also run traced and check trace-vs-counter identities",
+    )
+    check_parser.add_argument(
+        "--capacity",
+        type=int,
+        default=1_048_576,
+        help="tracer ring size for --trace runs (a ring that drops events "
+        "skips the trace identities)",
+    )
+    check_parser.add_argument(
+        "--json", action="store_true", help="emit the reports as JSON"
+    )
+    check_parser.set_defaults(func=cmd_check)
 
     bench_parser = sub.add_parser(
         "bench",

@@ -60,7 +60,7 @@ was compiled or interpreted.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from weakref import WeakKeyDictionary
 
 from repro.cpu.operands import (
@@ -225,6 +225,12 @@ class CompileStats:
     #: superblock dispatches that exited before the full window
     #: (pending interrupt, cycle limit, or a byte-guard mismatch)
     superblock_deopts: int = 0
+    #: superblock deopts by reason ("interrupt" / "cycle_limit" /
+    #: "byte_guard"), diagnosed at the deopt site
+    deopt_reasons: dict = field(default_factory=dict)
+    #: interpreter fallbacks by cause ("uncompilable" / "byte_mismatch"
+    #: / "unresolved"), diagnosed on the jit-miss path
+    fallback_causes: dict = field(default_factory=dict)
 
     @property
     def fast_instruction_fraction(self) -> float:
@@ -255,6 +261,8 @@ class CompileStats:
             "superblock_runs": self.superblock_runs,
             "superblock_instructions": self.superblock_instructions,
             "superblock_deopts": self.superblock_deopts,
+            "deopt_reasons": dict(sorted(self.deopt_reasons.items())),
+            "fallback_causes": dict(sorted(self.fallback_causes.items())),
             "superblock_mean_length": round(self.superblock_mean_length, 2),
             "fast_instruction_fraction": round(self.fast_instruction_fraction, 4),
             "fast_cycle_fraction": round(self.fast_cycle_fraction, 4),
@@ -276,10 +284,29 @@ class CompileStats:
         self.superblock_runs += other.superblock_runs
         self.superblock_instructions += other.superblock_instructions
         self.superblock_deopts += other.superblock_deopts
+        for reason, count in other.deopt_reasons.items():
+            self.deopt_reasons[reason] = self.deopt_reasons.get(reason, 0) + count
+        for cause, count in other.fallback_causes.items():
+            self.fallback_causes[cause] = self.fallback_causes.get(cause, 0) + count
+
+    def note_deopt(self, reason: str) -> None:
+        self.deopt_reasons[reason] = self.deopt_reasons.get(reason, 0) + 1
+
+    def note_fallback(self, cause: str) -> None:
+        self.fallback_causes[cause] = self.fallback_causes.get(cause, 0) + 1
 
 
 #: MetricsRegistry name prefix for the replay diagnostics.
 METRIC_PREFIX = "sim.compile."
+
+# Lifecycle-event kinds, bound locally so emission sites read tersely.
+from repro.obs.channel import (  # noqa: E402  (grouped with its users)
+    KIND_DEOPT as _KIND_DEOPT,
+    KIND_FALLBACK as _KIND_FALLBACK,
+    KIND_RECORD_FORMED as _KIND_RECORD_FORMED,
+    KIND_SUPERBLOCK_FORMED as _KIND_SUPERBLOCK_FORMED,
+    KIND_TIER_UP as _KIND_TIER_UP,
+)
 
 #: CompileStats fields that accumulate (counters; the remainder are
 #: point-in-time gauges).
@@ -298,7 +325,9 @@ _COUNTER_FIELDS = (
 )
 
 
-def record_metrics(registry, stats: CompileStats, active: bool) -> None:
+def record_metrics(
+    registry, stats: CompileStats, active: bool, disabled_by_tracer: bool = False
+) -> None:
     """Expose one machine's :class:`CompileStats` through a
     :class:`~repro.obs.metrics.MetricsRegistry` under ``sim.compile.*``.
 
@@ -306,10 +335,27 @@ def record_metrics(registry, stats: CompileStats, active: bool) -> None:
     coordinator merges them); the specialization count and derived
     fractions go in as gauges.  ``active`` records whether the compiled
     path was enabled at all (0 under ``REPRO_NO_COMPILE=1`` or a
-    tracer).
+    tracer); ``disabled_by_tracer`` counts runs where an attached
+    tracer — and nothing else — forced the interpreted path, so A/B
+    comparisons can see the forcing in the metrics, not just stderr.
     """
     for name in _COUNTER_FIELDS:
         registry.counter(METRIC_PREFIX + name).inc(getattr(stats, name))
+    for reason, count in sorted(stats.deopt_reasons.items()):
+        registry.counter(
+            METRIC_PREFIX + "deopt." + reason,
+            "superblock deopts: " + reason,
+        ).inc(count)
+    for cause, count in sorted(stats.fallback_causes.items()):
+        registry.counter(
+            METRIC_PREFIX + "fallback." + cause,
+            "interpreter fallbacks: " + cause,
+        ).inc(count)
+    if disabled_by_tracer:
+        registry.counter(
+            METRIC_PREFIX + "disabled_by_tracer",
+            "runs where an attached tracer forced the interpreted path",
+        ).inc(1)
     registry.gauge(
         METRIC_PREFIX + "routines_specialized",
         "microroutines flattened into replay programs",
@@ -1070,6 +1116,11 @@ def _tiered_run(record, threshold=None):
         record.hits = hits
         if hits >= (threshold if threshold is not None else CODEGEN_THRESHOLD):
             record.run = _codegen(record)
+            channel = ebox._compile_events
+            if channel is not None:
+                channel.emit(
+                    ebox.cycle_count, _KIND_TIER_UP, record.mnemonic, hits
+                )
             return record.run(ebox, start_va)
         return execute_record(record, ebox, start_va)
 
@@ -1662,6 +1713,14 @@ def _close_window(ebox, chain):
     cache[head_va] = sb
     state["installed"] += 1
     ebox.compile_stats.superblocks_formed += 1
+    channel = ebox._compile_events
+    if channel is not None:
+        channel.emit(
+            ebox.cycle_count,
+            _KIND_SUPERBLOCK_FORMED,
+            "+".join(record.mnemonic for record in window),
+            len(window),
+        )
 
 
 def compile_superblock(records):

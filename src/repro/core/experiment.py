@@ -139,6 +139,7 @@ def prepare_workload(
     seed_offset: int = 0,
     configure=None,
     tracer=None,
+    compile_events=None,
 ):
     """Build one workload's machine, through boot, ready to run.
 
@@ -161,6 +162,8 @@ def prepare_workload(
     profile = profile_by_name(profile_name)
     monitor = UPCMonitor.build()
     machine = VAX780(monitor=monitor, tracer=tracer)
+    if compile_events is not None:
+        machine.attach_compile_events(compile_events)
     if configure is not None:
         # Ablation hook: swap cache/TB/write-buffer geometry or set EBOX
         # options before any code runs.
@@ -197,6 +200,7 @@ def run_workload(
     return_board: bool = False,
     tracer=None,
     metrics=None,
+    compile_events=None,
 ):
     """Run one of the paper's five workloads and collect its histogram.
 
@@ -216,6 +220,9 @@ def run_workload(
     traced run produces bit-identical results to an untraced one.
     ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) collects
     wall-clock self-profiling: per-phase timings and simulation speed.
+    ``compile_events`` (a :class:`repro.obs.channel.EventChannel`)
+    records compile-tier lifecycle events; unlike ``tracer`` it leaves
+    the compiled hot path enabled.
     """
     import time as _time
 
@@ -230,6 +237,7 @@ def run_workload(
         seed_offset=seed_offset,
         configure=configure,
         tracer=tracer,
+        compile_events=compile_events,
     )
     machine = kernel.machine
     if metrics is not None:
@@ -265,7 +273,10 @@ def run_workload(
         from repro.core import compile as replay
 
         replay.record_metrics(
-            metrics, machine.ebox.compile_stats, machine.ebox._compile_active
+            metrics,
+            machine.ebox.compile_stats,
+            machine.ebox._compile_active,
+            disabled_by_tracer=machine.ebox._compile_disabled_by_tracer,
         )
     if return_board:
         return result, monitor.board

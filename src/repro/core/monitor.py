@@ -138,8 +138,15 @@ class HistogramBoard:
         """Read out both banks (what the measurement host did after a run).
 
         Returns (counts, stalled_counts) as lists indexed by bucket.
+        Fault-injection site ``monitor.dump`` (action ``miscount``)
+        damages the readout — never the live banks — modelling a flaky
+        Unibus transfer; ``repro check`` exists to catch exactly this.
         """
-        return list(self._counts), list(self._stalled_counts)
+        from repro.testing import faults
+
+        counts, stalled = list(self._counts), list(self._stalled_counts)
+        faults.corrupt_counts("monitor.dump", "board", counts, stalled)
+        return counts, stalled
 
     def dump_sparse(self):
         """Both banks as sparse ``{bucket: count}`` dicts (zeros omitted).

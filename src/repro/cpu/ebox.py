@@ -206,14 +206,33 @@ class EBox:
         self._sb_state = replay.superblock_state(self.layout)
         self._chain_note = replay.chain_note
         self._chain_break = replay.chain_break
-        self._compile_active = (
-            tracer is None
-            and not replay.compile_disabled_by_env()
-            and (
-                self._board is None
-                or self._board.buckets == replay.LayoutReplay.BUCKETS
-            )
+        would_compile = not replay.compile_disabled_by_env() and (
+            self._board is None
+            or self._board.buckets == replay.LayoutReplay.BUCKETS
         )
+        self._compile_active = tracer is None and would_compile
+        #: True when an attached tracer — and nothing else — is what
+        #: keeps the compiled path off.  Surfaced as the
+        #: ``sim.compile.disabled_by_tracer`` metric and warned about
+        #: once per machine: a silent 1.6x mode switch poisons A/B
+        #: numbers.
+        self._compile_disabled_by_tracer = tracer is not None and would_compile
+        if self._compile_disabled_by_tracer and not self.__dict__.get(
+            "_tracer_fallback_warned"
+        ):
+            self._tracer_fallback_warned = True
+            from repro.obs.log import get_logger
+
+            get_logger("compile").warn(
+                "tracer attached: compiled hot path disabled, "
+                "running interpreted (timings are not comparable to "
+                "untraced runs; counted results are bit-identical)"
+            )
+        # The compile-lifecycle event channel (repro.obs.channel).
+        # Unlike the tracer it does not change which path runs; it is
+        # preserved across rebinds so attach order never matters.
+        if "_compile_events" not in self.__dict__:
+            self._compile_events = None
         if self._compile_active:
             self.compile_stats.routines_specialized = len(
                 replay.specialize_layout(self.layout)
@@ -242,11 +261,22 @@ class EBox:
         "_records_overlap",
         "compile_stats",
         "_compile_active",
+        "_compile_disabled_by_tracer",
+        "_tracer_fallback_warned",
+        "_compile_events",
         "_sb_chain",
         "_sb_state",
         "_chain_note",
         "_chain_break",
     )
+
+    def set_compile_events(self, channel) -> None:
+        """Attach (``None``: detach) the compile-lifecycle event
+        channel (:class:`repro.obs.channel.EventChannel`).  Strictly
+        passive *and* path-neutral: unlike a tracer, an attached
+        channel leaves the compiled path enabled — that is its whole
+        point."""
+        self._compile_events = channel
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -911,6 +941,7 @@ class EBox:
         va = ib._decode_va
         cache = self._record_cache
         stats = self.compile_stats
+        cause = None  # why this execution interprets, if it does
         record = cache.get(va)
         if record is not None:
             if record.never:
@@ -920,8 +951,13 @@ class EBox:
                     result = self._step_interpreted()
                     stats.jit_misses += 1
                     stats.slow_cycles += self.cycle_count - start
+                    stats.note_fallback("uncompilable")
+                    channel = self._compile_events
+                    if channel is not None:
+                        channel.emit(start, "fallback", "uncompilable", va)
                     return result
                 stats.byte_fallbacks += 1
+                cause = "byte_mismatch"
             elif record.run(self, va):
                 stats.jit_hits += 1
                 stats.fast_cycles += (
@@ -933,6 +969,7 @@ class EBox:
                 # Bytes at this address changed (process aliasing or a
                 # rewritten program): re-resolve against the buffer.
                 stats.byte_fallbacks += 1
+                cause = "byte_mismatch"
         probe = ib._bytes
         if len(probe) < 8:
             # The IB was flushed (taken branch) or is still filling:
@@ -941,6 +978,7 @@ class EBox:
             image = self._peek_image(self)
             if image is not None and len(image) > len(probe):
                 probe = image
+        compiled_before = stats.records_compiled
         record = (
             self._resolve_record(self.layout, probe, self.decode_overlap, stats)
             if probe
@@ -955,8 +993,16 @@ class EBox:
                 record = self._resolve_record(
                     self.layout, image, self.decode_overlap, stats
                 )
+        channel = self._compile_events
         if record is not None:
             cache[va] = record
+            if channel is not None and stats.records_compiled > compiled_before:
+                channel.emit(
+                    self.cycle_count,
+                    "record formed",
+                    record.mnemonic,
+                    len(record.raw),
+                )
             if not record.never and record.run(self, va):
                 stats.jit_hits += 1
                 stats.fast_cycles += (
@@ -964,11 +1010,17 @@ class EBox:
                 )
                 self._chain_note(self, va, record)
                 return not self.halted
+            cause = "uncompilable" if record.never else "byte_mismatch"
+        else:
+            cause = cause or "unresolved"
         self._chain_break(self)
         start = self.cycle_count
         result = self._step_interpreted()
         stats.jit_misses += 1
         stats.slow_cycles += self.cycle_count - start
+        stats.note_fallback(cause)
+        if channel is not None:
+            channel.emit(start, "fallback", cause, va)
         return result
 
     def _step_interpreted(self) -> bool:
@@ -1104,6 +1156,20 @@ class EBox:
                     stats.superblock_instructions += n
                     if n < sb.length:
                         stats.superblock_deopts += 1
+                        # Diagnose the early exit from machine state:
+                        # the generated body only leaves the window at
+                        # a boundary check (pending interrupt / cycle
+                        # limit) or a failed byte guard.
+                        if pending:
+                            reason = "interrupt"
+                        elif self.cycle_count >= limit:
+                            reason = "cycle_limit"
+                        else:
+                            reason = "byte_guard"
+                        stats.note_deopt(reason)
+                        channel = self._compile_events
+                        if channel is not None:
+                            channel.emit(self.cycle_count, "deopt", reason, n)
                         break
                     if pending or self.cycle_count >= limit or self.halted:
                         break

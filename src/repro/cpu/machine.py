@@ -148,6 +148,19 @@ class VAX780:
         self.memory.tracer = tracer
         self.ebox.set_tracer(tracer)
 
+    def attach_compile_events(self, channel) -> None:
+        """Attach (``None``: detach) a compile-lifecycle
+        :class:`~repro.obs.channel.EventChannel`.  Passive and
+        path-neutral — the compiled hot path stays enabled, which is
+        the channel's reason to exist (a tracer would turn it off).
+        Held only on the EBOX transient state, so snapshots stay
+        byte-identical with or without a channel attached."""
+        self.ebox.set_compile_events(channel)
+
+    @property
+    def compile_events(self):
+        return self.ebox._compile_events
+
     def pending_interrupt(self, current_ipl: int) -> Optional[Tuple[int, int]]:
         request = self.interrupts.highest_above(current_ipl)
         if request is None:

@@ -10,6 +10,15 @@ discipline on the simulator itself:
 * :mod:`repro.obs.metrics` — typed counters / gauges / histograms plus
   wall-clock self-profiling of the simulator (phase timings,
   instructions/sec, cycles/sec).
+* :mod:`repro.obs.query` — the indexed VAXTRACE v2 store and the
+  filter/aggregate query engine behind ``repro query`` (live tracers,
+  stored captures and v1 dumps all answer the same questions).
+* :mod:`repro.obs.channel` — the bounded compile-lifecycle event
+  channel (record/superblock formation, tier-ups, deopts, fallbacks)
+  that, unlike a tracer, leaves the compiled hot path enabled.
+* :mod:`repro.obs.invariants` — counter-identity checking between the
+  independent instruments (``repro check``), with subsystem and
+  micro-routine localization of any disagreement.
 * :mod:`repro.obs.log` — a small structured logger for the CLI and the
   engine (level from ``--verbose``/``-q`` or the ``REPRO_LOG`` env var).
 * :mod:`repro.obs.provenance` — run manifests: config hash, seeds, code
@@ -20,15 +29,21 @@ nothing in this package holds a reference into the machine, and tracing
 on versus off produces bit-identical histograms (asserted by tests).
 """
 
+from repro.obs.channel import EventChannel
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.provenance import RunManifest
+from repro.obs.query import TraceQuery, open_store, write_store
 from repro.obs.trace import Tracer, tracing_enabled
 
 __all__ = [
+    "EventChannel",
     "MetricsRegistry",
     "RunManifest",
+    "TraceQuery",
     "Tracer",
     "get_logger",
+    "open_store",
     "tracing_enabled",
+    "write_store",
 ]

@@ -61,16 +61,43 @@ class Gauge:
         return self.value
 
 
+def percentile(sorted_samples: List[Number], q: Number) -> float:
+    """The q-th percentile of an ascending sample list, linearly
+    interpolated between order statistics (numpy's default method,
+    reimplemented so the toolchain stays stdlib-only)."""
+    if not sorted_samples:
+        return 0.0
+    if len(sorted_samples) == 1:
+        return float(sorted_samples[0])
+    rank = (q / 100.0) * (len(sorted_samples) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_samples) - 1)
+    fraction = rank - low
+    return float(
+        sorted_samples[low] + (sorted_samples[high] - sorted_samples[low]) * fraction
+    )
+
+
 class Histogram:
-    """A distribution: count / sum / min / max / mean.
+    """A distribution: count / sum / min / max / mean, plus percentiles
+    over a bounded sample reservoir.
 
     Deliberately bucket-free — the micro-PC board is the bucketed
     instrument around here; this class summarizes wall-clock samples
-    (phase durations, per-run wall seconds) where five moments beat
-    sixteen thousand buckets.
+    (phase durations, per-run wall seconds).  The first
+    :data:`SAMPLE_CAP` observations are retained verbatim so snapshots
+    can report p50/p90/p99 (``repro stats`` renders those, not raw
+    moments); keep-first is deterministic where reservoir sampling
+    would need a seed, and the metrics here see far fewer observations
+    than the cap.
     """
 
     kind = "histogram"
+
+    #: retained observations per histogram; beyond this, percentiles
+    #: describe the first SAMPLE_CAP samples (count/sum/min/max stay
+    #: exact).
+    SAMPLE_CAP = 4096
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
@@ -79,6 +106,7 @@ class Histogram:
         self.sum: Number = 0
         self.min: Optional[Number] = None
         self.max: Optional[Number] = None
+        self.samples: List[Number] = []
 
     def observe(self, value: Number) -> None:
         self.count += 1
@@ -87,18 +115,28 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if len(self.samples) < self.SAMPLE_CAP:
+            self.samples.append(value)
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: Number) -> float:
+        return percentile(sorted(self.samples), q)
+
     def snapshot(self) -> Dict[str, Number]:
+        ordered = sorted(self.samples)
         return {
             "count": self.count,
             "sum": self.sum,
             "min": self.min if self.min is not None else 0,
             "max": self.max if self.max is not None else 0,
             "mean": self.mean,
+            "p50": percentile(ordered, 50),
+            "p90": percentile(ordered, 90),
+            "p99": percentile(ordered, 99),
+            "samples": list(self.samples),
         }
 
 
@@ -178,6 +216,9 @@ class MetricsRegistry:
                 histogram.min = stats["min"]
             if histogram.max is None or stats["max"] > histogram.max:
                 histogram.max = stats["max"]
+            room = Histogram.SAMPLE_CAP - len(histogram.samples)
+            if room > 0:
+                histogram.samples.extend(stats.get("samples", [])[:room])
 
 
 #: Names the resilience layer reports through a policy's registry

@@ -72,6 +72,12 @@ DISRUPT_ACTIONS = ("raise", "crash", "hang")
 #: Actions that damage payload bytes (handled by :func:`corrupt_bytes`).
 CORRUPT_ACTIONS = ("truncate", "bitflip")
 
+#: Actions that damage counter banks (handled by :func:`corrupt_counts`):
+#: ``miscount`` credits phantom cycles to a histogram bucket at readout,
+#: the lab accident the invariant checker (repro.obs.invariants) exists
+#: to catch.  Documented site: ``monitor.dump`` (key ``board``).
+COUNT_ACTIONS = ("miscount",)
+
 
 class InjectedFault(RuntimeError):
     """The default exception an armed ``raise`` rule throws."""
@@ -100,10 +106,11 @@ class FaultRule:
     seconds: float = 0.0
 
     def __post_init__(self):
-        if self.action not in DISRUPT_ACTIONS + CORRUPT_ACTIONS:
+        known = DISRUPT_ACTIONS + CORRUPT_ACTIONS + COUNT_ACTIONS
+        if self.action not in known:
             raise FaultPlanError(
                 "unknown fault action {!r} (know {})".format(
-                    self.action, ", ".join(DISRUPT_ACTIONS + CORRUPT_ACTIONS)
+                    self.action, ", ".join(known)
                 )
             )
 
@@ -290,6 +297,31 @@ def corrupt_bytes(site: str, key: str, data: bytes) -> bytes:
             middle = len(data) // 2
             data = data[:middle] + bytes([data[middle] ^ 0x01]) + data[middle + 1 :]
     return data
+
+
+def corrupt_counts(site: str, key: str, counts, stalled_counts) -> int:
+    """Damage a histogram readout in place per the armed ``miscount``
+    rules; a no-op (returning 0) when disarmed.
+
+    The injected accident is a deterministic one: phantom *stalled*
+    cycles credited to the busiest non-stalled bucket — on a real
+    readout that bucket is the opcode-decode dispatch, a compute-slot
+    microinstruction that can never legitimately land in the stalled
+    bank.  The data reduction will dutifully add those cycles to the
+    total but can classify them into no Table 8 column, which is
+    exactly the inconsistency counter-identity checking exists to trip.
+    Returns the number of phantom cycles injected.
+    """
+    plan, hits = _armed_rules(site, key, COUNT_ACTIONS)
+    injected = 0
+    for _rule in hits:
+        if not counts:
+            continue
+        bucket = max(range(len(counts)), key=counts.__getitem__)
+        phantom = 1000 + (plan.seed % 1000)
+        stalled_counts[bucket] += phantom
+        injected += phantom
+    return injected
 
 
 def corrupt_file(site: str, key: str, path: str) -> bool:

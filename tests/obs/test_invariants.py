@@ -1,0 +1,163 @@
+"""The invariant checker: identities hold on honest runs, a seeded
+miscount fault trips exactly the right identity with the right blame."""
+
+import pytest
+
+from repro.obs.invariants import (
+    CheckReport,
+    IdentityOutcome,
+    check_trace,
+    run_checked_workload,
+)
+from repro.testing.faults import FaultPlan, FaultRule
+
+INSTRUCTIONS = 3_000
+WARMUP = 500
+
+
+def test_outcome_equality_and_subsystem():
+    ok = IdentityOutcome("cycles.classified", "d", lhs=5, rhs=5)
+    bad = IdentityOutcome("cycles.classified", "d", lhs=5, rhs=6)
+    assert ok.ok and not bad.ok
+    assert bad.subsystem == "monitor"
+    assert bad.to_dict()["ok"] is False
+
+
+def test_report_rolls_up_failures():
+    report = CheckReport(name="x")
+    report.outcomes.append(IdentityOutcome("a", "d", 1, 1))
+    assert report.ok
+    report.outcomes.append(IdentityOutcome("b", "d", 1, 2))
+    assert not report.ok
+    assert [outcome.name for outcome in report.failures] == ["b"]
+
+
+@pytest.mark.parametrize("workload", ["timesharing_light", "scientific"])
+def test_identities_hold_on_honest_runs(workload):
+    report, result = run_checked_workload(
+        workload, instructions=INSTRUCTIONS, warmup_instructions=WARMUP
+    )
+    assert report.ok, [outcome.to_dict() for outcome in report.failures]
+    assert result.instructions > 0
+    names = {outcome.name for outcome in report.outcomes}
+    assert "cycles.classified" in names
+    assert "memory.read_miss_split" in names
+
+
+def test_trace_identities_hold_and_match_counters():
+    report, _result = run_checked_workload(
+        "timesharing_light",
+        instructions=INSTRUCTIONS,
+        warmup_instructions=WARMUP,
+        trace=True,
+    )
+    assert report.ok, [outcome.to_dict() for outcome in report.failures]
+    assert not report.skipped
+    names = {outcome.name for outcome in report.outcomes}
+    assert {"trace.instructions", "trace.page_faults", "trace.interrupts"} <= names
+
+
+def test_miscount_fault_trips_the_cycle_identity(tmp_path):
+    plan = FaultPlan(
+        rules=[FaultRule(site="monitor.dump", action="miscount", times=1)],
+        seed=7,
+        state_dir=str(tmp_path),
+    )
+    with plan.active():
+        report, _result = run_checked_workload(
+            "timesharing_light",
+            instructions=INSTRUCTIONS,
+            warmup_instructions=WARMUP,
+        )
+    assert not report.ok
+    failed = {outcome.name for outcome in report.failures}
+    assert failed == {"cycles.classified"}
+    (outcome,) = report.failures
+    assert outcome.subsystem == "monitor"
+    # Localization names the decode dispatch, the busiest compute-slot
+    # bucket, where the phantom stalled cycles landed.
+    assert "decode.dispatch" in outcome.detail
+    assert "COMPUTE_A" in outcome.detail
+    # The phantom count is deterministic in the plan seed.
+    assert outcome.rhs - outcome.lhs == 1007
+
+
+def test_fault_is_readout_only_not_live_banks(tmp_path):
+    """The same run re-reduced from a clean dump must agree with an
+    undisturbed run: the miscount damages the readout copy only."""
+    plan = FaultPlan(
+        rules=[FaultRule(site="monitor.dump", action="miscount", times=1)],
+        seed=7,
+        state_dir=str(tmp_path),
+    )
+    with plan.active():
+        _report, faulted = run_checked_workload(
+            "timesharing_light",
+            instructions=INSTRUCTIONS,
+            warmup_instructions=WARMUP,
+        )
+    clean_report, clean = run_checked_workload(
+        "timesharing_light", instructions=INSTRUCTIONS, warmup_instructions=WARMUP
+    )
+    assert clean_report.ok
+    # Non-histogram instruments are untouched by the readout fault.
+    assert faulted.events.instructions == clean.events.instructions
+    assert faulted.stats == clean.stats
+
+
+def test_trace_identities_skip_when_ring_dropped():
+    outcomes, skipped = check_trace([], whole_run_events=None, dropped=3)
+    assert outcomes == []
+    assert set(skipped) == {
+        "trace.instructions",
+        "trace.page_faults",
+        "trace.interrupts",
+    }
+    assert all("dropped 3" in reason for reason in skipped.values())
+
+
+class TestCLI:
+    def test_check_passes_on_an_honest_workload(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "check", "timesharing_light",
+            "--instructions", str(INSTRUCTIONS), "--warmup", str(WARMUP),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "all hold" in out
+        assert "cycles.classified" in out
+
+    def test_check_exits_1_and_localizes_under_fault(self, tmp_path, capsys):
+        from repro.cli import main
+
+        plan = FaultPlan(
+            rules=[FaultRule(site="monitor.dump", action="miscount", times=1)],
+            seed=7,
+            state_dir=str(tmp_path),
+        )
+        with plan.active():
+            code = main([
+                "check", "timesharing_light",
+                "--instructions", str(INSTRUCTIONS), "--warmup", str(WARMUP),
+            ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL cycles.classified" in out
+        assert "subsystem: monitor" in out
+        assert "decode.dispatch" in out
+
+    def test_check_json_carries_the_report(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main([
+            "check", "timesharing_light", "--json",
+            "--instructions", str(INSTRUCTIONS), "--warmup", str(WARMUP),
+        ]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert reports[0]["ok"] is True
+        assert {
+            outcome["name"] for outcome in reports[0]["outcomes"]
+        } >= {"cycles.classified", "instructions.opcodes"}
