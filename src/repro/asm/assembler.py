@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.isa.datatypes import DataType, f_floating_encode
 from repro.isa.opcodes import Opcode, opcode_by_mnemonic
@@ -97,6 +97,12 @@ class Assembler:
         self._cursor = origin
         self._items: List[Union[_Instruction, _Data, _LabelWordRef, _LabelLongRef]] = []
         self.symbols: Dict[str, int] = {}
+        #: One ``(address, mnemonic, operand_texts)`` tuple per
+        #: :meth:`instr` call, in program order.  Analytic consumers
+        #: (repro.validate's cost walker) re-derive per-instruction
+        #: expectations from exactly what was assembled instead of
+        #: keeping a parallel transcript that can drift.
+        self.listing: List[Tuple[int, str, Tuple[str, ...]]] = []
 
     # -- layout ------------------------------------------------------------
 
@@ -124,6 +130,7 @@ class Assembler:
         operands = [parse_operand(text) for text in operand_texts]
         item = _Instruction(self._cursor, opcode, operands)
         self._items.append(item)
+        self.listing.append((self._cursor, opcode.mnemonic, tuple(operand_texts)))
         self._cursor += self._instruction_size(item)
 
     def byte(self, *values: int) -> None:

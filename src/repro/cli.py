@@ -605,7 +605,7 @@ def _format_cells(cells: dict) -> str:
 def cmd_check(args) -> int:
     import json
 
-    from repro.obs.invariants import run_checked_workload
+    from repro.obs.invariants import run_checked_workload, schema_envelope
     from repro.workloads import COMPOSITE_WORKLOAD_NAMES
 
     log = get_logger("repro.check")
@@ -628,8 +628,9 @@ def cmd_check(args) -> int:
         reports.append(report)
 
     if args.json:
-        emit(json.dumps([report.to_dict() for report in reports], indent=2))
-        return 0 if all(report.ok for report in reports) else 1
+        envelope = schema_envelope("check", [report.payload() for report in reports])
+        emit(json.dumps(envelope, indent=2))
+        return 0 if envelope["ok"] else 1
 
     failed = 0
     for report in reports:
@@ -657,6 +658,96 @@ def cmd_check(args) -> int:
     )
     if skipped:
         summary += " ({} skipped)".format(skipped)
+    emit("\n" + summary)
+    return 0 if not failed else 1
+
+
+def cmd_validate(args) -> int:
+    """Run the directed validation probes: programs whose event counts
+    are known by construction, diffed against the machine in every
+    compile mode.  Exit 1 when the machine refutes the model."""
+    import json
+
+    from repro.obs.invariants import schema_envelope
+    from repro.validate import (
+        ALL_MODES,
+        RefutationRunner,
+        build_probes,
+        canonical_names,
+    )
+
+    log = get_logger("repro.validate")
+    probes = build_probes()
+
+    if args.list:
+        for probe in probes.values():
+            marker = "*" if probe.canonical else " "
+            emit(
+                "{} {:<16} [{:<9}] {}".format(
+                    marker, probe.name, probe.covers, probe.title
+                )
+            )
+        emit("\n* = canonical (the CI validation leg runs these)")
+        return 0
+
+    if args.probe:
+        if args.probe not in probes:
+            emit(
+                "unknown probe {!r}; `repro validate --list` names them".format(
+                    args.probe
+                )
+            )
+            return 2
+        names = [args.probe]
+    elif args.canonical:
+        names = canonical_names()
+    else:
+        names = list(probes)
+
+    modes = ALL_MODES if args.mode == "all" else (args.mode,)
+    runner = RefutationRunner(modes=modes, trace=not args.no_trace)
+    reports = []
+    for name in names:
+        log.info("validating", probe=name, modes=",".join(modes))
+        reports.append(runner.run_probe(probes[name]))
+
+    if args.json:
+        envelope = schema_envelope(
+            "validate", [report.to_dict() for report in reports]
+        )
+        emit(json.dumps(envelope, indent=2))
+        return 0 if envelope["ok"] else 1
+
+    failed = 0
+    for report in reports:
+        marker = "ok  " if report.ok else "FAIL"
+        emit(
+            "{} {:<16} {:>3} checks [{}]".format(
+                marker,
+                report.name,
+                len(report.outcomes),
+                report.covers,
+            )
+        )
+        for outcome in report.failures:
+            failed += 1
+            emit(
+                "     FAIL {:<32} expected {} actual {}".format(
+                    outcome.name, outcome.expected, _format_value(outcome.actual)
+                )
+            )
+            emit("          blame: {}".format(outcome.blame))
+            if outcome.detail:
+                emit("          {}".format(outcome.detail))
+        for check, reason in sorted(report.skipped.items()):
+            emit("     skip {:<32} {}".format(check, reason))
+    total = sum(len(report.outcomes) for report in reports)
+    summary = "{} checks across {} probe(s), modes={}: {}".format(
+        total,
+        len(reports),
+        ",".join(modes),
+        "model holds" if not failed else "{} REFUTED".format(failed),
+    )
     emit("\n" + summary)
     return 0 if not failed else 1
 
@@ -1129,6 +1220,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the reports as JSON"
     )
     check_parser.set_defaults(func=cmd_check)
+
+    validate_parser = sub.add_parser(
+        "validate",
+        help="run directed probes with analytically known event counts; "
+        "exit 1 when the machine refutes the model",
+    )
+    validate_parser.add_argument(
+        "--probe", default=None, help="run a single probe by name"
+    )
+    validate_parser.add_argument(
+        "--canonical",
+        action="store_true",
+        help="run only the five canonical probes (the CI validation leg)",
+    )
+    validate_parser.add_argument(
+        "--mode",
+        default="all",
+        choices=("all", "interpreted", "compiled", "tier1", "current"),
+        help="compile mode(s) to run under; 'current' keeps the caller's "
+        "environment (default: all three pinned modes)",
+    )
+    validate_parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="skip the traced arm (trace-vs-counter checks)",
+    )
+    validate_parser.add_argument(
+        "--list", action="store_true", help="list the probe registry and exit"
+    )
+    validate_parser.add_argument(
+        "--json", action="store_true", help="emit the reports as JSON"
+    )
+    validate_parser.set_defaults(func=cmd_validate)
 
     bench_parser = sub.add_parser(
         "bench",

@@ -206,9 +206,24 @@ class EBox:
         self._sb_state = replay.superblock_state(self.layout)
         self._chain_note = replay.chain_note
         self._chain_break = replay.chain_break
-        would_compile = not replay.compile_disabled_by_env() and (
-            self._board is None
-            or self._board.buckets == replay.LayoutReplay.BUCKETS
+        # The costs.skew fault site (repro.testing.faults): when armed,
+        # the named micro-routine overcharges compute cycles — the
+        # seeded model error the refutation suite exists to catch.  The
+        # compiled path replays charges from specialized programs that
+        # never consult the skew, so an armed skew forces the
+        # interpreted path in every mode: all three arms then disagree
+        # with the analytic model identically instead of disagreeing
+        # with each other.
+        from repro.testing.faults import cost_skew
+
+        self._cost_skew = cost_skew()
+        would_compile = (
+            self._cost_skew is None
+            and not replay.compile_disabled_by_env()
+            and (
+                self._board is None
+                or self._board.buckets == replay.LayoutReplay.BUCKETS
+            )
         )
         self._compile_active = tracer is None and would_compile
         #: True when an attached tracer — and nothing else — is what
@@ -243,6 +258,7 @@ class EBox:
     #: was compiled or interpreted (and so bound methods, replay caches
     #: and diagnostics never bloat the snapshot).
     _TRANSIENTS = (
+        "_cost_skew",
         "_observe",
         "_board",
         "_bucket_map",
@@ -375,6 +391,9 @@ class EBox:
 
     def _charge_compute(self, routine, cycles: int) -> None:
         """Spend compute cycles: first at COMPUTE_A, the rest at COMPUTE_B."""
+        skew = self._cost_skew
+        if skew is not None and routine.name == skew[0]:
+            cycles += skew[1]
         if cycles <= 0:
             return
         self._tick_slot(routine, _COMPUTE_A)
@@ -728,6 +747,9 @@ class EBox:
 
     def exec_compute(self, cycles: int = 1) -> None:
         """Spend execute-phase compute cycles at the current opcode's routine."""
+        skew = self._cost_skew
+        if skew is not None and self._exec_routine.name == skew[0]:
+            cycles += skew[1]
         if cycles <= 0:
             return
         if self._merge_pending:

@@ -96,6 +96,64 @@ class CheckReport:
             "skipped": dict(self.skipped),
         }
 
+    def payload(self) -> dict:
+        """This report in the stable ``repro.check/v1`` check shape
+        (see :func:`schema_envelope`)."""
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "checks": [
+                {
+                    "name": outcome.name,
+                    "description": outcome.description,
+                    "expected": outcome.lhs,
+                    "actual": outcome.rhs,
+                    "ok": outcome.ok,
+                    "blame": outcome.subsystem,
+                    "detail": outcome.detail,
+                }
+                for outcome in self.outcomes
+            ],
+            "skipped": dict(self.skipped),
+        }
+
+
+#: The pinned JSON schema version both ``repro check --json`` and
+#: ``repro validate --json`` emit.  Bump only with a migration note;
+#: tests/obs/golden/check_schema.json is the contract.
+SCHEMA_VERSION = "repro.check/v1"
+
+
+def schema_envelope(command: str, reports: List[dict]) -> dict:
+    """Wrap per-run reports in the stable machine-readable envelope.
+
+    Every report carries ``name`` / ``ok`` / ``checks`` / ``skipped``;
+    every check carries ``name`` / ``expected`` / ``actual`` / ``ok`` /
+    ``blame`` / ``detail`` (plus command-specific extras: identity
+    checks add ``description``, validation checks add ``mode``).
+    Consumers key on these fields, never on rendering.
+    """
+    checks = sum(len(report.get("checks", [])) for report in reports)
+    failures = sum(
+        1
+        for report in reports
+        for check in report.get("checks", [])
+        if not check["ok"]
+    )
+    skipped = sum(len(report.get("skipped", {})) for report in reports)
+    return {
+        "schema": SCHEMA_VERSION,
+        "command": command,
+        "ok": all(report["ok"] for report in reports),
+        "summary": {
+            "reports": len(reports),
+            "checks": checks,
+            "failures": failures,
+            "skipped": skipped,
+        },
+        "reports": reports,
+    }
+
 
 # ---------------------------------------------------------------------------
 # identities over one ExperimentResult

@@ -432,6 +432,7 @@ class TraceQuery:
         aux: Optional[str] = None,
         reason: Optional[str] = None,
         name_contains: Optional[str] = None,
+        name_in: Optional[Iterable[str]] = None,
         ts_min: Optional[int] = None,
         ts_max: Optional[int] = None,
     ) -> "TraceQuery":
@@ -440,6 +441,8 @@ class TraceQuery:
             filters["track"] = track
         if name is not None:
             filters["name"] = name
+        if name_in is not None:
+            filters["name_in"] = frozenset(name_in)
         if phase is not None:
             filters["phase"] = phase
         for value in (routine, aux, reason):
@@ -462,6 +465,7 @@ class TraceQuery:
         filters = self._filters
         track = filters.get("track")
         name = filters.get("name")
+        name_set = filters.get("name_in")
         phase = filters.get("phase")
         aux = filters.get("aux")
         contains = filters.get("name_contains")
@@ -469,12 +473,16 @@ class TraceQuery:
         ts_max = filters.get("ts_max")
         track_hint = {track} if track is not None else None
         name_hint = {name} if name is not None else None
+        if name_hint is None and name_set is not None:
+            name_hint = set(name_set)
         for record in self._store.iter_records(
             tracks=track_hint, names=name_hint, ts_min=ts_min, ts_max=ts_max
         ):
             if track is not None and record.track != track:
                 continue
             if name is not None and record.name != name:
+                continue
+            if name_set is not None and record.name not in name_set:
                 continue
             if phase is not None and record.phase != phase:
                 continue

@@ -44,6 +44,10 @@ Sites currently instrumented (see the callers for exact keys):
 ``snapshot.restore``      :func:`repro.core.snapshot.restore`, keyed by the
                           snapshot digest — ``raise`` surfaces as a
                           :class:`~repro.core.snapshot.SnapshotError`
+``costs.skew``            :meth:`EBox._bind_transients` via :func:`cost_skew`
+                          — ``skew`` makes the micro-routine named by
+                          ``match`` overcharge compute cycles (the model
+                          error ``repro validate`` exists to refute)
 ========================  ====================================================
 
 Keep ``hang`` durations short (a couple of seconds): a timed-out pool
@@ -78,6 +82,19 @@ CORRUPT_ACTIONS = ("truncate", "bitflip")
 #: to catch.  Documented site: ``monitor.dump`` (key ``board``).
 COUNT_ACTIONS = ("miscount",)
 
+#: Actions that perturb the cycle *model* itself (handled by
+#: :func:`cost_skew`): ``skew`` makes one micro-routine charge extra
+#: compute cycles per visit.  Documented site: ``costs.skew``, where the
+#: rule's ``match`` names the victim routine (e.g. ``spec1.register``).
+#: Unlike ``miscount`` this corrupts no instrument — every identity in
+#: ``repro check`` still holds, because the cycles are honestly counted;
+#: only the refutation suite (``repro validate``), which knows what the
+#: charge *should* be, can catch it.  That asymmetry is the point.
+MODEL_ACTIONS = ("skew",)
+
+#: The site :func:`cost_skew` answers for.
+COSTS_SKEW_SITE = "costs.skew"
+
 
 class InjectedFault(RuntimeError):
     """The default exception an armed ``raise`` rule throws."""
@@ -106,7 +123,7 @@ class FaultRule:
     seconds: float = 0.0
 
     def __post_init__(self):
-        known = DISRUPT_ACTIONS + CORRUPT_ACTIONS + COUNT_ACTIONS
+        known = DISRUPT_ACTIONS + CORRUPT_ACTIONS + COUNT_ACTIONS + MODEL_ACTIONS
         if self.action not in known:
             raise FaultPlanError(
                 "unknown fault action {!r} (know {})".format(
@@ -322,6 +339,37 @@ def corrupt_counts(site: str, key: str, counts, stalled_counts) -> int:
         stalled_counts[bucket] += phantom
         injected += phantom
     return injected
+
+
+def cost_skew() -> Optional[tuple]:
+    """The armed cycle-model perturbation, or None (the common case).
+
+    Resolved once per machine binding (:meth:`EBox._bind_transients`),
+    not per cycle: returns ``(routine_name, extra_cycles)`` when a
+    ``skew`` rule is armed at the ``costs.skew`` site.  The rule's
+    ``match`` field names the skewed micro-routine and its occurrence
+    budget counts machine *bindings* — use ``times=-1`` to skew every
+    machine a test constructs (the refutation runner builds one per
+    compile mode).  ``extra_cycles`` is derived from the plan seed so
+    different plans exercise different magnitudes deterministically.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    for index, rule in enumerate(plan.rules):
+        if rule.site != COSTS_SKEW_SITE or rule.action not in MODEL_ACTIONS:
+            continue
+        if rule.match == "*":
+            raise FaultPlanError(
+                "a costs.skew rule must name the victim micro-routine "
+                "in match= (e.g. 'spec1.register')"
+            )
+        if not _seeded_gate(plan, index, rule.site, rule.match, rule.probability):
+            continue
+        if not _claim_occurrence(plan, index, rule.site, rule.match, rule.times):
+            continue
+        return rule.match, 1 + plan.seed % 4
+    return None
 
 
 def corrupt_file(site: str, key: str, path: str) -> bool:

@@ -1,0 +1,987 @@
+"""Directed microbenchmarks whose event counts are known by construction.
+
+`repro check` proves the bookkeeping is *self-consistent*: cycles sum to
+their Table 8 classification, instructions match the opcode counts.  It
+cannot catch the model being *wrong* — a specifier charging one cycle
+too many keeps every identity intact.  The probes here close that gap
+the way CounterPoint and Röhl et al. use hardware counters: each probe
+is a tiny program engineered so its event counts follow from first
+principles — the cost tables in :mod:`repro.ucode.costs`, the operand
+specifiers the assembler encoded, the pages and cache blocks the
+program touches — and each ships with :class:`Expectation` objects the
+:class:`~repro.validate.runner.RefutationRunner` diffs against a real
+monitored run in every compile mode.
+
+Two kinds of expectation:
+
+* **exact** — counts that construction fully determines: instructions
+  retired, per-routine compute cycles (``SPEC_COSTS``/``ExecProfile``
+  fed through the same merge/patch rules the microcode applies), TB
+  misses (one per distinct page), compulsory cache misses (one per
+  distinct 8-byte block), specifier-mode tallies.
+* **interval** — observables the SBI's queueing makes path-dependent
+  (read-stall cycles when D-fills queue behind I-stream fills, IB
+  starvation parity).  Every interval carries the *reason* for its
+  slack; an interval without a stated reason is a bug.
+
+The analytic model lives in :class:`CostModel`, which walks an
+:class:`~repro.asm.assembler.Assembler` listing and accumulates exactly
+the charges the EBox should make.  It is deliberately *independent* of
+the engine's charging machinery — it reads the same cost tables but
+reimplements the walk, so a disagreement refutes the engine's charging
+path (or the model here), never vacuously agrees with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.asm.assembler import Assembler
+from repro.asm.operands import parse_operand
+from repro.isa.opcodes import OpcodeGroup, opcode_by_mnemonic
+from repro.isa.specifiers import AccessType, AddressingMode, TABLE4_ROW_FOR_MODE
+from repro.memory import READ_MISS_STALL_CYCLES
+from repro.ucode.costs import (
+    INDEX_EXTRA_CYCLES,
+    INTERRUPT_ENTRY_COMPUTE_CYCLES,
+    INTERRUPT_ENTRY_WRITES,
+    SPEC_COSTS,
+    TB_MISS_COMPUTE_CYCLES,
+    exec_profile,
+)
+from repro.ucode.routines import PATCHED_ROUTINES
+
+#: Where probe code is loaded (page VPN 1 — data placement must avoid
+#: TB index 1, the direct-mapped sets are indexed by VPN mod 64).
+ORIGIN = 0x200
+
+#: One-page scratch area for data probes; VPN 24 never collides with
+#: the code page's TB set.
+SCRATCH = 0x3000
+
+PAGE = 512
+BLOCK = 8
+
+#: Memory addressing modes whose operand is read/written through the
+#: cache (everything except register, literal and immediate forms).
+_MEMORY_MODES = frozenset(
+    mode
+    for mode in SPEC_COSTS
+    if mode
+    not in (
+        AddressingMode.REGISTER,
+        AddressingMode.SHORT_LITERAL,
+        AddressingMode.IMMEDIATE,
+    )
+)
+
+
+class ProbeError(Exception):
+    """A probe or expectation is malformed."""
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One observable pinned to its analytically known value.
+
+    Either ``exact`` is set, or both ``lo`` and ``hi`` are — and an
+    interval must state the ``reason`` for its slack.  ``blame`` names
+    the micro-routine (or subsystem) a violation indicts; the runner
+    falls back to the metric's own routine path when empty.
+    """
+
+    metric: str
+    exact: Optional[float] = None
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    reason: str = ""
+    blame: str = ""
+
+    def __post_init__(self):
+        interval = self.lo is not None or self.hi is not None
+        if (self.exact is None) == (not interval):
+            raise ProbeError(
+                "expectation {!r} needs exactly one of exact= or lo=/hi=".format(
+                    self.metric
+                )
+            )
+        if interval and (self.lo is None or self.hi is None or not self.reason):
+            raise ProbeError(
+                "interval expectation {!r} needs lo, hi and a stated "
+                "reason for the slack".format(self.metric)
+            )
+
+    @property
+    def is_exact(self) -> bool:
+        return self.exact is not None
+
+    def check(self, actual: float) -> bool:
+        if self.exact is not None:
+            return actual == self.exact
+        return self.lo <= actual <= self.hi
+
+    def describe(self) -> str:
+        if self.exact is not None:
+            return "== {}".format(_fmt(self.exact))
+        return "in [{}, {}] ({})".format(_fmt(self.lo), _fmt(self.hi), self.reason)
+
+    def to_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "exact": self.exact,
+            "lo": self.lo,
+            "hi": self.hi,
+            "reason": self.reason,
+            "blame": self.blame,
+        }
+
+
+def _fmt(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else "{:.2f}".format(value)
+
+
+@dataclass(frozen=True)
+class Probe:
+    """A directed microbenchmark plus its ground truth.
+
+    ``build`` returns a fresh :class:`Assembler` holding the program
+    (rebuilt per run so probes stay picklable and stateless);
+    ``map_ranges`` are ``(base, length)`` data windows to map beyond
+    the loaded image; ``interrupt_label``, when set, posts one
+    interrupt at that symbol before the run starts.
+    """
+
+    name: str
+    title: str
+    covers: str
+    canonical: bool
+    build: Callable[[], Assembler]
+    expectations: Tuple[Expectation, ...]
+    map_ranges: Tuple[Tuple[int, int], ...] = ()
+    interrupt_label: str = ""
+    interrupt_ipl: int = 20
+    max_instructions: int = 10_000
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "covers": self.covers,
+            "canonical": self.canonical,
+            "expectations": [exp.to_dict() for exp in self.expectations],
+        }
+
+
+# ---------------------------------------------------------------------------
+# the analytic cost model
+# ---------------------------------------------------------------------------
+
+
+class CostModel:
+    """Walk an assembled listing and accumulate the charges the
+    microcode model prescribes.
+
+    Valid for straight-line programs (no branch operands — the branch
+    probes compute their own totals, since taken-ness is dynamic) whose
+    data references all hit the TB and cache once the per-page /
+    per-block compulsory misses accounted by the *probe builder* are
+    added on top.
+    """
+
+    def __init__(self):
+        self.instructions = 0
+        #: non-stalled cycles per micro-routine, split by activity —
+        #: ``compute[name]``, ``reads[name]``, ``writes[name]``.
+        self.compute: Dict[str, int] = {}
+        self.reads: Dict[str, int] = {}
+        self.writes: Dict[str, int] = {}
+        self.abort_cycles = 0
+        self.spec_counts: Dict[Tuple[str, str], int] = {}
+        self.indexed_counts: Dict[str, int] = {}
+
+    # -- accumulation ----------------------------------------------------
+
+    def _bump(self, table: Dict[str, int], routine: str, cycles: int) -> None:
+        if cycles:
+            table[routine] = table.get(routine, 0) + cycles
+
+    def add_instruction(self, mnemonic: str, operand_texts: Sequence[str]) -> None:
+        opcode = opcode_by_mnemonic(mnemonic)
+        self.instructions += 1
+        self._bump(self.compute, "decode.dispatch", 1)
+
+        source_seen = False
+        last_mode: Optional[AddressingMode] = None
+        for position, (text, spec) in enumerate(zip(operand_texts, opcode.operands)):
+            if spec.access is AccessType.BRANCH:
+                raise ProbeError(
+                    "CostModel is for straight-line code; {} has a branch "
+                    "operand — compute its expectations by hand".format(mnemonic)
+                )
+            operand = parse_operand(text)
+            mode = operand.mode
+            if mode is None:
+                raise ProbeError("label operands are not modelled: {!r}".format(text))
+            indexed = operand.index_register is not None
+            position_class = "spec1" if position == 0 else "spec26"
+            # Microcode sharing: indexed specifiers run in the SPEC2-6
+            # region even at position 0; the *event* tally keys on the
+            # nominal position class.
+            bank = "spec26" if (indexed or position > 0) else "spec1"
+            routine = "{}.{}".format(bank, mode.name.lower())
+            key = (position_class, TABLE4_ROW_FOR_MODE[mode])
+            self.spec_counts[key] = self.spec_counts.get(key, 0) + 1
+            if indexed:
+                self.indexed_counts[position_class] = (
+                    self.indexed_counts.get(position_class, 0) + 1
+                )
+                self._bump(self.compute, "spec26.index_shared", INDEX_EXTRA_CYCLES)
+
+            cost = SPEC_COSTS[mode]
+            self._bump(self.compute, routine, cost.address_cycles)
+            if mode is AddressingMode.IMMEDIATE and routine in PATCHED_ROUTINES:
+                self.abort_cycles += 1
+            if mode in _MEMORY_MODES:
+                self._bump(self.reads, routine, cost.pointer_reads)
+                if spec.access in (AccessType.READ, AccessType.MODIFY):
+                    self._bump(self.reads, routine, 1)
+                if spec.access in (AccessType.WRITE, AccessType.MODIFY):
+                    self._bump(self.writes, routine, 1)
+            if spec.access is AccessType.READ:
+                source_seen = True
+            last_mode = mode
+
+        exec_routine = "exec.{}".format(mnemonic.lower())
+        if mnemonic == "HALT":
+            # The HALT handler spends exactly one dispatch cycle; its
+            # profile base models the (unsimulated) console handoff.
+            cycles = 1
+        else:
+            cycles = exec_profile(opcode).base_cycles
+        # The literal/register optimization (Section 5): the first
+        # execute cycle merges with the last specifier cycle when a
+        # simple instruction's last operand is a register or literal
+        # and a source operand was fetched.
+        merged = (
+            opcode.group in (OpcodeGroup.SIMPLE, OpcodeGroup.FIELD)
+            and source_seen
+            and last_mode in (AddressingMode.REGISTER, AddressingMode.SHORT_LITERAL)
+        )
+        if merged:
+            cycles -= 1
+        if cycles > 0:
+            self._bump(self.compute, exec_routine, cycles)
+            if exec_routine in PATCHED_ROUTINES:
+                self.abort_cycles += 1
+
+    def add_listing(self, asm: Assembler) -> "CostModel":
+        for _address, mnemonic, operands in asm.listing:
+            self.add_instruction(mnemonic, operands)
+        return self
+
+    # -- derived totals --------------------------------------------------
+
+    def routine_total(self, name: str) -> int:
+        return (
+            self.compute.get(name, 0)
+            + self.reads.get(name, 0)
+            + self.writes.get(name, 0)
+        )
+
+    def bank_compute(self, prefix: str) -> int:
+        return sum(
+            cycles
+            for name, cycles in self.compute.items()
+            if name.startswith(prefix)
+        )
+
+    def data_reads(self) -> int:
+        return sum(self.reads.values())
+
+    def data_writes(self) -> int:
+        return sum(self.writes.values())
+
+
+def model_expectations(
+    model: CostModel,
+    tb_services: int,
+    data_tb_misses: int,
+    data_writes_buffered: Optional[int] = None,
+) -> List[Expectation]:
+    """The expectations every straight-line all-hit probe shares.
+
+    ``tb_services`` counts TB-miss services the run performs (code
+    pages + data pages, each exactly once — the probes are built so no
+    page is ever evicted); each service charges
+    ``TB_MISS_COMPUTE_CYCLES`` at ``memmgmt.tb_miss``, one abort-detour
+    cycle, and one PTE read.
+    """
+    expectations = [
+        Expectation("instructions", exact=model.instructions),
+        Expectation(
+            "matrix.decode.compute",
+            exact=model.instructions,
+            blame="decode.dispatch",
+        ),
+        Expectation(
+            "matrix.memmgmt.compute",
+            exact=tb_services * TB_MISS_COMPUTE_CYCLES,
+            blame="memmgmt.tb_miss",
+        ),
+        Expectation(
+            "matrix.abort.compute",
+            exact=model.abort_cycles + tb_services,
+            blame="abort",
+        ),
+        Expectation("stats.tb_d_misses", exact=data_tb_misses),
+        Expectation("stats.unaligned_reads", exact=0),
+        Expectation("stats.unaligned_writes", exact=0),
+        Expectation(
+            "stats.write_buffer_writes",
+            exact=(
+                model.data_writes()
+                if data_writes_buffered is None
+                else data_writes_buffered
+            ),
+        ),
+    ]
+    for bank in ("spec1", "spec26"):
+        expectations.append(
+            Expectation(
+                "matrix.{}.compute".format(bank),
+                exact=model.bank_compute(bank + "."),
+                blame=bank,
+            )
+        )
+    # Per-routine totals give the refutation its blame resolution: a
+    # skewed charge shows up in exactly the routine that was skewed.
+    # decode.dispatch is excluded: its IB-wait slot shares the routine,
+    # so its non-stalled total rides on fetch parity — the
+    # matrix.decode.compute cell above already pins the dispatch count.
+    for name in sorted(
+        set(model.compute) | set(model.reads) | set(model.writes)
+    ):
+        if name == "decode.dispatch":
+            continue
+        expectations.append(
+            Expectation(
+                "routine.{}.cycles".format(name),
+                exact=model.routine_total(name),
+                blame=name,
+            )
+        )
+    for (position_class, row), count in sorted(model.spec_counts.items()):
+        expectations.append(
+            Expectation(
+                "spec.{}.{}".format(position_class, row),
+                exact=count,
+                blame="{}.{}".format(position_class, row),
+            )
+        )
+    for position_class, count in sorted(model.indexed_counts.items()):
+        expectations.append(
+            Expectation("indexed.{}".format(position_class), exact=count)
+        )
+    return expectations
+
+
+def _read_stall_interval(metric: str, misses: int, blame: str = "") -> Expectation:
+    """Read-stall cycles for ``misses`` compulsory cache misses: exactly
+    ``READ_MISS_STALL_CYCLES`` each when the SBI is idle, more when the
+    D-stream fill queues behind I-stream fills."""
+    return Expectation(
+        metric,
+        lo=misses * READ_MISS_STALL_CYCLES,
+        hi=misses * READ_MISS_STALL_CYCLES * 3,
+        reason="D-stream fills queue behind I-stream SBI traffic; "
+        "{} cycles each only when the bus is idle".format(READ_MISS_STALL_CYCLES),
+        blame=blame,
+    )
+
+
+def _istream_blocks(code_bytes: int) -> Tuple[int, int]:
+    """Compulsory I-stream cache misses for a straight-run image of
+    ``code_bytes`` starting block-aligned: one per 8-byte block, plus at
+    most one block of prefetch past the halt."""
+    lo = -(-code_bytes // BLOCK)
+    return lo, lo + 1
+
+
+def _istream_interval(code_bytes: int) -> Expectation:
+    lo, hi = _istream_blocks(code_bytes)
+    return Expectation(
+        "stats.cache_i_read_misses",
+        lo=lo,
+        hi=hi,
+        reason="one compulsory miss per 8-byte code block; the IB may "
+        "prefetch one block past the halt",
+    )
+
+
+# ---------------------------------------------------------------------------
+# probe builders
+# ---------------------------------------------------------------------------
+
+
+def _straightline_probe(
+    name: str,
+    title: str,
+    covers: str,
+    build: Callable[[], Assembler],
+    canonical: bool = False,
+    data_pages: int = 0,
+    extra: Sequence[Expectation] = (),
+    map_ranges: Tuple[Tuple[int, int], ...] = (),
+) -> Probe:
+    """Assemble once to derive the model; ship the builder for runs."""
+    asm = build()
+    code_bytes = len(asm.assemble())
+    model = CostModel().add_listing(asm)
+    expectations = model_expectations(
+        model, tb_services=1 + data_pages, data_tb_misses=data_pages
+    )
+    expectations.append(_istream_interval(code_bytes))
+    expectations.extend(extra)
+    return Probe(
+        name=name,
+        title=title,
+        covers=covers,
+        canonical=canonical,
+        build=build,
+        expectations=tuple(expectations),
+        map_ranges=map_ranges,
+    )
+
+
+def _probe_reg_mov_chain() -> Probe:
+    n = 64
+
+    def build() -> Assembler:
+        asm = Assembler(origin=ORIGIN)
+        for _ in range(n):
+            asm.instr("MOVL", "R1", "R2")
+        asm.instr("HALT")
+        return asm
+
+    return _straightline_probe(
+        "reg_mov_chain",
+        "{} register-to-register moves: pure decode/dispatch, zero "
+        "memory traffic, every execute cycle merged away".format(n),
+        covers="decode",
+        canonical=True,
+        build=build,
+        extra=[
+            # The merge optimization must eat the MOVL execute cycle
+            # entirely: the SIMPLE row never ticks.
+            Expectation("matrix.simple.compute", exact=0, blame="exec.movl"),
+            Expectation("stats.cache_d_read_misses", exact=1),  # the code PTE
+            Expectation("stats.sbi_writes", exact=0),
+        ],
+    )
+
+
+def _probe_reg_alu_mix() -> Probe:
+    n = 16
+
+    def build() -> Assembler:
+        asm = Assembler(origin=ORIGIN)
+        for _ in range(n):
+            asm.instr("ADDL2", "R1", "R2")
+            asm.instr("SUBL2", "R3", "R4")
+            asm.instr("MOVL", "R5", "R6")
+            asm.instr("TSTL", "R7")
+            asm.instr("INCL", "R8")
+        asm.instr("HALT")
+        return asm
+
+    return _straightline_probe(
+        "reg_alu_mix",
+        "ALU mix over registers: per-opcode ExecProfile cycles with the "
+        "merge rule applied exactly where its conditions hold",
+        covers="decode",
+        build=build,
+        extra=[Expectation("stats.cache_d_read_misses", exact=1)],
+    )
+
+
+def _probe_merge_elision() -> Probe:
+    n = 16
+
+    def build() -> Assembler:
+        asm = Assembler(origin=ORIGIN)
+        for _ in range(n):
+            asm.instr("MOVL", "R1", "R2")  # source read -> merged
+        for _ in range(n):
+            asm.instr("CLRL", "R3")  # no source operand -> not merged
+        asm.instr("HALT")
+        return asm
+
+    return _straightline_probe(
+        "merge_elision",
+        "the literal/register optimization, isolated: merged MOVLs "
+        "charge zero execute cycles, unmergeable CLRLs charge full base",
+        covers="decode",
+        build=build,
+        extra=[
+            # The merged MOVLs never tick their execute routine at all;
+            # the CLRL expectation comes from the walker (full base).
+            Expectation("routine.exec.movl.cycles", exact=0, blame="exec.movl"),
+        ],
+    )
+
+
+def _spec_ladder_sources(scratch: int) -> List[str]:
+    return [
+        "#5",
+        "I^#4660",
+        "R1",
+        "(R6)",
+        "(R6)+",
+        "-(R6)",
+        "B^4(R6)",
+        "W^8(R6)",
+        "L^12(R6)",
+        "@#{}".format(scratch + 136),
+        "@B^4(R6)",
+        "@(R7)+",
+    ]
+
+
+def _probe_spec_ladder() -> Probe:
+    n = 8
+    sources = _spec_ladder_sources(SCRATCH)
+
+    def build() -> Assembler:
+        asm = Assembler(origin=ORIGIN)
+        asm.instr("MOVL", "I^#{}".format(SCRATCH + 64), "R6")
+        asm.instr("MOVL", "I^#{}".format(SCRATCH + 256), "R7")
+        # Pointer cells for the deferred modes: @B^4(R6) chases the
+        # longword at R6+4; each @(R7)+ chases one table entry.
+        asm.instr("MOVL", "I^#{}".format(SCRATCH + 128), "B^4(R6)")
+        for i in range(n):
+            asm.instr(
+                "MOVL", "I^#{}".format(SCRATCH + 132), "B^{}(R7)".format(4 * i)
+            )
+        for _ in range(n):
+            for source in sources:
+                asm.instr("MOVL", source, "R2")
+        asm.instr("HALT")
+        return asm
+
+    return _straightline_probe(
+        "spec_ladder",
+        "every Table 4 addressing-mode row exercised {} times: exact "
+        "per-mode operand tallies and SPEC_COSTS address cycles".format(n),
+        covers="specifier",
+        canonical=True,
+        build=build,
+        data_pages=1,
+        map_ranges=((SCRATCH, PAGE),),
+    )
+
+
+def _probe_spec_indexed() -> Probe:
+    n = 16
+
+    def build() -> Assembler:
+        asm = Assembler(origin=ORIGIN)
+        asm.instr("MOVL", "I^#{}".format(SCRATCH), "R6")
+        asm.instr("MOVL", "I^#1", "R3")
+        for _ in range(n):
+            asm.instr("MOVL", "(R6)[R3]", "R2")
+        asm.instr("HALT")
+        return asm
+
+    return _straightline_probe(
+        "spec_indexed",
+        "indexed specifiers: the shared SPEC2-6 index microcode charges "
+        "INDEX_EXTRA_CYCLES even for first-position operands",
+        covers="specifier",
+        build=build,
+        data_pages=1,
+        map_ranges=((SCRATCH, PAGE),),
+        extra=[
+            Expectation(
+                "routine.spec26.index_shared.cycles",
+                exact=n * INDEX_EXTRA_CYCLES,
+                blame="spec26.index_shared",
+            ),
+            # All n reads land on the same block: one compulsory data
+            # miss, one PTE block, one code PTE block.
+            Expectation("stats.cache_d_read_misses", exact=3),
+        ],
+    )
+
+
+def _probe_spec_deferred() -> Probe:
+    n = 16
+
+    def build() -> Assembler:
+        asm = Assembler(origin=ORIGIN)
+        asm.instr("MOVL", "I^#{}".format(SCRATCH), "R6")
+        asm.instr("MOVL", "I^#{}".format(SCRATCH + 64), "B^4(R6)")
+        for _ in range(n):
+            asm.instr("MOVL", "@B^4(R6)", "R2")
+        asm.instr("HALT")
+        return asm
+
+    return _straightline_probe(
+        "spec_deferred",
+        "deferred displacement: each operand costs its address cycles "
+        "plus a pointer read plus the data read, all at one routine",
+        covers="specifier",
+        build=build,
+        data_pages=1,
+        map_ranges=((SCRATCH, PAGE),),
+        extra=[
+            Expectation(
+                "routine.spec1.byte_displacement_deferred.cycles",
+                exact=n
+                * (
+                    SPEC_COSTS[
+                        AddressingMode.BYTE_DISPLACEMENT_DEFERRED
+                    ].address_cycles
+                    + SPEC_COSTS[
+                        AddressingMode.BYTE_DISPLACEMENT_DEFERRED
+                    ].pointer_reads
+                    + 1
+                ),
+                blame="spec1.byte_displacement_deferred",
+            ),
+        ],
+    )
+
+
+def _tb_page_base() -> int:
+    # Data pages start at VPN 2: the code page is VPN 1, and the TB's
+    # direct-mapped sets are indexed by VPN mod 64 — starting at 2 with
+    # at most 32 pages means no data page can evict the code page (or
+    # another data page) and every miss is compulsory.
+    return 2 * PAGE
+
+
+def _probe_tb_stride(revisit: bool = False) -> Probe:
+    pages = 4 if revisit else 32
+    base = _tb_page_base()
+    rounds = 2 if revisit else 1
+
+    def build() -> Assembler:
+        asm = Assembler(origin=ORIGIN)
+        for _ in range(rounds):
+            for i in range(pages):
+                asm.instr("MOVL", "@#{}".format(base + i * PAGE), "R2")
+        asm.instr("HALT")
+        return asm
+
+    # PTE geometry: 4-byte PTEs pair two-per-cache-block.  The data
+    # pages' PTEs are contiguous from VPN 2 (PTE offsets 8..), the code
+    # page's PTE (VPN 1) lives in the preceding block.
+    pte_blocks = 1 + len(
+        {(2 + i) * 4 // BLOCK for i in range(pages)}
+    )
+    data_blocks = pages  # page stride: every read its own block
+    if revisit:
+        title = (
+            "{} pages touched twice: the second round must hit the TB — "
+            "retention, not just fills".format(pages)
+        )
+        extra_reason = None
+    else:
+        title = (
+            "{}-page pointer stride: exactly one TB miss per page, "
+            "17 service cycles each, one PTE read apiece".format(pages)
+        )
+        extra_reason = None
+    extra = [
+        Expectation("stats.tb_misses", exact=pages + 1),
+        Expectation("stats.tb_i_misses", exact=1),
+        Expectation(
+            "stats.cache_d_read_misses", exact=data_blocks + pte_blocks
+        ),
+        Expectation(
+            "routine.memmgmt.tb_miss.cycles",
+            exact=(pages + 1) * (TB_MISS_COMPUTE_CYCLES + 1),
+            blame="memmgmt.tb_miss",
+        ),
+        _read_stall_interval(
+            "matrix.spec1.rstall", data_blocks, blame="spec1.absolute"
+        ),
+    ]
+    return _straightline_probe(
+        "tb_revisit" if revisit else "tb_stride",
+        title,
+        covers="tb",
+        canonical=not revisit,
+        build=build,
+        data_pages=pages,
+        map_ranges=((base, pages * PAGE),),
+        extra=extra,
+    )
+
+
+def _probe_cache_seq(revisit: bool = False) -> Probe:
+    blocks = 8 if revisit else 32
+    rounds = 2 if revisit else 1
+
+    def build() -> Assembler:
+        asm = Assembler(origin=ORIGIN)
+        for _ in range(rounds):
+            for i in range(blocks):
+                asm.instr("MOVL", "@#{}".format(SCRATCH + i * BLOCK), "R2")
+        asm.instr("HALT")
+        return asm
+
+    # One compulsory miss per data block, plus the data page's PTE read
+    # and the code page's PTE read (each in its own block).
+    d_misses = blocks + 2
+    extra = [
+        Expectation("stats.cache_d_read_misses", exact=d_misses),
+        _read_stall_interval(
+            "matrix.spec1.rstall", blocks, blame="spec1.absolute"
+        ),
+    ]
+    if revisit:
+        title = (
+            "{} blocks read twice: the second round must hit the cache "
+            "(block retention under the probe's working set)".format(blocks)
+        )
+    else:
+        title = (
+            "{} reads at 8-byte stride in one page: one compulsory "
+            "cache miss per block, one TB fill total".format(blocks)
+        )
+    return _straightline_probe(
+        "cache_revisit" if revisit else "cache_seq_reads",
+        title,
+        covers="cache",
+        canonical=not revisit,
+        build=build,
+        data_pages=1,
+        map_ranges=((SCRATCH, PAGE),),
+        extra=extra,
+    )
+
+
+def _probe_ib_starvation() -> Probe:
+    n = 32
+
+    def build() -> Assembler:
+        asm = Assembler(origin=ORIGIN)
+        for _ in range(n):
+            asm.instr("MOVL", "I^#305419896", "R2")  # 7-byte instruction
+        asm.instr("HALT")
+        return asm
+
+    code_bytes = 7 * n + 1
+    lo_blocks, _hi = _istream_blocks(code_bytes)
+    return _straightline_probe(
+        "ib_starvation",
+        "7-byte immediate moves back to back: the 4-cycle work loop "
+        "cannot hide the 6-cycle SBI fill each 8-byte code block costs",
+        covers="decode",
+        build=build,
+        extra=[
+            Expectation(
+                "matrix.decode.ibstall",
+                lo=n // 2,
+                hi=code_bytes,
+                reason="each code block's {}-cycle fill starves the "
+                "7-byte-per-instruction decode loop; exact overlap "
+                "depends on fetch parity".format(READ_MISS_STALL_CYCLES),
+                blame="decode.dispatch",
+            ),
+            Expectation(
+                "stats.ib_bytes_delivered",
+                lo=code_bytes,
+                hi=code_bytes + BLOCK,
+                reason="every program byte is delivered once; the IB may "
+                "prefetch up to one block past the halt",
+            ),
+        ],
+    )
+
+
+def _probe_brb_ladder() -> Probe:
+    n = 32
+
+    def build() -> Assembler:
+        asm = Assembler(origin=ORIGIN)
+        for i in range(n):
+            asm.instr("BRB", "hop{}".format(i))
+            asm.label("hop{}".format(i))
+        asm.instr("HALT")
+        return asm
+
+    # Hand model (CostModel refuses branch operands): each BRB is
+    # taken — 1 decode, 1 bdisp cycle for the displacement, base +
+    # taken-extra execute cycles, then an IB redirect to the next
+    # sequential address (same or next block: no extra compulsory
+    # misses beyond the straight-run count).
+    profile = exec_profile(opcode_by_mnemonic("BRB"))
+    per_exec = profile.base_cycles + profile.taken_extra_cycles
+    code_bytes = 2 * n + 1
+    expectations = [
+        Expectation("instructions", exact=n + 1),
+        Expectation("matrix.decode.compute", exact=n + 1, blame="decode.dispatch"),
+        Expectation("matrix.bdisp.compute", exact=n, blame="bdisp"),
+        Expectation(
+            "routine.exec.brb.cycles", exact=n * per_exec, blame="exec.brb"
+        ),
+        Expectation(
+            "matrix.memmgmt.compute",
+            exact=TB_MISS_COMPUTE_CYCLES,
+            blame="memmgmt.tb_miss",
+        ),
+        Expectation("matrix.abort.compute", exact=1, blame="abort"),
+        Expectation("stats.tb_d_misses", exact=0),
+        Expectation("stats.write_buffer_writes", exact=0),
+        _istream_interval(code_bytes),
+    ]
+    return Probe(
+        name="brb_ladder",
+        title="{} taken branches: one bdisp cycle and one redirect "
+        "apiece, I-stream misses bounded by the straight-run blocks".format(n),
+        covers="decode",
+        canonical=False,
+        build=build,
+        expectations=tuple(expectations),
+    )
+
+
+def _probe_sob_loop() -> Probe:
+    count = 16
+
+    def build() -> Assembler:
+        asm = Assembler(origin=ORIGIN)
+        asm.instr("MOVL", "I^#{}".format(count), "R0")
+        asm.label("loop")
+        asm.instr("SOBGTR", "R0", "loop")
+        asm.instr("HALT")
+        return asm
+
+    # Hand model: MOVL I^#,R0 (merged execute, patched-immediate
+    # abort), then SOBGTR executes `count` times — taken on all but the
+    # last — and HALT.  SOBGTR's entry is control-store patched: one
+    # abort detour per execution.
+    profile = exec_profile(opcode_by_mnemonic("SOBGTR"))
+    taken = count - 1
+    sob_cycles = count * profile.base_cycles + taken * profile.taken_extra_cycles
+    expectations = [
+        Expectation("instructions", exact=count + 2),
+        Expectation(
+            "matrix.decode.compute", exact=count + 2, blame="decode.dispatch"
+        ),
+        Expectation("matrix.bdisp.compute", exact=taken, blame="bdisp"),
+        Expectation(
+            "routine.exec.sobgtr.cycles", exact=sob_cycles, blame="exec.sobgtr"
+        ),
+        # aborts: `count` patched SOBGTR entries + 1 patched immediate
+        # + 1 TB-miss detour for the code page.
+        Expectation("matrix.abort.compute", exact=count + 2, blame="abort"),
+        Expectation("spec.spec1.register", exact=count),
+        Expectation(
+            "matrix.memmgmt.compute",
+            exact=TB_MISS_COMPUTE_CYCLES,
+            blame="memmgmt.tb_miss",
+        ),
+        Expectation("stats.tb_d_misses", exact=0),
+    ]
+    return Probe(
+        name="sob_loop",
+        title="a {}-iteration SOBGTR loop: taken-branch extras on all "
+        "but the final fall-through, patched-entry aborts per execution".format(
+            count
+        ),
+        covers="decode",
+        canonical=False,
+        build=build,
+        expectations=tuple(expectations),
+    )
+
+
+def _probe_interrupt_entry() -> Probe:
+    def build() -> Assembler:
+        asm = Assembler(origin=ORIGIN)
+        asm.instr("MOVL", "R1", "R2")  # pre-empted: never executes
+        asm.instr("HALT")
+        asm.label("handler")
+        asm.instr("HALT")
+        return asm
+
+    expectations = [
+        # Delivery pre-empts the first instruction; the handler's HALT
+        # is the only instruction that retires.
+        Expectation("instructions", exact=1),
+        Expectation("events.interrupts_delivered", exact=1),
+        Expectation(
+            "matrix.intexc.compute",
+            exact=INTERRUPT_ENTRY_COMPUTE_CYCLES,
+            blame="intexc.interrupt",
+        ),
+        Expectation(
+            "matrix.intexc.write",
+            exact=INTERRUPT_ENTRY_WRITES,
+            blame="intexc.interrupt",
+        ),
+        Expectation(
+            "routine.intexc.interrupt.cycles",
+            exact=INTERRUPT_ENTRY_COMPUTE_CYCLES + INTERRUPT_ENTRY_WRITES,
+            blame="intexc.interrupt",
+        ),
+        Expectation("matrix.decode.compute", exact=1, blame="decode.dispatch"),
+        Expectation("matrix.system.compute", exact=1, blame="exec.halt"),
+        Expectation("stats.write_buffer_writes", exact=INTERRUPT_ENTRY_WRITES),
+        # Two TB services: the code page (I-stream) and the kernel
+        # stack page the PC/PSL pushes touch.
+        Expectation(
+            "matrix.memmgmt.compute",
+            exact=2 * TB_MISS_COMPUTE_CYCLES,
+            blame="memmgmt.tb_miss",
+        ),
+        Expectation("stats.tb_d_misses", exact=1),
+        Expectation(
+            "matrix.intexc.wstall",
+            lo=0,
+            hi=12,
+            reason="the PC/PSL pushes drain through the write buffer "
+            "back to back; the stall depends on SBI timing",
+        ),
+    ]
+    return Probe(
+        name="interrupt_entry",
+        title="one posted interrupt, delivered before the first "
+        "instruction: 14 entry cycles, two stack pushes, one retired "
+        "handler instruction",
+        covers="interrupt",
+        canonical=True,
+        build=build,
+        expectations=tuple(expectations),
+        interrupt_label="handler",
+    )
+
+
+def build_probes() -> Dict[str, Probe]:
+    """All probes, keyed by name, in presentation order."""
+    probes = [
+        _probe_reg_mov_chain(),
+        _probe_reg_alu_mix(),
+        _probe_merge_elision(),
+        _probe_spec_ladder(),
+        _probe_spec_indexed(),
+        _probe_spec_deferred(),
+        _probe_tb_stride(),
+        _probe_tb_stride(revisit=True),
+        _probe_cache_seq(),
+        _probe_cache_seq(revisit=True),
+        _probe_ib_starvation(),
+        _probe_brb_ladder(),
+        _probe_sob_loop(),
+        _probe_interrupt_entry(),
+    ]
+    return {probe.name: probe for probe in probes}
+
+
+def canonical_names() -> List[str]:
+    """The five canonical probes (one per covered path) CI runs."""
+    return [probe.name for probe in build_probes().values() if probe.canonical]

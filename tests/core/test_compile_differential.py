@@ -292,3 +292,59 @@ class TestRandomizedSpecifierModes:
         assert compiled.ebox._compile_active
         assert not interpreted.ebox._compile_active
         assert _final_state(compiled) == _final_state(interpreted)
+
+    @settings(max_examples=5, deadline=None)
+    @given(ops=st.lists(op_strategy, min_size=2, max_size=6))
+    def test_check_and_validate_verdicts_agree_across_all_modes(self, ops):
+        """Randomized specifier programs put the *verdict machinery*
+        through the differential: all three compile modes must produce
+        bit-identical observables (so ``repro validate``'s cross-mode
+        checks hold) and the identical set of passing ``repro check``
+        identities."""
+        from repro.core.experiment import ExperimentResult
+        from repro.obs.invariants import check_result
+        from repro.validate import ALL_MODES, RefutationRunner, execute_probe
+        from repro.validate.probes import Probe
+
+        def build():
+            asm = Assembler(origin=ORIGIN)
+            asm.instr("MOVL", "I^#%d" % (SCRATCH + 64), "R6")
+            asm.instr("MOVL", "#1", "R3")
+            for _ in range(3):
+                for op in ops:
+                    asm.instr(*op)
+            asm.instr("HALT")
+            return asm
+
+        probe = Probe(
+            name="randomized",
+            title="hypothesis-generated specifier program",
+            covers="specifier",
+            canonical=False,
+            build=build,
+            expectations=(),
+            map_ranges=((SCRATCH - 0x440, 0x800),),
+        )
+
+        # The runner's cross-mode checks pin all three arms together.
+        report = RefutationRunner(modes=ALL_MODES, trace=False).run_probe(probe)
+        assert report.ok, [outcome.to_dict() for outcome in report.failures]
+
+        # And every arm's counter identities return the same verdicts.
+        verdicts = {}
+        for mode in ALL_MODES:
+            run = execute_probe(probe, mode)
+            outcomes = check_result(
+                ExperimentResult(
+                    name=mode,
+                    reduction=run.reduction,
+                    events=run.events,
+                    stats=run.stats,
+                ),
+                run.counts,
+                run.stalled,
+                run.layout,
+            )
+            verdicts[mode] = [(outcome.name, outcome.ok) for outcome in outcomes]
+            assert all(ok for _name, ok in verdicts[mode]), (mode, outcomes)
+        assert verdicts["interpreted"] == verdicts["compiled"] == verdicts["tier1"]

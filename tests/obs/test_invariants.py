@@ -116,6 +116,55 @@ def test_trace_identities_skip_when_ring_dropped():
     assert all("dropped 3" in reason for reason in skipped.values())
 
 
+def test_checked_workload_skips_loudly_on_an_overflowed_ring():
+    """An undersized ring must surface in ``report.skipped`` — silently
+    omitting the trace identities would read as checked-and-passed."""
+    report, _result = run_checked_workload(
+        "timesharing_light",
+        instructions=INSTRUCTIONS,
+        warmup_instructions=WARMUP,
+        trace=True,
+        tracer_capacity=64,
+    )
+    assert set(report.skipped) == {
+        "trace.instructions",
+        "trace.page_faults",
+        "trace.interrupts",
+    }
+    assert all("dropped" in reason for reason in report.skipped.values())
+    # the counter identities still ran and still hold
+    assert report.ok
+    assert any(
+        outcome.name == "cycles.classified" for outcome in report.outcomes
+    )
+
+
+def test_checked_workload_without_tracer_has_no_trace_checks():
+    """trace=False is the tracer-absent path: no trace identities run
+    and nothing is reported skipped — absence is stated, not implied."""
+    report, _result = run_checked_workload(
+        "timesharing_light",
+        instructions=INSTRUCTIONS,
+        warmup_instructions=WARMUP,
+        trace=False,
+    )
+    assert report.skipped == {}
+    assert not any(
+        outcome.name.startswith("trace.") for outcome in report.outcomes
+    )
+
+
+def test_localization_is_silent_when_every_cycle_classifies():
+    from repro.core.experiment import prepare_workload
+    from repro.obs.invariants import localize_unclassified
+
+    # Raw banks from an honest run: nothing to localize.
+    kernel, monitor = prepare_workload("timesharing_light")
+    kernel.run(max_instructions=500)
+    counts, stalled = monitor.board.dump()
+    assert localize_unclassified(counts, stalled, kernel.machine.layout) == ""
+
+
 class TestCLI:
     def test_check_passes_on_an_honest_workload(self, capsys):
         from repro.cli import main
@@ -147,17 +196,23 @@ class TestCLI:
         assert "subsystem: monitor" in out
         assert "decode.dispatch" in out
 
-    def test_check_json_carries_the_report(self, capsys):
+    def test_check_json_emits_the_stable_envelope(self, capsys):
         import json
 
         from repro.cli import main
+        from repro.obs.invariants import SCHEMA_VERSION
 
         assert main([
             "check", "timesharing_light", "--json",
             "--instructions", str(INSTRUCTIONS), "--warmup", str(WARMUP),
         ]) == 0
-        reports = json.loads(capsys.readouterr().out)
-        assert reports[0]["ok"] is True
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["schema"] == SCHEMA_VERSION
+        assert envelope["command"] == "check"
+        assert envelope["ok"] is True
+        assert envelope["summary"]["failures"] == 0
+        (report,) = envelope["reports"]
+        assert report["ok"] is True
         assert {
-            outcome["name"] for outcome in reports[0]["outcomes"]
+            check["name"] for check in report["checks"]
         } >= {"cycles.classified", "instructions.opcodes"}

@@ -183,6 +183,84 @@ class TestCorruption:
         assert len(target.read_bytes()) == len(b"stored bytes!")
 
 
+class TestCostSkew:
+    """The cycle-model perturbation: honest counting of a wrong charge."""
+
+    def test_disarmed_returns_none(self):
+        from repro.testing.faults import cost_skew
+
+        assert cost_skew() is None
+
+    def test_armed_names_victim_and_seed_sized_skew(self, tmp_path):
+        from repro.testing.faults import cost_skew
+
+        plan = plan_with(
+            tmp_path,
+            FaultRule(
+                site="costs.skew", action="skew", match="spec1.register", times=-1
+            ),
+            seed=3,
+        )
+        with plan.active():
+            assert cost_skew() == ("spec1.register", 1 + 3 % 4)
+
+    def test_skew_must_name_a_victim_routine(self, tmp_path):
+        from repro.testing.faults import cost_skew
+
+        plan = plan_with(
+            tmp_path, FaultRule(site="costs.skew", action="skew", times=-1)
+        )
+        with plan.active():
+            with pytest.raises(FaultPlanError, match="victim micro-routine"):
+                cost_skew()
+
+    def test_times_budget_counts_machine_bindings(self, tmp_path):
+        from repro.testing.faults import cost_skew
+
+        plan = plan_with(
+            tmp_path,
+            FaultRule(
+                site="costs.skew", action="skew", match="exec.clrl", times=1
+            ),
+        )
+        with plan.active():
+            assert cost_skew() == ("exec.clrl", 1)
+            assert cost_skew() is None  # budget spent
+
+    def test_other_sites_do_not_answer(self, tmp_path):
+        from repro.testing.faults import cost_skew
+
+        plan = plan_with(
+            tmp_path, FaultRule(site="monitor.dump", action="miscount", times=-1)
+        )
+        with plan.active():
+            assert cost_skew() is None
+
+    def test_armed_skew_disables_the_compiled_path(self, tmp_path):
+        """A skewed model must disagree with the analytic expectations
+        identically in every mode — the compiled path replays recorded
+        charges without consulting the skew, so arming it forces
+        interpretation."""
+        from repro.validate import execute_probe
+        from repro.validate.probes import build_probes
+
+        probe = build_probes()["reg_mov_chain"]
+        plan = plan_with(
+            tmp_path,
+            FaultRule(
+                site="costs.skew", action="skew", match="spec1.register", times=-1
+            ),
+            seed=3,
+        )
+        with plan.active():
+            skewed = execute_probe(probe, "compiled")
+        clean = execute_probe(probe, "compiled")
+        # 64 register sources, 1 + seed % 4 = 4 extra cycles each, in the
+        # "compiled" mode too.
+        spec1 = clean.reduction.matrix["spec1"]["compute"]
+        assert skewed.reduction.matrix["spec1"]["compute"] == spec1 + 64 * 4
+
+
 class TestCrossProcess:
     def test_times_budget_shared_across_pool_workers(self, tmp_path):
         # Four forked workers race the same 2-firing budget: exactly two

@@ -1,0 +1,133 @@
+"""The probe registry and the analytic cost model behind it.
+
+These tests pin the *construction* side of refutation: expectations are
+well-formed, the registry covers every subsystem the issue names, and
+the CostModel walker charges exactly what the microcode model
+prescribes for straight-line code.
+"""
+
+import pytest
+
+from repro.validate.probes import (
+    CostModel,
+    Expectation,
+    ProbeError,
+    build_probes,
+    canonical_names,
+)
+
+
+class TestExpectation:
+    def test_exact_check(self):
+        exp = Expectation("instructions", exact=64)
+        assert exp.is_exact
+        assert exp.check(64)
+        assert not exp.check(65)
+        assert exp.describe() == "== 64"
+
+    def test_interval_check_needs_reason(self):
+        with pytest.raises(ProbeError, match="reason"):
+            Expectation("stats.read_stall_cycles", lo=6, hi=18)
+
+    def test_interval_check(self):
+        exp = Expectation(
+            "stats.read_stall_cycles", lo=6, hi=18, reason="SBI queueing"
+        )
+        assert not exp.is_exact
+        assert exp.check(6) and exp.check(18)
+        assert not exp.check(5) and not exp.check(19)
+        assert "SBI queueing" in exp.describe()
+
+    def test_exact_and_interval_are_exclusive(self):
+        with pytest.raises(ProbeError, match="exactly one"):
+            Expectation("instructions", exact=1, lo=0, hi=2, reason="no")
+        with pytest.raises(ProbeError, match="exactly one"):
+            Expectation("instructions")
+
+    def test_half_open_interval_rejected(self):
+        with pytest.raises(ProbeError):
+            Expectation("cycles", lo=5, reason="half-open")
+
+
+class TestRegistry:
+    def test_at_least_twelve_probes(self):
+        probes = build_probes()
+        assert len(probes) >= 12
+        assert all(name == probe.name for name, probe in probes.items())
+
+    def test_five_canonical_probes(self):
+        probes = build_probes()
+        canonical = canonical_names()
+        assert len(canonical) == 5
+        assert all(probes[name].canonical for name in canonical)
+        assert set(canonical) <= set(probes)
+
+    def test_coverage_spans_the_required_subsystems(self):
+        covers = {probe.covers for probe in build_probes().values()}
+        assert {"decode", "specifier", "tb", "cache", "interrupt"} <= covers
+
+    def test_every_probe_builds_and_states_ground_truth(self):
+        for probe in build_probes().values():
+            asm = probe.build()
+            image = asm.assemble()
+            assert len(image) > 0
+            assert asm.listing, "listing drives the analytic model"
+            assert probe.expectations
+            assert any(exp.is_exact for exp in probe.expectations), probe.name
+
+    def test_intervals_always_state_their_slack(self):
+        for probe in build_probes().values():
+            for exp in probe.expectations:
+                if not exp.is_exact:
+                    assert exp.reason, (probe.name, exp.metric)
+
+
+class TestCostModel:
+    def test_register_move_merges_its_execute_cycle(self):
+        model = CostModel()
+        model.add_instruction("MOVL", ("R1", "R2"))
+        assert model.instructions == 1
+        assert model.compute["decode.dispatch"] == 1
+        assert model.compute["spec1.register"] == 1
+        assert model.compute["spec26.register"] == 1
+        # base 1 execute cycle merged away by the literal/register rule
+        assert "exec.movl" not in model.compute
+
+    def test_write_only_destination_does_not_merge(self):
+        model = CostModel()
+        model.add_instruction("CLRL", ("R5",))
+        assert model.compute["exec.clrl"] == 1  # no source operand seen
+
+    def test_memory_source_charges_the_data_read(self):
+        model = CostModel()
+        model.add_instruction("MOVL", ("(R6)", "R2"))
+        assert model.reads["spec1.register_deferred"] == 1
+        assert model.data_reads() == 1
+        assert model.data_writes() == 0
+
+    def test_deferred_pointer_read_is_charged(self):
+        model = CostModel()
+        model.add_instruction("MOVL", ("@B^4(R6)", "R2"))
+        # pointer read + data read at the same routine
+        assert model.reads["spec1.byte_displacement_deferred"] == 2
+
+    def test_indexed_operand_charges_the_shared_index_microcode(self):
+        from repro.ucode.costs import INDEX_EXTRA_CYCLES
+
+        model = CostModel()
+        model.add_instruction("MOVL", ("(R6)[R3]", "R2"))
+        assert model.compute["spec26.index_shared"] == INDEX_EXTRA_CYCLES
+        assert model.indexed_counts == {"spec1": 1}
+
+    def test_branch_operands_are_refused(self):
+        model = CostModel()
+        with pytest.raises(ProbeError, match="straight-line"):
+            model.add_instruction("BRB", ("loop",))
+
+    def test_bank_and_routine_totals(self):
+        model = CostModel()
+        model.add_instruction("MOVL", ("(R6)", "R2"))
+        assert model.bank_compute("spec1") == model.compute["spec1.register_deferred"]
+        assert model.routine_total("spec1.register_deferred") == (
+            model.compute["spec1.register_deferred"] + 1
+        )
