@@ -21,7 +21,16 @@ Commands
     digest-checked snapshot file; ``info`` reads the header (never the
     pickle) back out.
 ``cache info|ls|clear``
-    Inspect or empty the content-addressed run cache.
+    Inspect or empty the content-addressed run cache; ``info`` includes
+    the lifetime hit/miss totals aggregated across every process that
+    ever touched the cache (the persistent stats ledger).
+``serve`` / ``submit`` / ``poll``
+    The experiment service: ``serve`` runs the asyncio job queue behind
+    the HTTP/JSON API, ``submit`` posts a sweep (``--wait`` polls it to
+    completion, ``--check`` re-validates the fetched results), and
+    ``poll`` inspects jobs or the scheduler's dedupe statistics.
+    Concurrent clients submitting overlapping sweeps execute each
+    unique spec at most once.
 ``sweep WORKLOAD PARAM VALUES...``
     Design-space sweep of one machine parameter (``cache_kb`` /
     ``tb_half`` / ``wb_drain``) against the baseline, optionally
@@ -343,7 +352,166 @@ def cmd_cache(args) -> int:
     quarantined = cache.quarantined_objects()
     if quarantined:
         emit("quarantined: {} corrupt objects (objects/quarantine/)".format(quarantined))
+    # Lifetime traffic from the persistent ledger: every process that
+    # touched this cache — CLI runs, service jobs, pool workers —
+    # flushed its counters here.  The in-process stats of this (fresh)
+    # CLI invocation would read all zeros and silently undercount.
+    totals = cache.persistent_totals()
+    emit(
+        "lifetime:   {} hits / {} misses / {} puts / {} quarantined "
+        "({} flushes)".format(
+            totals["hits"], totals["misses"], totals["puts"],
+            totals["quarantined"], totals["flushes"],
+        )
+    )
     return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.core.resilience import ResiliencePolicy
+    from repro.service.server import ExperimentService
+
+    cache = None
+    if not args.no_cache:
+        from repro.core.runcache import RunCache
+
+        cache = RunCache.default(args.cache_dir)
+    policy = ResiliencePolicy.from_options(
+        retries=args.retries, spec_timeout=args.spec_timeout
+    )
+    service = ExperimentService(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        shards=args.shards,
+        cache=cache,
+        policy=policy,
+        concurrency=args.concurrency,
+        result_index_size=args.result_index,
+    )
+
+    def announce(bound):
+        # On stdout so scripts (and the CI smoke leg) can scrape the
+        # port even when --port 0 asked the OS to pick one.
+        emit("service listening on http://{}:{}".format(bound.host, bound.port))
+        import sys
+
+        sys.stdout.flush()
+
+    service.run(announce=announce)
+    return 0
+
+
+def _submit_specs(args):
+    """The sweep a ``repro submit`` invocation describes."""
+    from repro.core.engine import RunSpec
+    from repro.workloads import COMPOSITE_WORKLOAD_NAMES
+
+    names = args.workloads or list(COMPOSITE_WORKLOAD_NAMES)
+    return [
+        RunSpec(
+            workload=name,
+            instructions=args.instructions,
+            warmup_instructions=args.warmup,
+        )
+        for name in names
+    ]
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from repro.service.client import ClientError, ServiceClient
+
+    log = get_logger("repro.submit")
+    client = ServiceClient(args.url)
+    specs = _submit_specs(args)
+    try:
+        accepted = client.submit_sweep(specs, on_error=args.on_error)
+    except ClientError as error:
+        log.error("submission refused", status=error.status)
+        log.error(str(error))
+        return 1
+    job_id = accepted["job"]
+    log.info("job accepted", job=job_id, specs=len(specs))
+    if not args.wait:
+        emit(json.dumps(accepted, indent=2))
+        return 0
+    record = client.wait(job_id, timeout=args.timeout)
+    if args.json:
+        emit(json.dumps(record, indent=2, sort_keys=True))
+    if record["state"] != "done":
+        log.error("job failed", job=job_id)
+        error = record.get("error", {})
+        if error.get("worker_traceback"):
+            log.error(error["worker_traceback"].rstrip())
+        elif error.get("message"):
+            log.error(error["message"])
+        return 1
+    failed = 0
+    for summary in record["runs"]:
+        provenance = "executed"
+        if summary.get("attached_to"):
+            provenance = "attached"
+        elif summary.get("resumed_from"):
+            provenance = "from-cache"
+        line = "{:<24} CPI {:6.3f}  {:>8} instr  {:7.2f}s  {}".format(
+            summary["name"], summary["cpi"], summary["instructions"],
+            summary["wall_seconds"], provenance,
+        )
+        if args.check:
+            from repro.obs.invariants import check_result
+
+            result = client.result(summary["digest"]).result
+            outcomes = check_result(result)
+            broken = [o for o in outcomes if not o.ok]
+            failed += len(broken)
+            line += "  [{} identities {}]".format(
+                len(outcomes), "ok" if not broken else "BROKEN"
+            )
+            if not args.json:
+                emit(line)
+            for outcome in broken:
+                log.error(
+                    "identity broken", name=outcome.name, subsystem=outcome.subsystem
+                )
+        elif not args.json:
+            emit(line)
+    report = record.get("report")
+    if report is not None and report.get("failures"):
+        for failure in report["failures"]:
+            log.error(
+                "spec failed", name=failure["name"], kind=failure["kind"],
+                error=failure["error"],
+            )
+        return 1
+    return 0 if not failed else 1
+
+
+def cmd_poll(args) -> int:
+    import json
+
+    from repro.service.client import ClientError, ServiceClient
+
+    log = get_logger("repro.poll")
+    client = ServiceClient(args.url)
+    try:
+        if args.stats:
+            emit(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.job is None:
+            emit(json.dumps({"jobs": client.jobs()}, indent=2, sort_keys=True))
+            return 0
+        record = (
+            client.wait(args.job, timeout=args.timeout)
+            if args.wait
+            else client.job(args.job)
+        )
+    except ClientError as error:
+        log.error(str(error))
+        return 1
+    emit(json.dumps(record, indent=2, sort_keys=True))
+    return 0 if record["state"] != "failed" else 1
 
 
 #: ``sweep`` parameter name -> MachineConfig field constructor
@@ -1109,6 +1277,86 @@ def build_parser() -> argparse.ArgumentParser:
             help="cache root (default $REPRO_CACHE_DIR or .repro-cache)",
         )
         action_parser.set_defaults(func=cmd_cache)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the experiment service (HTTP/JSON job queue)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port (0 = ask the OS; the bound port prints on stdout)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=1, help="process-pool width per sweep"
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="resumable shards per workload measurement",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None,
+        help="run cache root (default $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the content-addressed cache (no dedupe "
+        "across restarts)",
+    )
+    serve_parser.add_argument(
+        "--concurrency", type=int, default=2,
+        help="job worker tasks; overlapping jobs dedupe in-flight",
+    )
+    serve_parser.add_argument(
+        "--result-index", type=int, default=256,
+        help="completed runs kept in the bounded result index",
+    )
+    serve_parser.add_argument("--retries", type=int, default=0)
+    serve_parser.add_argument("--spec-timeout", type=float, default=None)
+    serve_parser.set_defaults(func=cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a sweep to a running experiment service"
+    )
+    submit_parser.add_argument(
+        "workloads", nargs="*",
+        help="workloads to measure (default: the five-workload composite)",
+    )
+    submit_parser.add_argument("--url", default="http://127.0.0.1:8765")
+    submit_parser.add_argument("--instructions", type=int, default=10_000)
+    submit_parser.add_argument("--warmup", type=int, default=2_000)
+    submit_parser.add_argument(
+        "--on-error", choices=("raise", "collect"), default="raise"
+    )
+    submit_parser.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    submit_parser.add_argument("--timeout", type=float, default=600.0)
+    submit_parser.add_argument(
+        "--check", action="store_true",
+        help="with --wait: fetch each result and evaluate the counter "
+        "identities on it (exit 1 on a broken invariant)",
+    )
+    submit_parser.add_argument(
+        "--json", action="store_true", help="emit the job record as JSON"
+    )
+    submit_parser.set_defaults(func=cmd_submit)
+
+    poll_parser = sub.add_parser(
+        "poll", help="inspect service jobs and scheduler statistics"
+    )
+    poll_parser.add_argument(
+        "job", nargs="?", default=None, help="job id (default: list all jobs)"
+    )
+    poll_parser.add_argument("--url", default="http://127.0.0.1:8765")
+    poll_parser.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    poll_parser.add_argument("--timeout", type=float, default=600.0)
+    poll_parser.add_argument(
+        "--stats", action="store_true",
+        help="print GET /stats (dedupe counters, index occupancy) instead",
+    )
+    poll_parser.set_defaults(func=cmd_poll)
 
     sweep_parser = sub.add_parser(
         "sweep", help="design-space sweep of one machine parameter"

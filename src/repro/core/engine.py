@@ -1,1362 +1,137 @@
-"""The parallel experiment engine.
+"""The parallel experiment engine — compatibility facade.
 
-The paper's measurements were embarrassingly parallel: five workloads,
-each measured independently on its own machine, summed afterwards into
-the composite histogram.  This module reproduces that shape for the
-simulator — each :class:`RunSpec` describes one monitored run, a process
-pool executes the specs on separate interpreters, and the payloads come
-back to the coordinating process to be merged by
-:func:`repro.core.experiment.composite`.
+The engine used to live here as one 1300-line monolith; it is now three
+layers, and this module re-exports their public (and
+historically-relied-upon private) surface so every existing import —
+``from repro.core.engine import RunSpec, run_specs, ...`` — keeps
+working unchanged:
 
-Three properties the engine guarantees:
+* :mod:`repro.core.executor` — how one unit of work runs: the work
+  descriptions (:class:`RunSpec`, :class:`MachineConfig`), the payloads
+  (:class:`EngineRun`, :class:`ShardResult`), :func:`execute_spec`, the
+  resilient process-pool driver, and the shard measurement primitives.
+* :mod:`repro.core.cache_resolution` — what is already banked: shard
+  and snapshot keys, loaders that quarantine damage, and the run-level
+  objects the experiment service dedupes whole sweeps against.
+* :mod:`repro.core.scheduler` — what runs and what never runs:
+  :func:`run_specs`, :func:`execute_spec_sharded`, and the
+  :class:`Scheduler` front door that deduplicates concurrent clients
+  against the result index, in-flight jobs and the run cache.
 
-* **Determinism.**  A spec fully seeds its run (profile seed +
-  ``seed_offset``); every RNG in the simulator is an instance-seeded
-  ``random.Random`` and nothing depends on interpreter-level state such
-  as string-hash randomization.  ``jobs=4`` therefore produces
+The engine's three guarantees are unchanged and live with the layers
+that own them:
+
+* **Determinism.**  A spec fully seeds its run; ``jobs=4`` produces
   bit-identical histograms, event counters and Table 8 matrices to
-  ``jobs=1`` — the regression tests assert this.
-* **Picklability.**  Specs cross the process boundary, so ablations are
-  expressed declaratively with :class:`MachineConfig` rather than with
-  closures (a module-level ``configure`` function also works; a lambda
-  does not).  Results come back as :class:`EngineRun` payloads carrying
-  the reduced :class:`~repro.core.experiment.ExperimentResult` plus the
-  raw sparse histogram dump, so the coordinator can both merge and
-  verify byte-for-byte.
-* **Fault tolerance.**  :func:`run_specs` takes a
-  :class:`~repro.core.resilience.ResiliencePolicy`: per-spec retries
-  with exponential backoff, per-spec wall-clock timeouts, recovery from
-  an abruptly-dead process pool (respawn it, requeue what was in
-  flight, degrade to in-process execution when pools keep dying), and a
-  fail-soft ``on_error="collect"`` mode that returns partial results
-  plus a structured :class:`~repro.core.resilience.FailureReport`
-  instead of aborting the sweep.  The sharded executor self-heals its
-  cache — corrupt or unpicklable objects are quarantined and recomputed
-  — and shards lost to worker failures are re-run by an in-process
-  repair chain.  Because every run is deterministic, a recovered sweep
-  is bit-identical to an undisturbed one; the fault-injection tests
-  (driven by :mod:`repro.testing.faults`) assert exactly that.
+  ``jobs=1`` — the regression tests assert this.  Determinism is also
+  what makes caching and deduplication *sound*: equal
+  :func:`~repro.obs.provenance.config_hash` digests mean bit-identical
+  results, so a cached or attached payload is indistinguishable from a
+  fresh execution.
+* **Picklability.**  Specs and results cross the process boundary by
+  value; ablations are declarative (:class:`MachineConfig`), and
+  :class:`EngineError` round-trips through pickle with its constructor
+  extras intact.
+* **Fault tolerance.**  Retries with backoff, per-spec timeouts, pool
+  respawn and in-process degradation, fail-soft collect mode, cache
+  self-healing via quarantine, and in-process repair chains for shards
+  lost to worker failures — all governed by a
+  :class:`~repro.core.resilience.ResiliencePolicy` and all leaving a
+  recovered sweep bit-identical to an undisturbed one.
+
+One seam is intentionally *live* here rather than re-exported by value:
+``prepare_workload``.  The sharded chain opener resolves it through
+this module at call time (``engine.prepare_workload``), so patching
+``repro.core.engine.prepare_workload`` — as the snapshot-reuse tests do
+to prove a cached boundary made a rebuild unnecessary — intercepts
+every fresh build, wherever the layers trigger it.
 """
 
 from __future__ import annotations
 
-import copy
-import multiprocessing
-import pickle
-import time
-import traceback
-from collections import deque
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    ProcessPoolExecutor,
-    as_completed,
-    wait,
+# -- execution layer ---------------------------------------------------
+from repro.core.executor import (
+    EngineError,
+    EngineRun,
+    MachineConfig,
+    ProgressCallback,
+    ProgressEvent,
+    RunSpec,
+    ShardResult,
+    _execute_shard_task,
+    _execute_shard_task_guarded,
+    _execute_spec_guarded,
+    _ignore_progress,
+    _measure_span,
+    _pool_context,
+    _run_pool_tasks,
+    _sparse_delta,
+    _spec_configure,
+    _tb_summary,
+    execute_spec,
+    parallel_map,
+    shard_boundaries,
 )
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.experiment import (
-    ExperimentResult,
-    MachineStats,
-    prepare_workload,
-    run_workload,
+# -- cache-resolution layer --------------------------------------------
+from repro.core.cache_resolution import (
+    load_cached_shard,
+    load_cached_snapshot,
+    resolve_cached_run,
+    run_cache_key,
+    shard_cache_keys,
+    store_boundary_snapshot,
+    store_run,
+    store_shard,
 )
-from repro.cpu.events import EventCounters
-from repro.testing import faults
 
-
-class EngineError(RuntimeError):
-    """A spec failed inside a pool worker.
-
-    Carries *which* spec died and the worker-side traceback — a bare
-    ``BrokenProcessPool`` or a re-raised exception with a coordinator
-    stack tells you neither.  Sharded failures additionally carry the
-    per-shard status map, so a partial cache/pool failure is diagnosable
-    from the error alone.
-    """
-
-    def __init__(self, spec_name: str, worker_traceback: str):
-        super().__init__(
-            "spec {!r} failed in worker:\n{}".format(spec_name, worker_traceback)
-        )
-        self.spec_name = spec_name
-        self.worker_traceback = worker_traceback
-
-
-@dataclass(frozen=True)
-class ProgressEvent:
-    """One engine progress notification (see :func:`run_specs`).
-
-    ``kind`` is ``"start"`` (the spec was dispatched), ``"done"``
-    (finished, ``wall_seconds`` filled in), ``"retry"`` (an attempt
-    failed and the resilience policy is retrying; ``error`` holds the
-    summary) or ``"error"`` (failed for good, ``error`` holds the
-    summary line; the full traceback rides the :class:`EngineError` or
-    :class:`~repro.core.resilience.FailureReport` that follows).
-    """
-
-    kind: str
-    index: int
-    total: int
-    name: str
-    wall_seconds: float = 0.0
-    error: Optional[str] = None
-
-
-#: The shape run_specs notifies: callback(event) -> None.
-ProgressCallback = Callable[[ProgressEvent], None]
-
-
-@dataclass(frozen=True)
-class MachineConfig:
-    """A declarative, picklable machine configuration for ablation runs.
-
-    Each field is an optional override of the 11/780 baseline; ``None``
-    means "leave the baseline alone".  This is the process-pool-safe
-    replacement for the ``configure(machine)`` closures the examples
-    used to build inline.
-    """
-
-    #: cache data size (the real machine: 8 KB, 2-way, write-through)
-    cache_size_bytes: Optional[int] = None
-    #: translation-buffer entries per half (the real machine: 64+64)
-    tb_half_entries: Optional[int] = None
-    #: write-buffer drain latency in cycles (the real machine: 6)
-    wb_drain_cycles: Optional[int] = None
-    #: overlap I-Decode with the previous instruction (the 11/750 trick)
-    decode_overlap: Optional[bool] = None
-    #: float-execute slowdown applied when no FPA is fitted
-    float_slowdown: Optional[int] = None
-
-    def apply(self, machine) -> None:
-        """Apply the overrides to a freshly built machine (pre-boot)."""
-        from repro.memory.cache import Cache
-        from repro.memory.tb import TranslationBuffer
-        from repro.memory.write_buffer import WriteBuffer
-
-        memory = machine.memory
-        if self.cache_size_bytes is not None:
-            memory.cache = Cache(size_bytes=self.cache_size_bytes)
-        if self.tb_half_entries is not None:
-            memory.tb = TranslationBuffer(half_entries=self.tb_half_entries)
-        if self.wb_drain_cycles is not None:
-            memory.write_buffer = WriteBuffer(drain_cycles=self.wb_drain_cycles)
-        if self.decode_overlap is not None:
-            machine.ebox.decode_overlap = self.decode_overlap
-        if self.float_slowdown is not None:
-            machine.ebox.float_slowdown = self.float_slowdown
-
-    def describe(self) -> str:
-        """A short human-readable tag for sweep tables."""
-        parts = []
-        if self.cache_size_bytes is not None:
-            parts.append("cache={}KB".format(self.cache_size_bytes // 1024))
-        if self.tb_half_entries is not None:
-            parts.append("tb={0}+{0}".format(self.tb_half_entries))
-        if self.wb_drain_cycles is not None:
-            parts.append("wb_drain={}".format(self.wb_drain_cycles))
-        if self.decode_overlap is not None:
-            parts.append("decode_overlap={}".format(self.decode_overlap))
-        if self.float_slowdown is not None:
-            parts.append("float_slowdown={}".format(self.float_slowdown))
-        return ",".join(parts) or "baseline"
-
-
-@dataclass(frozen=True)
-class RunSpec:
-    """One monitored measurement run, fully described by value.
-
-    A spec must pickle: keep ``configure`` a module-level function (or
-    ``None``) and express ablations with :class:`MachineConfig`.  When
-    both are given, ``config`` applies first.
-    """
-
-    workload: str
-    instructions: int = 30_000
-    warmup_instructions: int = 3_000
-    process_count: Optional[int] = None
-    seed_offset: int = 0
-    config: Optional[MachineConfig] = None
-    configure: Optional[Callable] = None
-    label: Optional[str] = None
-
-    @property
-    def name(self) -> str:
-        if self.label is not None:
-            return self.label
-        if self.config is not None:
-            return "{}[{}]".format(self.workload, self.config.describe())
-        return self.workload
-
-
-@dataclass
-class EngineRun:
-    """What one executed spec ships back to the coordinator."""
-
-    spec: RunSpec
-    result: ExperimentResult
-    #: raw sparse dump of the histogram board, (counts, stalled_counts)
-    #: as {bucket: count} dicts — the wire format used to verify that
-    #: parallel and sequential runs agree byte for byte.
-    histogram: Tuple[Dict[int, int], Dict[int, int]]
-    wall_seconds: float
-    #: provenance manifest (repro.obs.provenance.RunManifest)
-    manifest: Optional[object] = None
-    #: worker-side self-profiling, a MetricsRegistry.snapshot() dict
-    metrics: Optional[Dict] = None
-    #: intra-workload sharding provenance: how many resumable shards the
-    #: measurement was split into, and how many replayed from the cache.
-    shard_count: int = 1
-    shards_from_cache: int = 0
-
-
-def _spec_configure(spec: RunSpec):
-    """Build the effective configure callable (inside the worker)."""
-    config, configure = spec.config, spec.configure
-    if config is None and configure is None:
-        return None
-
-    def apply(machine):
-        if config is not None:
-            config.apply(machine)
-        if configure is not None:
-            configure(machine)
-
-    return apply
-
-
-def execute_spec(spec: RunSpec, tracer=None) -> EngineRun:
-    """Run one spec to completion (this is the pool worker).
-
-    Every run ships back a :class:`~repro.obs.provenance.RunManifest`
-    (config hash, seeds, code version, timings) and a metrics snapshot
-    (per-phase wall-clock self-profiling from the worker).
-    """
-    from repro.obs.metrics import MetricsRegistry
-    from repro.obs.provenance import RunManifest
-    from repro.workloads import profile_by_name
-
-    faults.fire("worker", key=spec.name)
-    profile = profile_by_name(spec.workload)
-    manifest = RunManifest.for_spec(spec, profile_seed=profile.seed)
-    metrics = MetricsRegistry()
-    started = time.perf_counter()
-    result, board = run_workload(
-        spec.workload,
-        instructions=spec.instructions,
-        warmup_instructions=spec.warmup_instructions,
-        process_count=spec.process_count,
-        seed_offset=spec.seed_offset,
-        configure=_spec_configure(spec),
-        return_board=True,
-        tracer=tracer,
-        metrics=metrics,
-    )
-    if spec.label is not None or spec.config is not None:
-        result.name = spec.name
-    wall = time.perf_counter() - started
-    manifest.wall_seconds = wall
-    manifest.instructions_measured = result.instructions
-    manifest.cycles_measured = result.stats.cycles
-    snapshot = metrics.snapshot()
-    from repro.core.compile import stats_from_snapshot
-
-    manifest.compile = stats_from_snapshot(snapshot)
-    return EngineRun(
-        spec=spec,
-        result=result,
-        histogram=board.dump_sparse(),
-        wall_seconds=wall,
-        manifest=manifest,
-        metrics=snapshot,
-    )
-
-
-def _execute_spec_guarded(spec: RunSpec) -> Tuple:
-    """Pool-worker wrapper: never raises across the pickle boundary.
-
-    Exceptions re-raised by a future lose their worker stack; shipping
-    ``("error", name, traceback_text)`` instead lets the coordinator
-    raise an :class:`EngineError` that says exactly which spec died and
-    where.
-    """
-    try:
-        return ("ok", execute_spec(spec))
-    except Exception:
-        return ("error", spec.name, traceback.format_exc())
-
-
-def _pool_context():
-    """Prefer fork (cheap, shares the warmed program cache); fall back
-    to the platform default elsewhere."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
-
-
-def _tb_summary(worker_tb: str) -> str:
-    """The last line of a traceback — the one-line progress summary."""
-    return worker_tb.strip().splitlines()[-1] if worker_tb else ""
-
-
-def _run_pool_tasks(
-    fn,
-    tasks: Sequence[Tuple[int, object]],
-    workers: int,
-    policy,
-    describe: Callable[[int], str],
-    on_start=None,
-    on_done=None,
-    on_retry=None,
-):
-    """Run guarded tasks through a process pool under a resilience policy.
-
-    ``tasks`` is ``[(task_id, arg), ...]`` and ``fn(arg)`` must return a
-    guarded payload (``("ok", ...)`` or ``("error", name, traceback)``).
-    Returns ``(payloads, failures, stats)``: ``payloads[task_id]`` is
-    ``(payload, attempts)``, ``failures[task_id]`` a
-    :class:`~repro.core.resilience.SpecFailure`, and ``stats`` the
-    retry/timeout/respawn/degradation counters.
-
-    Three fault classes the bare executor does not survive are handled
-    here:
-
-    * a task *raising* — retried with exponential backoff up to the
-      policy's attempt budget;
-    * a worker *dying abruptly* (``BrokenProcessPool``) — the pool is
-      respawned and everything that was in flight requeued; since the
-      culprit is unknowable from outside, the crash is charged as one
-      attempt against every in-flight task;
-    * a task *exceeding its wall-clock budget* — a stuck worker cannot
-      be reclaimed individually, so the pool is recycled; the slow task
-      is charged an attempt, the innocents requeue for free.
-
-    After ``policy.max_pool_respawns`` recycles the pool is abandoned
-    and the remainder runs in-process (degraded mode: retries still
-    apply, timeouts cannot preempt).
-
-    A ``KeyboardInterrupt`` cancels outstanding futures, shuts the pool
-    down without waiting and re-raises as
-    :class:`~repro.core.resilience.SweepInterrupted` carrying everything
-    that already finished.
-    """
-    from repro.core.resilience import SpecFailure, SweepInterrupted
-
-    pending = deque((tid, arg, 1, 0.0) for tid, arg in tasks)
-    payloads: Dict[int, Tuple] = {}
-    failures: Dict[int, object] = {}
-    stats = {"retries": 0, "timeouts": 0, "pool_respawns": 0, "degraded": False}
-    max_attempts = policy.retry.max_attempts
-    stop_on_failure = policy.on_error == "raise"
-    inflight: Dict = {}
-
-    def notify_start(tid, attempt):
-        if on_start is not None and attempt == 1:
-            on_start(tid)
-
-    def record_success(tid, payload, attempt):
-        payloads[tid] = (payload, attempt)
-        if on_done is not None:
-            on_done(tid, payload)
-
-    def fail_or_retry(tid, arg, attempt, kind, error, tb="") -> bool:
-        """Requeue with backoff, or record the final failure (-> True)."""
-        if attempt < max_attempts:
-            stats["retries"] += 1
-            if on_retry is not None:
-                on_retry(tid, attempt, kind, error)
-            delay = policy.retry.backoff(attempt)
-            pending.append((tid, arg, attempt + 1, time.monotonic() + delay))
-            return False
-        failures[tid] = SpecFailure(
-            name=describe(tid),
-            index=tid,
-            attempts=attempt,
-            kind=kind,
-            error=error,
-            worker_traceback=tb,
-        )
-        return True
-
-    def recycle(reason_futures, kind, error):
-        """The pool is unusable: shut it down, charge ``reason_futures``
-        a failed attempt, requeue the innocents for free."""
-        nonlocal pool
-        stats["pool_respawns"] += 1
-        pool.shutdown(wait=False, cancel_futures=True)
-        victims = list(inflight.items())
-        inflight.clear()
-        for future, (tid, arg, attempt, _) in victims:
-            if future in reason_futures:
-                fail_or_retry(tid, arg, attempt, kind, error)
-            else:
-                pending.appendleft((tid, arg, attempt, 0.0))
-        if stats["pool_respawns"] > policy.max_pool_respawns:
-            stats["degraded"] = True
-            pool = None
-        else:
-            pool = ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context())
-
-    pool = ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context())
-    try:
-        while pending or inflight:
-            if stop_on_failure and failures:
-                break
-            now = time.monotonic()
-            if stats["degraded"]:
-                # In-process fallback: no pool left to trust.  Retries
-                # still apply; timeouts cannot preempt in-process work.
-                tid, arg, attempt, not_before = pending.popleft()
-                if not_before > now:
-                    policy.sleep(not_before - now)
-                notify_start(tid, attempt)
-                payload = fn(arg)
-                if payload[0] == "ok":
-                    record_success(tid, payload, attempt)
-                else:
-                    fail_or_retry(
-                        tid, arg, attempt, "error",
-                        _tb_summary(payload[-1]), payload[-1],
-                    )
-                continue
-            # Dispatch one task per idle worker; a task whose backoff
-            # stamp is still in the future stays queued.
-            if pending and len(inflight) < workers:
-                waiting = []
-                while pending and len(inflight) < workers:
-                    tid, arg, attempt, not_before = pending.popleft()
-                    if not_before > now:
-                        waiting.append((tid, arg, attempt, not_before))
-                        continue
-                    deadline = (
-                        now + policy.spec_timeout if policy.spec_timeout else 0.0
-                    )
-                    future = pool.submit(fn, arg)
-                    inflight[future] = (tid, arg, attempt, deadline)
-                    notify_start(tid, attempt)
-                for entry in reversed(waiting):
-                    pending.appendleft(entry)
-            if not inflight:
-                # Everything left is backing off; sleep to the earliest
-                # stamp instead of spinning.
-                wake = min(entry[3] for entry in pending)
-                policy.sleep(max(0.0, wake - time.monotonic()))
-                continue
-            horizons = [meta[3] for meta in inflight.values() if meta[3]]
-            horizons += [entry[3] for entry in pending if entry[3]]
-            timeout = (
-                max(0.0, min(horizons) - time.monotonic()) + 0.02
-                if horizons
-                else None
-            )
-            done, _ = wait(list(inflight), timeout=timeout, return_when=FIRST_COMPLETED)
-            broken = False
-            for future in done:
-                meta = inflight.pop(future)
-                tid, arg, attempt, _ = meta
-                try:
-                    payload = future.result()
-                except BrokenProcessPool:
-                    inflight[future] = meta  # recycle() charges it below
-                    broken = True
-                    break
-                except Exception as exc:
-                    fail_or_retry(
-                        tid, arg, attempt, "error", str(exc), traceback.format_exc()
-                    )
-                    continue
-                if payload[0] == "ok":
-                    record_success(tid, payload, attempt)
-                else:
-                    fail_or_retry(
-                        tid, arg, attempt, "error",
-                        _tb_summary(payload[-1]), payload[-1],
-                    )
-            if broken:
-                recycle(
-                    set(inflight),
-                    "pool-crash",
-                    "a process-pool worker died while the task was in flight",
-                )
-                continue
-            if policy.spec_timeout:
-                now = time.monotonic()
-                expired = {
-                    future
-                    for future, meta in inflight.items()
-                    if meta[3] and meta[3] <= now
-                }
-                if expired:
-                    stats["timeouts"] += len(expired)
-                    recycle(
-                        expired,
-                        "timeout",
-                        "task exceeded the {:.3g}s wall-clock budget".format(
-                            policy.spec_timeout
-                        ),
-                    )
-    except KeyboardInterrupt:
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
-        raise SweepInterrupted(payloads=payloads, failures=failures, stats=stats)
-    if pool is not None:
-        pool.shutdown(wait=False, cancel_futures=True)
-    return payloads, failures, stats
-
-
-def run_specs(
-    specs: Sequence[RunSpec],
-    jobs: int = 1,
-    progress: Optional[ProgressCallback] = None,
-    policy=None,
-):
-    """Execute ``specs``, ``jobs`` at a time; results keep spec order.
-
-    ``jobs <= 1`` runs sequentially in-process (no pool, no pickling
-    requirement) and is the reference behaviour: parallel execution
-    produces bit-identical payloads, just faster.
-
-    ``progress`` receives a :class:`ProgressEvent` when each spec is
-    dispatched, retried, completed or failed — the CLI renders these as
-    live per-workload status lines.
-
-    ``policy`` (a :class:`~repro.core.resilience.ResiliencePolicy`)
-    governs the failure behaviour; the default reproduces the
-    historical engine exactly — one attempt, no timeout, and a failing
-    spec raises :class:`EngineError` naming the spec and carrying the
-    worker-side traceback.  With ``policy.on_error == "collect"`` the
-    sweep is fail-soft: the return value is a
-    :class:`~repro.core.resilience.SweepResult` whose ``runs`` list has
-    ``None`` at failed indices and whose ``report`` tells the story.
-    A ``KeyboardInterrupt`` mid-sweep cancels outstanding work, persists
-    the partial report when the policy names a path, and re-raises as
-    :class:`~repro.core.resilience.SweepInterrupted`.
-    """
-    from repro.core.resilience import (
-        FailureReport,
-        ResiliencePolicy,
-        SpecFailure,
-        SweepInterrupted,
-        SweepResult,
-    )
-
-    specs = list(specs)
-    total = len(specs)
-    notify = progress if progress is not None else _ignore_progress
-    policy = policy if policy is not None else ResiliencePolicy()
-    max_attempts = policy.retry.max_attempts
-
-    results: List[Optional[EngineRun]] = [None] * total
-    report = FailureReport(total=total)
-
-    def interrupted(cause):
-        report.interrupted = True
-        report.completed = [
-            spec.name for spec, run in zip(specs, results) if run is not None
-        ]
-        if policy.interrupt_report_path:
-            report.save(policy.interrupt_report_path)
-        policy.record_report(report)
-        raise SweepInterrupted(report=report) from cause
-
-    def conclude():
-        report.completed = [
-            spec.name for spec, run in zip(specs, results) if run is not None
-        ]
-        policy.record_report(report)
-        if report.failures and policy.on_error == "raise":
-            first = min(report.failures, key=lambda failure: failure.index)
-            raise EngineError(first.name, first.worker_traceback or first.error)
-        if policy.on_error == "collect":
-            return SweepResult(runs=results, report=report)
-        return results
-
-    if jobs <= 1 or total <= 1:
-        try:
-            for index, spec in enumerate(specs):
-                notify(ProgressEvent("start", index, total, spec.name))
-                attempt = 1
-                while True:
-                    try:
-                        run = execute_spec(spec)
-                    except KeyboardInterrupt:
-                        raise
-                    except Exception as exc:
-                        worker_tb = traceback.format_exc()
-                        if attempt < max_attempts:
-                            report.retries += 1
-                            notify(
-                                ProgressEvent(
-                                    "retry", index, total, spec.name, error=str(exc)
-                                )
-                            )
-                            policy.sleep(policy.retry.backoff(attempt))
-                            attempt += 1
-                            continue
-                        notify(
-                            ProgressEvent(
-                                "error", index, total, spec.name, error=str(exc)
-                            )
-                        )
-                        report.failures.append(
-                            SpecFailure(
-                                name=spec.name,
-                                index=index,
-                                attempts=attempt,
-                                kind="error",
-                                error=str(exc),
-                                worker_traceback=worker_tb,
-                            )
-                        )
-                        break
-                    if run.manifest is not None:
-                        run.manifest.attempts = attempt
-                    results[index] = run
-                    notify(
-                        ProgressEvent(
-                            "done", index, total, spec.name,
-                            wall_seconds=run.wall_seconds,
-                        )
-                    )
-                    break
-                if report.failures and policy.on_error == "raise":
-                    break
-        except KeyboardInterrupt as exc:
-            interrupted(exc)
-        return conclude()
-
-    workers = min(jobs, total)
-
-    def describe(index):
-        return specs[index].name
-
-    def on_start(index):
-        notify(ProgressEvent("start", index, total, specs[index].name))
-
-    def on_done(index, payload):
-        notify(
-            ProgressEvent(
-                "done", index, total, specs[index].name,
-                wall_seconds=payload[1].wall_seconds,
-            )
-        )
-
-    def on_retry(index, attempt, kind, error):
-        notify(ProgressEvent("retry", index, total, specs[index].name, error=error))
-
-    def absorb(payloads):
-        for index, (payload, attempts) in payloads.items():
-            run = payload[1]
-            if run.manifest is not None:
-                run.manifest.attempts = attempts
-            results[index] = run
-
-    tasks = [(index, spec) for index, spec in enumerate(specs)]
-    try:
-        payloads, failures, stats = _run_pool_tasks(
-            _execute_spec_guarded, tasks, workers, policy, describe,
-            on_start=on_start, on_done=on_done, on_retry=on_retry,
-        )
-    except SweepInterrupted as stop:
-        absorb(stop.payloads)
-        report.retries += stop.stats.get("retries", 0)
-        report.timeouts += stop.stats.get("timeouts", 0)
-        report.pool_respawns += stop.stats.get("pool_respawns", 0)
-        report.failures.extend(
-            stop.failures[index] for index in sorted(stop.failures)
-        )
-        interrupted(stop)
-    absorb(payloads)
-    report.retries += stats["retries"]
-    report.timeouts += stats["timeouts"]
-    report.pool_respawns += stats["pool_respawns"]
-    report.degraded = stats["degraded"]
-    for index in sorted(failures):
-        failure = failures[index]
-        notify(ProgressEvent("error", index, total, failure.name, error=failure.error))
-        report.failures.append(failure)
-    return conclude()
-
-
-def _ignore_progress(event: ProgressEvent) -> None:
-    """The default progress sink: drop the event."""
-
-
-# ----------------------------------------------------------------------
-# intra-workload sharding
-# ----------------------------------------------------------------------
-#
-# One workload's N-instruction measurement splits into K resumable
-# shards at instruction boundaries i*N//K.  Everything the measurement
-# produces is additive — monitor banks, event counters, hardware stats —
-# so each shard records its *delta* and merging the deltas in order is
-# bit-identical to the uninterrupted run (asserted by the equivalence
-# tests, like the composite case).
-#
-# Simulation is inherently serial (shard i+1 starts from shard i's end
-# state), so a cold sharded run executes as one in-process chain that
-# banks a machine snapshot at every boundary.  The parallelism and the
-# speedup come from the content-addressed cache: finished shards replay
-# instantly on re-runs, and shards whose start-boundary snapshot is
-# already cached fan out across the process pool.  Boundary offsets are
-# absolute instruction counts, so different shard counts share the
-# snapshots they have in common (a 2-way split reuses a 4-way split's
-# midpoint).
-#
-# Fault tolerance rides the same structure: a corrupt cached shard or
-# snapshot is quarantined (RunCache.quarantine) and treated as a miss,
-# and any shard a pool worker failed to produce is recomputed by an
-# in-process repair chain from the deepest healthy snapshot — the
-# determinism guarantee makes the repaired shards bit-identical to what
-# the lost worker would have returned.
-
-
-@dataclass
-class ShardResult:
-    """One shard's measured delta; everything in it is additive."""
-
-    index: int
-    shard_count: int
-    #: measured-instruction offset where this shard began
-    start_instruction: int
-    instructions: int
-    #: sparse (counts, stalled_counts) delta of the histogram banks
-    histogram: Tuple[Dict[int, int], Dict[int, int]]
-    events: EventCounters
-    stats: MachineStats
-    wall_seconds: float = 0.0
-    #: True when this shard was replayed from the run cache
-    from_cache: bool = False
-
-
-def shard_boundaries(instructions: int, shards: int) -> List[int]:
-    """Instruction offsets splitting ``instructions`` into ``shards``.
-
-    ``i*N//K`` spreads any remainder evenly and makes boundaries shared
-    between different shard counts coincide exactly, so their cached
-    snapshots are interchangeable."""
-    if shards < 1:
-        raise ValueError("shard count must be >= 1, got {}".format(shards))
-    return [instructions * i // shards for i in range(shards + 1)]
-
-
-def _sparse_delta(after: Dict[int, int], before: Dict[int, int]) -> Dict[int, int]:
-    """Per-bucket difference of two sparse dumps (counts only grow)."""
-    return {
-        bucket: count - before.get(bucket, 0)
-        for bucket, count in after.items()
-        if count - before.get(bucket, 0)
-    }
-
-
-def _measure_span(kernel, instructions: int, fault_key: Optional[str] = None):
-    """Run ``instructions`` measured instructions; return the delta.
-
-    The kernel must already be measuring.  Returns ``(histogram_delta,
-    events_delta, stats_delta, wall_seconds)`` — the additive
-    contribution of exactly this span, independent of where in the
-    measurement it sits.  ``fault_key`` names this span to the
-    fault-injection harness (site ``shard.measure``)."""
-    if fault_key is not None:
-        faults.fire("shard.measure", key=fault_key)
-    machine = kernel.machine
-    board = machine.monitor.board
-    counts_before, stalled_before = board.dump_sparse()
-    events_before = copy.deepcopy(machine.events)
-    stats_before = MachineStats.from_machine(machine)
-    started = time.perf_counter()
-    kernel.run(max_instructions=instructions)
-    wall = time.perf_counter() - started
-    counts_after, stalled_after = board.dump_sparse()
-    histogram = (
-        _sparse_delta(counts_after, counts_before),
-        _sparse_delta(stalled_after, stalled_before),
-    )
-    return (
-        histogram,
-        machine.events.minus(events_before),
-        MachineStats.from_machine(machine).minus(stats_before),
-        wall,
-    )
-
-
-def _shard_cache_keys(spec: RunSpec, boundaries: List[int]):
-    """(config hash, per-shard result keys, per-boundary snapshot keys)."""
-    from repro.core.runcache import cache_key
-    from repro.obs.provenance import config_hash
-
-    chash = config_hash(spec)
-    shard_keys = [
-        cache_key("shard", config=chash, start=boundaries[i], end=boundaries[i + 1])
-        for i in range(len(boundaries) - 1)
-    ]
-    snapshot_keys = {
-        boundary: cache_key("snapshot", config=chash, instruction=boundary)
-        for boundary in boundaries[:-1]
-    }
-    return chash, shard_keys, snapshot_keys
-
-
-def _store_shard(cache, key: str, shard: ShardResult, spec_name: str, chash: str) -> None:
-    cache.put(
-        key,
-        pickle.dumps(shard, protocol=4),
-        meta={
-            "kind": "shard",
-            "spec": spec_name,
-            "config": chash,
-            "start": shard.start_instruction,
-            "instructions": shard.instructions,
-            "shard": "{}/{}".format(shard.index + 1, shard.shard_count),
-        },
-    )
-
-
-def _store_boundary_snapshot(
-    cache, key: str, kernel, spec_name: str, chash: str, instruction: int
-) -> None:
-    from repro.core.snapshot import capture
-
-    snapshot = capture(kernel, label="{}@{}".format(spec_name, instruction))
-    cache.put(
-        key,
-        snapshot.to_bytes(),
-        meta={
-            "kind": "snapshot",
-            "spec": spec_name,
-            "config": chash,
-            "instruction": instruction,
-            "digest": snapshot.digest,
-        },
-    )
-
-
-def _load_cached_snapshot(cache, key: str):
-    """Fetch and restore a boundary snapshot, self-healing corruption.
-
-    Returns ``(kernel, digest)``, or ``(None, None)`` when the snapshot
-    is absent *or* damaged — damage is quarantined so the caller's
-    recomputation lands in a clean slot.  ``RunCache.get`` already
-    catches byte-level rot via the ``.sum`` digest; the except clause
-    here catches what slips past it (a truncated legacy object, an
-    injected restore failure, a pickle from an incompatible build)."""
-    from repro.core.snapshot import MachineSnapshot, SnapshotError, restore
-
-    blob = cache.get(key)
-    if blob is None:
-        return None, None
-    try:
-        snapshot = MachineSnapshot.from_bytes(blob)
-        kernel = restore(snapshot)
-    except (
-        SnapshotError,
-        pickle.UnpicklingError,
-        EOFError,
-        AttributeError,
-        ImportError,
-        IndexError,
-    ) as exc:
-        cache.quarantine(key, reason="snapshot restore failed: {}".format(exc))
-        return None, None
-    return kernel, snapshot.digest
-
-
-def _execute_shard_task(task: Dict) -> ShardResult:
-    """Measure one shard from its cached start-boundary snapshot.
-
-    Runs in a pool worker (or inline with ``jobs=1``): restore the
-    snapshot, measure the span, bank the shard result — and the next
-    boundary's snapshot, if nobody has stored it yet — in the cache."""
-    from repro.core.runcache import RunCache
-
-    fault_key = "{}@{}".format(task["spec_name"], task["start"])
-    faults.fire("shard.task", key=fault_key)
-    cache = RunCache(task["cache_root"])
-    kernel, _ = _load_cached_snapshot(cache, task["snapshot_key"])
-    if kernel is None:
-        raise RuntimeError(
-            "boundary snapshot at instruction {} is missing or quarantined "
-            "in cache {}".format(task["start"], task["cache_root"])
-        )
-    histogram, events, stats, wall = _measure_span(
-        kernel, task["instructions"], fault_key=fault_key
-    )
-    shard = ShardResult(
-        index=task["index"],
-        shard_count=task["shard_count"],
-        start_instruction=task["start"],
-        instructions=task["instructions"],
-        histogram=histogram,
-        events=events,
-        stats=stats,
-        wall_seconds=wall,
-    )
-    end_key = task.get("end_snapshot_key")
-    if end_key is not None and not cache.has(end_key):
-        _store_boundary_snapshot(
-            cache,
-            end_key,
-            kernel,
-            task["spec_name"],
-            task["config_hash"],
-            task["start"] + task["instructions"],
-        )
-    _store_shard(cache, task["shard_key"], shard, task["spec_name"], task["config_hash"])
-    return shard
-
-
-def _execute_shard_task_guarded(task: Dict) -> Tuple:
-    """Pool wrapper: ship worker failures back as data (cf. specs)."""
-    try:
-        return ("ok", _execute_shard_task(task))
-    except Exception:
-        return ("error", task.get("spec_name", "?"), traceback.format_exc())
-
-
-def _open_chain_kernel(
-    spec: RunSpec,
-    boundaries: List[int],
-    start_index: int,
-    cache,
-    snapshot_keys: Dict[int, str],
-    chash: str,
-):
-    """Open a measuring kernel for a chain that wants to start at
-    ``start_index``.
-
-    Restores the deepest *healthy* cached boundary snapshot at or below
-    the requested index — corrupt candidates are quarantined and the
-    search continues shallower — falling back to a fresh build + warmup
-    at instruction 0.  Returns ``(kernel, anchor_index,
-    resumed_digest)``; the caller's chain must run from ``anchor_index``
-    (which may be below ``start_index``, recomputing spans whose results
-    are already known, because simulation state is only reachable by
-    simulating)."""
-    if cache is not None:
-        for candidate in range(start_index, -1, -1):
-            key = snapshot_keys[boundaries[candidate]]
-            if not cache.has(key):
-                continue
-            kernel, digest = _load_cached_snapshot(cache, key)
-            if kernel is not None:
-                return kernel, candidate, digest
-    kernel, _ = prepare_workload(
-        spec.workload,
-        process_count=spec.process_count,
-        seed_offset=spec.seed_offset,
-        configure=_spec_configure(spec),
-    )
-    kernel.run(max_instructions=spec.warmup_instructions)
-    kernel.start_measurement()
-    if cache is not None and not cache.has(snapshot_keys[0]):
-        _store_boundary_snapshot(cache, snapshot_keys[0], kernel, spec.name, chash, 0)
-    return kernel, 0, None
-
-
-def _run_shard_chain(
-    spec: RunSpec,
-    boundaries: List[int],
-    start_index: int,
-    end_index: int,
-    results: List[Optional[ShardResult]],
-    cache,
-    shard_keys: List[str],
-    snapshot_keys: Dict[int, str],
-    chash: str,
-    notify: ProgressCallback,
-    shards: int,
-) -> Optional[str]:
-    """Execute a contiguous run of shards in-process.
-
-    Starts from the deepest healthy cached boundary snapshot (or a
-    fresh build + warmup when none survives), emits every missing shard
-    result and boundary snapshot into the cache as it passes, and
-    returns the digest of the snapshot it resumed from, if any.  Spans
-    whose results are already filled are simulated through without
-    re-storing — the chain needs their end state, not their numbers."""
-    kernel, anchor, resumed_digest = _open_chain_kernel(
-        spec, boundaries, start_index, cache, snapshot_keys, chash
-    )
-    for index in range(anchor, end_index + 1):
-        span = boundaries[index + 1] - boundaries[index]
-        name = "{}[shard {}/{}]".format(spec.name, index + 1, shards)
-        notify(ProgressEvent("start", index, shards, name))
-        histogram, events, stats, wall = _measure_span(
-            kernel, span, fault_key="{}@{}".format(spec.name, boundaries[index])
-        )
-        if results[index] is None:
-            shard = ShardResult(
-                index=index,
-                shard_count=shards,
-                start_instruction=boundaries[index],
-                instructions=span,
-                histogram=histogram,
-                events=events,
-                stats=stats,
-                wall_seconds=wall,
-            )
-            results[index] = shard
-            if cache is not None:
-                _store_shard(cache, shard_keys[index], shard, spec.name, chash)
-        notify(ProgressEvent("done", index, shards, name, wall_seconds=wall))
-        next_boundary = boundaries[index + 1]
-        if cache is not None and index + 1 < shards:
-            key = snapshot_keys[next_boundary]
-            if not cache.has(key):
-                _store_boundary_snapshot(
-                    cache, key, kernel, spec.name, chash, next_boundary
-                )
-    return resumed_digest
-
-
-def _merge_shard_results(
-    spec: RunSpec, shard_results: List[ShardResult]
-) -> Tuple[ExperimentResult, Tuple[Dict[int, int], Dict[int, int]]]:
-    """Merge shard deltas into one ExperimentResult + sparse histogram.
-
-    The same readout-side machinery the composite uses:
-    :meth:`HistogramBoard.merge_from` sums the banks,
-    :meth:`EventCounters.merge_from` and :meth:`MachineStats.merge_from`
-    sum the companion channels, and one reduction runs over the summed
-    banks — bit-identical to reducing the uninterrupted run."""
-    from repro.core.monitor import HistogramBoard
-    from repro.core.reduction import reduce_histogram
-    from repro.ucode.routines import build_layout
-    from repro.workloads import profile_by_name
-
-    board = HistogramBoard()
-    merged_events = EventCounters()
-    merged_stats = MachineStats()
-    for shard in shard_results:
-        board.merge_from(HistogramBoard.from_sparse(*shard.histogram))
-        merged_events.merge_from(shard.events)
-        merged_stats.merge_from(shard.stats)
-    counts, stalled = board.dump()
-    reduction = reduce_histogram(counts, stalled, build_layout(), events=merged_events)
-    result = ExperimentResult(
-        name=profile_by_name(spec.workload).name,
-        reduction=reduction,
-        events=merged_events,
-        stats=merged_stats,
-    )
-    if spec.label is not None or spec.config is not None:
-        result.name = spec.name
-    return result, board.dump_sparse()
-
-
-def _shard_status_map(
-    results: List[Optional[ShardResult]],
-    worker_failures: Dict[int, Tuple[str, str]],
-    shards: int,
-) -> Dict[int, str]:
-    """Per-shard outcome: the diagnosable face of a partial failure."""
-    status = {}
-    for index in range(shards):
-        shard = results[index]
-        if shard is not None:
-            status[index] = "from-cache" if shard.from_cache else "computed"
-        elif index in worker_failures:
-            status[index] = "worker failed: {}".format(worker_failures[index][0])
-        else:
-            status[index] = "unfilled"
-    return status
-
-
-def _shard_failure_text(
-    results: List[Optional[ShardResult]],
-    worker_failures: Dict[int, Tuple[str, str]],
-    chain_failure: Optional[str],
-    repair_failure: Optional[str],
-    shards: int,
-) -> str:
-    """Compose the EngineError body for a sharded failure: the
-    per-shard status map first, then every traceback we hold."""
-    status = _shard_status_map(results, worker_failures, shards)
-    lines = ["sharded execution left shards unfilled; per-shard status:"]
-    for index in sorted(status):
-        lines.append("  shard {}/{}: {}".format(index + 1, shards, status[index]))
-    for index in sorted(worker_failures):
-        _, worker_tb = worker_failures[index]
-        if worker_tb:
-            lines.append(
-                "worker traceback (shard {}/{}):\n{}".format(
-                    index + 1, shards, worker_tb
-                )
-            )
-    if chain_failure:
-        lines.append("chain traceback:\n{}".format(chain_failure))
-    if repair_failure:
-        lines.append("repair-chain traceback:\n{}".format(repair_failure))
-    return "\n".join(lines)
-
-
-def execute_spec_sharded(
-    spec: RunSpec,
-    shards: int,
-    jobs: int = 1,
-    cache=None,
-    progress: Optional[ProgressCallback] = None,
-    policy=None,
-) -> EngineRun:
-    """Execute one spec as ``shards`` resumable shards.
-
-    With a ``cache`` (a :class:`~repro.core.runcache.RunCache`):
-    finished shards replay instantly, shards whose start-boundary
-    snapshot is cached run from it — in parallel across the process pool
-    when ``jobs > 1`` — and only the rest execute as an in-process chain
-    from the deepest cached snapshot.  Without a cache the whole
-    measurement runs as one chain.  Either way the merged result is
-    bit-identical to :func:`execute_spec` (the equivalence tests assert
-    it), and the returned :class:`EngineRun` carries shard provenance in
-    its manifest.
-
-    The path is self-healing: corrupt or unpicklable cached objects are
-    quarantined and recomputed, a dead pool worker's shards fall to an
-    in-process repair chain, and the manifest records how much healing
-    happened (``quarantined_objects``, ``repaired_shards``).  Only when
-    even the repair chain fails does :class:`EngineError` surface — its
-    message carries the per-shard status map and every collected
-    traceback, so a partial cache/pool failure is diagnosable from the
-    error alone.
-    """
-    from repro.core.resilience import ResiliencePolicy
-    from repro.obs.provenance import RunManifest
-    from repro.workloads import profile_by_name
-
-    shards = max(1, min(shards, spec.instructions or 1))
-    if shards <= 1:
-        return execute_spec(spec)
-    policy = policy if policy is not None else ResiliencePolicy()
-    notify = progress if progress is not None else _ignore_progress
-    started = time.perf_counter()
-    profile = profile_by_name(spec.workload)
-    manifest = RunManifest.for_spec(spec, profile_seed=profile.seed)
-    boundaries = shard_boundaries(spec.instructions, shards)
-    chash, shard_keys, snapshot_keys = _shard_cache_keys(spec, boundaries)
-    quarantined_before = cache.quarantined_objects() if cache is not None else 0
-
-    results: List[Optional[ShardResult]] = [None] * shards
-    if cache is not None:
-        for index in range(shards):
-            blob = cache.get(shard_keys[index])
-            if blob is None:
-                continue
-            try:
-                shard = pickle.loads(blob)
-            except Exception as exc:
-                # Digest-valid but undeserializable (e.g. written by an
-                # incompatible build): quarantine and recompute.
-                cache.quarantine(
-                    shard_keys[index], reason="unpicklable shard: {}".format(exc)
-                )
-                continue
-            shard.from_cache = True
-            results[index] = shard
-            name = "{}[shard {}/{}]".format(spec.name, index + 1, shards)
-            notify(ProgressEvent("start", index, shards, name))
-            notify(ProgressEvent("done", index, shards, name))
-
-    #: index -> (summary, worker traceback) for shards lost to workers
-    worker_failures: Dict[int, Tuple[str, str]] = {}
-    chain_failure: Optional[str] = None
-    resumed_digest: Optional[str] = None
-    pool_respawns = 0
-
-    def run_chain(start_index: int, end_index: int) -> None:
-        nonlocal resumed_digest
-        digest = _run_shard_chain(
-            spec, boundaries, start_index, end_index, results, cache,
-            shard_keys, snapshot_keys, chash, notify, shards,
-        )
-        if resumed_digest is None:
-            resumed_digest = digest
-
-    def collect(index: int, payload: Tuple) -> None:
-        if payload[0] == "error":
-            _, name, worker_tb = payload
-            summary = _tb_summary(worker_tb)
-            notify(ProgressEvent("error", index, shards, name, error=summary))
-            worker_failures[index] = (summary, worker_tb)
-            return
-        results[index] = payload[1]
-        notify(
-            ProgressEvent(
-                "done",
-                index,
-                shards,
-                "{}[shard {}/{}]".format(spec.name, index + 1, shards),
-                wall_seconds=payload[1].wall_seconds,
-            )
-        )
-
-    missing = [index for index in range(shards) if results[index] is None]
-    if missing:
-        can_restore = set()
-        if cache is not None:
-            can_restore = {
-                index
-                for index in missing
-                if cache.has(snapshot_keys[boundaries[index]])
-            }
-        chain_needed = [index for index in missing if index not in can_restore]
-        chain_span: Optional[Tuple[int, int]] = None
-        if chain_needed:
-            chain_span = (chain_needed[0], chain_needed[-1])
-        # Shards inside the chain interval fall out of the chain's pass
-        # for free; only snapshot-backed shards outside it fan out.
-        chain_cover = set(range(chain_span[0], chain_span[1] + 1)) if chain_span else set()
-        worker_indices = sorted(can_restore - chain_cover)
-        worker_tasks = [
-            {
-                "cache_root": cache.root,
-                "index": index,
-                "shard_count": shards,
-                "start": boundaries[index],
-                "instructions": boundaries[index + 1] - boundaries[index],
-                "snapshot_key": snapshot_keys[boundaries[index]],
-                "shard_key": shard_keys[index],
-                "end_snapshot_key": snapshot_keys.get(boundaries[index + 1])
-                if index + 1 < shards
-                else None,
-                "spec_name": spec.name,
-                "config_hash": chash,
-            }
-            for index in worker_indices
-        ]
-
-        if worker_tasks and jobs > 1:
-            workers = min(jobs, len(worker_tasks))
-            pool = ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context())
-            futures = {}
-            try:
-                for task in worker_tasks:
-                    notify(
-                        ProgressEvent(
-                            "start",
-                            task["index"],
-                            shards,
-                            "{}[shard {}/{}]".format(
-                                spec.name, task["index"] + 1, shards
-                            ),
-                        )
-                    )
-                    futures[pool.submit(_execute_shard_task_guarded, task)] = task[
-                        "index"
-                    ]
-                if chain_span is not None:
-                    try:
-                        run_chain(*chain_span)
-                    except KeyboardInterrupt:
-                        raise
-                    except Exception:
-                        chain_failure = traceback.format_exc()
-                try:
-                    for future in as_completed(futures):
-                        collect(futures[future], future.result())
-                except BrokenProcessPool:
-                    # One dead worker poisons every outstanding future;
-                    # whatever did not finish falls to the repair chain.
-                    pool_respawns += 1
-                    for future, index in futures.items():
-                        if results[index] is None and index not in worker_failures:
-                            worker_failures[index] = (
-                                "process-pool worker died while the shard "
-                                "was in flight",
-                                "",
-                            )
-            finally:
-                pool.shutdown(wait=False, cancel_futures=True)
-        else:
-            for task in worker_tasks:
-                notify(
-                    ProgressEvent(
-                        "start",
-                        task["index"],
-                        shards,
-                        "{}[shard {}/{}]".format(spec.name, task["index"] + 1, shards),
-                    )
-                )
-                collect(task["index"], _execute_shard_task_guarded(task))
-            if chain_span is not None:
-                try:
-                    run_chain(*chain_span)
-                except KeyboardInterrupt:
-                    raise
-                except Exception:
-                    chain_failure = traceback.format_exc()
-
-    # Repair pass: anything still unfilled — a failed worker, a corrupt
-    # snapshot, a faulted chain — is recomputed as one in-process chain
-    # from the deepest healthy snapshot.  Determinism makes the repaired
-    # shards bit-identical to what the lost workers would have produced.
-    repaired = 0
-    unfilled = [index for index in range(shards) if results[index] is None]
-    if unfilled:
-        try:
-            run_chain(min(unfilled), max(unfilled))
-        except KeyboardInterrupt:
-            raise
-        except Exception:
-            raise EngineError(
-                spec.name,
-                _shard_failure_text(
-                    results, worker_failures, chain_failure,
-                    traceback.format_exc(), shards,
-                ),
-            )
-        repaired = sum(1 for index in unfilled if results[index] is not None)
-
-    still_unfilled = [index for index in range(shards) if results[index] is None]
-    if still_unfilled:
-        raise EngineError(
-            spec.name,
-            _shard_failure_text(results, worker_failures, chain_failure, None, shards),
-        )
-
-    result, histogram = _merge_shard_results(spec, results)
-    wall = time.perf_counter() - started
-    cached_count = sum(1 for shard in results if shard.from_cache)
-    quarantined = (
-        cache.quarantined_objects() - quarantined_before if cache is not None else 0
-    )
-    manifest.wall_seconds = wall
-    manifest.instructions_measured = result.instructions
-    manifest.cycles_measured = result.stats.cycles
-    manifest.shards = shards
-    manifest.shards_from_cache = cached_count
-    manifest.resumed_from = resumed_digest
-    manifest.quarantined_objects = quarantined
-    manifest.repaired_shards = repaired
-    if policy.metrics is not None:
-        policy.metrics.counter(
-            "engine.quarantined_objects", "corrupt cache objects quarantined"
-        ).inc(quarantined)
-        policy.metrics.counter(
-            "engine.repaired_shards", "shards recomputed by the repair chain"
-        ).inc(repaired)
-        policy.metrics.counter(
-            "engine.pool_respawns",
-            "process pools respawned after a death or timeout",
-        ).inc(pool_respawns)
-    return EngineRun(
-        spec=spec,
-        result=result,
-        histogram=histogram,
-        wall_seconds=wall,
-        manifest=manifest,
-        metrics=None,
-        shard_count=shards,
-        shards_from_cache=cached_count,
-    )
-
-
-def parallel_map(func: Callable, items: Sequence, jobs: int = 1) -> List:
-    """Generic deterministic fan-out: ``[func(x) for x in items]``,
-    optionally across a process pool.  ``func`` must be a module-level
-    function when ``jobs > 1``.  Order is preserved either way."""
-    items = list(items)
-    if jobs <= 1 or len(items) <= 1:
-        return [func(item) for item in items]
-    workers = min(jobs, len(items))
-    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
-        return list(pool.map(func, items))
+# -- scheduling layer --------------------------------------------------
+from repro.core.scheduler import (
+    Scheduler,
+    _merge_shard_results,
+    _open_chain_kernel,
+    _run_shard_chain,
+    _shard_failure_text,
+    _shard_status_map,
+    execute_spec_sharded,
+    run_specs,
+)
+
+# The live patch seam for fresh workload builds (see module docstring).
+from repro.core.experiment import prepare_workload
+
+# Historical private spellings, kept importable: the resilience and
+# fault-tolerance tests drive the engine through these names.
+_shard_cache_keys = shard_cache_keys
+_store_shard = store_shard
+_store_boundary_snapshot = store_boundary_snapshot
+_load_cached_snapshot = load_cached_snapshot
+
+__all__ = [
+    # execution
+    "EngineError",
+    "EngineRun",
+    "MachineConfig",
+    "ProgressCallback",
+    "ProgressEvent",
+    "RunSpec",
+    "ShardResult",
+    "execute_spec",
+    "parallel_map",
+    "shard_boundaries",
+    # cache resolution
+    "load_cached_shard",
+    "load_cached_snapshot",
+    "resolve_cached_run",
+    "run_cache_key",
+    "shard_cache_keys",
+    "store_boundary_snapshot",
+    "store_run",
+    "store_shard",
+    # scheduling
+    "Scheduler",
+    "execute_spec_sharded",
+    "run_specs",
+    # the live build seam
+    "prepare_workload",
+]

@@ -321,12 +321,7 @@ def run_composite_experiment(
     workload that succeeded (``None`` when all failed) plus the
     :class:`~repro.core.resilience.FailureReport`.
     """
-    from repro.core.engine import (  # lazy: engine imports us
-        EngineError,
-        RunSpec,
-        execute_spec_sharded,
-        run_specs,
-    )
+    from repro.core.engine import RunSpec, Scheduler  # lazy: engine imports us
     from repro.workloads import COMPOSITE_WORKLOAD_NAMES
 
     names = workloads if workloads is not None else COMPOSITE_WORKLOAD_NAMES
@@ -343,50 +338,15 @@ def run_composite_experiment(
         fields.update(overrides.get(name, {}))
         specs.append(RunSpec(**fields))
     collect = policy is not None and policy.on_error == "collect"
-    if shards > 1:
-        from repro.core.resilience import FailureReport, SpecFailure
-
-        runs = []
-        failures = []
-        for index, spec in enumerate(specs):
-            try:
-                runs.append(
-                    execute_spec_sharded(
-                        spec, shards=shards, jobs=jobs, cache=cache,
-                        progress=progress, policy=policy,
-                    )
-                )
-            except KeyboardInterrupt:
-                raise
-            except EngineError as error:
-                if not collect:
-                    raise
-                failures.append(
-                    SpecFailure(
-                        name=spec.name,
-                        index=index,
-                        attempts=1,
-                        kind="error",
-                        error=str(error).splitlines()[0],
-                        worker_traceback=error.worker_traceback,
-                    )
-                )
-        if collect:
-            report = FailureReport(
-                total=len(specs),
-                completed=[run.spec.name for run in runs],
-                failures=failures,
-            )
-            policy.record_report(report)
-            result = composite([run.result for run in runs]) if runs else None
-            return result, report
-        return composite([run.result for run in runs])
-    outcome = run_specs(specs, jobs=jobs, progress=progress, policy=policy)
+    # The CLI is just another scheduler client: the same front door the
+    # experiment service feeds, sharded or not, one orchestration path.
+    scheduler = Scheduler(jobs=jobs, shards=shards, cache=cache, policy=policy)
+    outcome = scheduler.run_specs(specs, progress=progress)
     if collect:
         runs = outcome.results
         result = composite([run.result for run in runs]) if runs else None
         return result, outcome.report
-    return composite([run.result for run in outcome])
+    return composite([run.result for run in outcome if run is not None])
 
 
 def composite(results: List[ExperimentResult], name: str = "composite") -> ExperimentResult:

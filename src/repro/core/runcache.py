@@ -11,7 +11,10 @@ bit-identical.  The cache stores two kinds of objects today:
   :class:`~repro.core.engine.ShardResult`);
 * ``snapshot`` — the machine state at a shard boundary (a
   :class:`~repro.core.snapshot.MachineSnapshot` blob), letting a later
-  run resume mid-measurement instead of re-simulating from boot.
+  run resume mid-measurement instead of re-simulating from boot;
+* ``run`` — one whole completed :class:`~repro.core.engine.EngineRun`,
+  letting the experiment service resolve a duplicate sweep without
+  simulating at all (see :mod:`repro.core.cache_resolution`).
 
 Layout is git-like: ``<root>/objects/<first 2 hex>/<rest>`` with an
 optional ``.json`` metadata sidecar per object.  Writes go through a
@@ -27,6 +30,16 @@ as a miss, so the engine recomputes it instead of crashing on it or,
 worse, merging garbage.  ``repro cache info`` reports the quarantine
 count; the quarantined files stick around for post-mortems until
 ``clear`` removes them.
+
+Hit/miss counters are per-``RunCache``-instance and therefore
+per-process: a pool worker opens its own instance on the shared root,
+and its counts die with the worker unless persisted.  The cache keeps a
+persistent ledger for exactly this — ``flush_stats`` appends each
+instance's unflushed deltas as one line of ``<root>/stats.jsonl`` (an
+O_APPEND single-write, safe under concurrent workers) and
+``persistent_totals`` sums the ledger, so ``repro cache info`` reports
+true fleet-wide totals instead of the freshly-constructed instance's
+zeros.
 
 Cached objects are pickles and deserializing them executes pickle
 machinery — treat a cache directory with the same trust as the working
@@ -96,6 +109,12 @@ class RunCache:
     #: Subdirectory of ``objects/`` corrupt objects are moved into.
     QUARANTINE_DIRNAME = "quarantine"
 
+    #: Fields tracked per instance and aggregated by the stats ledger.
+    STAT_FIELDS = ("hits", "misses", "puts", "quarantined")
+
+    #: Ledger of flushed per-instance stat deltas, relative to ``root``.
+    STATS_LEDGER = "stats.jsonl"
+
     def __init__(self, root: str):
         self.root = os.path.abspath(root)
         self._objects_dir = os.path.join(self.root, "objects")
@@ -107,6 +126,9 @@ class RunCache:
         #: corrupt objects this instance moved to quarantine (see
         #: :meth:`quarantined_objects` for the cross-process disk count)
         self.quarantined = 0
+        self._stats_path = os.path.join(self.root, self.STATS_LEDGER)
+        #: what this instance has already flushed to the ledger
+        self._flushed = {name: 0 for name in self.STAT_FIELDS}
 
     @classmethod
     def default(cls, path: Optional[str] = None) -> "RunCache":
@@ -304,12 +326,72 @@ class RunCache:
                     pass
         except FileNotFoundError:
             pass
+        # The stats ledger describes objects that no longer exist; drop
+        # it, and re-baseline so this instance's pre-clear activity is
+        # not re-flushed into the fresh ledger.
+        try:
+            os.unlink(self._stats_path)
+        except FileNotFoundError:
+            pass
+        self._flushed = self.stats()
         return removed
 
     def stats(self) -> Dict[str, int]:
+        """This instance's counters — per-process by construction.  For
+        fleet-wide truth, flush and read :meth:`persistent_totals`."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "puts": self.puts,
             "quarantined": self.quarantined,
         }
+
+    # -- persistent stats --------------------------------------------------
+
+    def flush_stats(self) -> Dict[str, int]:
+        """Append this instance's unflushed stat deltas to the ledger.
+
+        One JSON line per flush, written with ``O_APPEND`` in a single
+        ``write`` call so concurrent pool workers interleave whole
+        lines, never bytes.  Idempotent between new activity (an empty
+        delta writes nothing).  Returns the delta that was flushed."""
+        current = self.stats()
+        delta = {
+            name: current[name] - self._flushed[name] for name in self.STAT_FIELDS
+        }
+        if any(delta.values()):
+            line = (json.dumps(delta, sort_keys=True) + "\n").encode("ascii")
+            fd = os.open(self._stats_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, line)
+            finally:
+                os.close(fd)
+            self._flushed = current
+        return delta
+
+    def persistent_totals(self) -> Dict[str, int]:
+        """Sum every flushed delta in the ledger: the true fleet-wide
+        hit/miss/put/quarantine totals across all processes that ever
+        flushed against this root.  Unflushed activity of live
+        instances (this one included) is not visible here — the engine
+        flushes at the end of every sharded run and every worker task.
+        A torn or foreign line is skipped, not fatal."""
+        totals = {name: 0 for name in self.STAT_FIELDS}
+        totals["flushes"] = 0
+        try:
+            with open(self._stats_path, "r", encoding="ascii", errors="replace") as handle:
+                for line in handle:
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if not isinstance(record, dict):
+                        continue
+                    totals["flushes"] += 1
+                    for name in self.STAT_FIELDS:
+                        value = record.get(name, 0)
+                        if isinstance(value, int):
+                            totals[name] += value
+        except FileNotFoundError:
+            pass
+        return totals

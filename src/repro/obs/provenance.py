@@ -111,7 +111,18 @@ class RunManifest:
     #: how many of those shards replayed from the content-addressed cache
     shards_from_cache: int = 0
     #: sha256 of the boundary snapshot a resumed chain restarted from
+    #: (or, for a run resolved whole from the cache, its run-level key)
     resumed_from: Optional[str] = None
+    #: config hash of the in-flight or indexed job this run attached to
+    #: instead of executing — a deduplicated run did no work of its own,
+    #: which is also why its ``wall_seconds`` is zero rather than a copy
+    #: of the executing job's timing
+    attached_to: Optional[str] = None
+    #: true cache traffic for this run, aggregated across the
+    #: coordinator *and* every pool worker that touched the cache on its
+    #: behalf (per-process ``RunCache`` counters alone undercount under
+    #: the worker fleet) — ``None`` when the run used no cache
+    cache_stats: Optional[Dict] = None
     #: engine executions this run needed (1 = succeeded first try; >1
     #: means the resilience layer retried it)
     attempts: int = 1

@@ -1,0 +1,22 @@
+"""The experiment service: many clients, one scheduler.
+
+``repro serve`` exposes the engine's scheduling layer over a small
+HTTP/JSON API so concurrent clients — ``repro submit``, ``repro poll``,
+CI smoke jobs, anything that can speak JSON — share one
+:class:`~repro.core.scheduler.Scheduler` and therefore one dedupe
+domain: overlapping sweeps attach to in-flight work, repeats resolve
+from the bounded result index, and whole runs resolve from the
+content-addressed cache across restarts.
+
+* :mod:`repro.service.api` — the JSON wire format (specs, runs, error
+  envelopes);
+* :mod:`repro.service.server` — :class:`ExperimentService`, the asyncio
+  job queue and HTTP front end;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the stdlib
+  ``http.client`` consumer the CLI subcommands use.
+"""
+
+from repro.service.client import ClientError, ServiceClient
+from repro.service.server import ExperimentService
+
+__all__ = ["ClientError", "ExperimentService", "ServiceClient"]

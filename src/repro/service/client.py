@@ -1,0 +1,120 @@
+"""The service client: ``repro submit`` / ``repro poll`` over stdlib HTTP.
+
+A thin, dependency-free wrapper around :mod:`http.client` for the
+experiment service's JSON API.  Every method opens one short-lived
+connection (the server closes after each response), decodes the JSON
+body, and raises :class:`ClientError` for non-2xx statuses — with the
+server's error envelope attached, so an
+:class:`~repro.core.executor.EngineError` that killed a job on the
+server reconstructs client-side with its spec name, worker traceback
+and shard status intact (:meth:`ClientError.remote_error`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Dict, List, Optional
+
+from repro.service import api
+
+
+class ClientError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Dict):
+        super().__init__(
+            "service returned {}: {}".format(
+                status, payload.get("error", payload) if isinstance(payload, dict)
+                else payload
+            )
+        )
+        self.status = status
+        self.payload = payload if isinstance(payload, dict) else {"error": payload}
+
+    def remote_error(self) -> Optional[BaseException]:
+        """The server-side exception, reconstructed from the envelope
+        (an ``EngineError`` keeps its constructor extras)."""
+        envelope = self.payload.get("error")
+        if isinstance(envelope, dict) and "type" in envelope:
+            return api.error_from_envelope(envelope)
+        return None
+
+
+class ServiceClient:
+    """One experiment-service endpoint, e.g. ``http://127.0.0.1:8765``."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8765", timeout: float = 60.0):
+        if "//" in url:
+            url = url.split("//", 1)[1]
+        self.netloc = url.rstrip("/")
+        self.timeout = timeout
+
+    def request(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
+        connection = HTTPConnection(self.netloc, timeout=self.timeout)
+        try:
+            body = None if payload is None else json.dumps(payload).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = {"error": raw.decode("latin-1", "replace")}
+            if response.status >= 400:
+                raise ClientError(response.status, decoded)
+            return decoded
+        finally:
+            connection.close()
+
+    # -- the API, one method per route -------------------------------------
+
+    def healthz(self) -> Dict:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self.request("GET", "/stats")
+
+    def submit_sweep(self, specs: List, on_error: str = "raise") -> Dict:
+        """Submit a sweep of :class:`~repro.core.executor.RunSpec` values
+        (or already-encoded spec payloads); returns the acceptance
+        record: ``{"job": id, "digests": [...]}``."""
+        encoded = [
+            spec if isinstance(spec, dict) else api.spec_to_payload(spec)
+            for spec in specs
+        ]
+        return self.request(
+            "POST", "/sweeps", {"specs": encoded, "on_error": on_error}
+        )
+
+    def job(self, job_id: str) -> Dict:
+        return self.request("GET", "/jobs/{}".format(job_id))
+
+    def jobs(self) -> List[Dict]:
+        return self.request("GET", "/jobs")["jobs"]
+
+    def wait(self, job_id: str, timeout: float = 600.0, poll: float = 0.05) -> Dict:
+        """Poll until the job leaves the queue/running states."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    "job {} still {} after {}s".format(
+                        job_id, record["state"], timeout
+                    )
+                )
+            time.sleep(poll)
+
+    def result_payload(self, digest: str) -> Dict:
+        """One completed run as its raw JSON payload."""
+        return self.request("GET", "/results/{}".format(digest))
+
+    def result(self, digest: str):
+        """One completed run decoded back into an
+        :class:`~repro.core.executor.EngineRun`."""
+        return api.run_from_payload(self.result_payload(digest))

@@ -302,3 +302,67 @@ def _racing_put(args):
     local = RunCache(root)
     local.put(key, b"racy payload")
     return local.get(key) == b"racy payload"
+
+
+class TestPersistentStats:
+    """The stats ledger: fleet-wide hit/miss truth across processes.
+
+    Per-instance counters are per-process by construction; under the
+    worker fleet they silently undercount.  Every engine execution site
+    flushes its deltas to ``stats.jsonl``, and ``persistent_totals``
+    sums them back — that is what ``repro cache info`` reports.
+    """
+
+    def test_flush_appends_delta_once(self, cache):
+        key = cache_key("test", payload="ledger")
+        cache.get(key)  # miss
+        cache.put(key, b"x")
+        cache.get(key)  # hit
+        delta = cache.flush_stats()
+        assert delta == {"hits": 1, "misses": 1, "puts": 1, "quarantined": 0}
+        # No new activity: the second flush writes nothing.
+        assert cache.flush_stats() == {
+            "hits": 0, "misses": 0, "puts": 0, "quarantined": 0
+        }
+        totals = cache.persistent_totals()
+        assert totals["flushes"] == 1
+        assert totals["hits"] == 1
+        assert totals["misses"] == 1
+        assert totals["puts"] == 1
+
+    def test_totals_aggregate_across_instances(self, cache):
+        # Two instances over the same root — the stand-in for two
+        # processes — each flush; the ledger holds the sum.
+        other = RunCache(cache.root)
+        key = cache_key("test", payload="fleet")
+        cache.put(key, b"x")
+        cache.flush_stats()
+        other.get(key)  # hit, counted only in `other`
+        other.get(cache_key("test", payload="absent"))  # miss
+        other.flush_stats()
+        assert cache.stats()["hits"] == 0  # per-process undercount...
+        totals = cache.persistent_totals()  # ...the ledger has the truth
+        assert totals == {
+            "hits": 1, "misses": 1, "puts": 1, "quarantined": 0, "flushes": 2
+        }
+
+    def test_torn_ledger_line_is_skipped(self, cache):
+        cache.put(cache_key("test", payload="torn"), b"x")
+        cache.flush_stats()
+        with open(cache._stats_path, "a") as handle:
+            handle.write('{"puts": 1, "hi')  # torn mid-write
+        totals = cache.persistent_totals()
+        assert totals["puts"] == 1
+        assert totals["flushes"] == 1
+
+    def test_clear_drops_ledger_and_rebaselines(self, cache):
+        key = cache_key("test", payload="wipe")
+        cache.put(key, b"x")
+        cache.flush_stats()
+        cache.clear()
+        assert cache.persistent_totals()["flushes"] == 0
+        # Pre-clear activity must not leak into the fresh ledger.
+        assert cache.flush_stats() == {
+            "hits": 0, "misses": 0, "puts": 0, "quarantined": 0
+        }
+        assert cache.persistent_totals()["puts"] == 0
